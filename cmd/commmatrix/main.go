@@ -1,0 +1,149 @@
+// Command commmatrix runs half-approximate matching and/or Graph500-style
+// BFS on a graph and dumps the per-pair communication matrices the paper
+// visualizes in Figs 2, 9 and 11, either as a density plot or as CSV.
+//
+// Usage:
+//
+//	commmatrix -in graph.csr -p 32 -app matching -model nsr
+//	commmatrix -in graph.csr -p 32 -app bfs -csv > bfs.csv
+//	commmatrix -family rmat -scale 13 -p 32 -app both
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bfs"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/mpi"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input graph file (binary CSR)")
+		family   = flag.String("family", "rmat", "generate instead of loading: rmat | social | sbp")
+		scale    = flag.Int("scale", 13, "rmat scale when generating")
+		n        = flag.Int("n", 50000, "vertices when generating social/sbp")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		p        = flag.Int("p", 32, "ranks")
+		app      = flag.String("app", "matching", "matching | bfs | both")
+		model    = flag.String("model", "nsr", "matching model: nsr | rma | ncl | mbp | ncli | nsra")
+		bytes    = flag.Bool("bytes", false, "report byte volumes instead of message counts")
+		csv      = flag.Bool("csv", false, "emit the raw matrix as CSV instead of a density plot")
+		timeline = flag.Bool("timeline", false, "also print per-rank wait timelines ('#' = blocked)")
+	)
+	flag.Parse()
+
+	var g *graph.CSR
+	var err error
+	if *in != "" {
+		g, err = graph.LoadFile(*in)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		switch *family {
+		case "rmat":
+			g = gen.Graph500(*scale, *seed)
+		case "social":
+			g = gen.Social(*n, 10, *seed)
+		case "sbp":
+			g = gen.SBP(*n, *n/150, 12, 0.55, *seed)
+		default:
+			fatal(fmt.Errorf("unknown -family %q", *family))
+		}
+	}
+	fmt.Println("graph:", g.Summary())
+
+	if *app == "matching" || *app == "both" {
+		var m matching.Model
+		switch strings.ToLower(*model) {
+		case "nsr":
+			m = matching.NSR
+		case "rma":
+			m = matching.RMA
+		case "ncl":
+			m = matching.NCL
+		case "mbp":
+			m = matching.MBP
+		case "ncli":
+			m = matching.NCLI
+		case "nsra":
+			m = matching.NSRA
+		default:
+			fatal(fmt.Errorf("unknown -model %q", *model))
+		}
+		res, err := matching.Run(g, matching.Options{Procs: *p, Model: m, TrackMatrices: true, TraceWaits: *timeline, Deadline: 10 * time.Minute})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("matching (%v): weight=%.1f cardinality=%d time=%.3fms\n",
+			m, res.Weight, res.Cardinality, res.Report.MaxVirtualTime*1e3)
+		dump(res.Report.Stats, *bytes, *csv)
+		if *timeline {
+			fmt.Println("wait timeline (virtual time left to right; '#' blocked, ':' mixed, '.' busy):")
+			for _, line := range res.Report.RenderTimeline(72) {
+				fmt.Println(line)
+			}
+		}
+	}
+	if *app == "bfs" || *app == "both" {
+		res, err := bfs.Run(g, 0, bfs.Options{Procs: *p, TrackMatrices: true, Deadline: 10 * time.Minute})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("bfs: visited=%d levels=%d time=%.3fms\n", res.Visited, res.Levels, res.Report.MaxVirtualTime*1e3)
+		dump(res.Report.Stats, *bytes, *csv)
+	}
+}
+
+func dump(stats []*mpi.RankStats, bytes, csv bool) {
+	m := mpi.MsgMatrix(stats)
+	if bytes {
+		m = mpi.ByteMatrix(stats)
+	}
+	if csv {
+		for _, row := range m {
+			cells := make([]string, len(row))
+			for j, v := range row {
+				cells[j] = fmt.Sprint(v)
+			}
+			fmt.Println(strings.Join(cells, ","))
+		}
+		return
+	}
+	var max int64
+	for _, row := range m {
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	levels := []byte{' ', '.', ':', '*', '#', '@'}
+	for _, row := range m {
+		line := make([]byte, len(row))
+		for j, v := range row {
+			if v == 0 {
+				line[j] = ' '
+				continue
+			}
+			idx := 1 + int(int64(len(levels)-1)*v/(max+1))
+			if idx >= len(levels) {
+				idx = len(levels) - 1
+			}
+			line[j] = levels[idx]
+		}
+		fmt.Println("|" + string(line) + "|")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "commmatrix:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+// Command gengraph generates the synthetic graph families from the
+// paper's Table II, prints their statistics, and optionally saves them in
+// the repository's binary CSR format.
+//
+// Usage:
+//
+//	gengraph -family rgg -n 100000 -deg 8 -seed 1 -o rgg.csr
+//	gengraph -family rmat -scale 14
+//	gengraph -family sbp -n 50000 -blocks 200 -deg 16 -overlap 0.55
+//	gengraph -family kmer -comps 1000 -minside 5 -maxside 9
+//	gengraph -family social -n 80000 -deg 10
+//	gengraph -family banded -n 30000 -band 24 -fill 2.5
+//	gengraph -family path -n 1000
+//	gengraph -family grid -rows 30 -cols 40
+//
+// Add -rcm to reorder the result with Reverse Cuthill-McKee and -scramble
+// to randomize vertex ids first.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/order"
+)
+
+func main() {
+	var (
+		family   = flag.String("family", "", "rgg | rmat | sbp | kmer | social | banded | path | grid")
+		n        = flag.Int("n", 10000, "vertices (rgg, sbp, social, banded, path)")
+		deg      = flag.Float64("deg", 8, "target average degree (rgg, sbp, social)")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		scale    = flag.Int("scale", 12, "rmat: log2 vertices")
+		edgef    = flag.Int("edgef", 16, "rmat: edge factor")
+		blocks   = flag.Int("blocks", 32, "sbp: number of blocks")
+		overlap  = flag.Float64("overlap", 0.5, "sbp: cross-block edge probability")
+		comps    = flag.Int("comps", 100, "kmer: grid components")
+		minSide  = flag.Int("minside", 5, "kmer: min grid side")
+		maxSide  = flag.Int("maxside", 9, "kmer: max grid side")
+		band     = flag.Int("band", 24, "banded: bandwidth")
+		fill     = flag.Float64("fill", 2.5, "banded: in-band edges per vertex")
+		long     = flag.Float64("long", 0.002, "banded: long-range edge fraction")
+		rows     = flag.Int("rows", 10, "grid: rows")
+		cols     = flag.Int("cols", 10, "grid: columns")
+		scramble = flag.Bool("scramble", false, "randomize vertex ids")
+		rcm      = flag.Bool("rcm", false, "apply Reverse Cuthill-McKee reordering")
+		out      = flag.String("o", "", "output file (binary CSR); omit to only print stats")
+	)
+	flag.Parse()
+
+	var g *graph.CSR
+	switch *family {
+	case "rgg":
+		g = gen.RGG(*n, gen.RGGRadiusForDegree(*n, *deg), *seed)
+	case "rmat":
+		g = gen.RMAT(*scale, *edgef, 0.57, 0.19, 0.19, 0.05, *seed)
+	case "sbp":
+		g = gen.SBP(*n, *blocks, *deg, *overlap, *seed)
+	case "kmer":
+		g = gen.KMerGrids(*comps, *minSide, *maxSide, *seed)
+	case "social":
+		g = gen.Social(*n, *deg, *seed)
+	case "banded":
+		g = gen.BandedMesh(*n, *band, *fill, *long, *seed)
+	case "path":
+		g = gen.Path(*n)
+	case "grid":
+		g = gen.Grid2D(*rows, *cols)
+	default:
+		fmt.Fprintln(os.Stderr, "gengraph: unknown -family (want rgg|rmat|sbp|kmer|social|banded|path|grid)")
+		os.Exit(2)
+	}
+	if *scramble {
+		g, _ = gen.Scramble(g, *seed^0x5ca1ab1e)
+	}
+	if *rcm {
+		g = order.Apply(g, order.RCM(g))
+	}
+	fmt.Println(g.Summary())
+	if *out != "" {
+		var err error
+		if strings.HasSuffix(*out, ".mtx") {
+			var f *os.File
+			if f, err = os.Create(*out); err == nil {
+				err = g.WriteMatrixMarket(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+		} else {
+			err = g.SaveFile(*out)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gengraph:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *out)
+	}
+}

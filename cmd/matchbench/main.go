@@ -1,0 +1,65 @@
+// Command matchbench regenerates the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	matchbench -exp fig4a            # one experiment
+//	matchbench -exp all              # everything (minutes)
+//	matchbench -list                 # show the experiment index
+//	matchbench -exp fig8 -scale 0.5  # smaller, faster workloads
+//
+// Each experiment prints the table or series corresponding to one figure
+// or table of Ghosh et al., IPDPS 2019, annotated with the shape the
+// paper reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (fig2, fig4a..c, tab3, fig5, fig6, tab4, fig7, tab5, tab6, fig8, fig9, tab7, fig10, tab8, fig11) or 'all'")
+		scale   = flag.Float64("scale", 1.0, "workload scale factor")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		verbose = flag.Bool("v", false, "log progress")
+		timeout = flag.Duration("timeout", 10*time.Minute, "per-run deadline")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range harness.IDs() {
+			e := harness.Find(id)
+			fmt.Printf("%-7s %s\n        paper: %s\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "matchbench: -exp required (or -list); e.g. matchbench -exp fig4a")
+		os.Exit(2)
+	}
+
+	cfg := harness.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Deadline = *timeout
+	if *verbose {
+		cfg.Out = os.Stderr
+	}
+
+	start := time.Now()
+	var err error
+	if *exp == "all" {
+		err = harness.RunAll(cfg, os.Stdout)
+	} else {
+		err = harness.RunOne(*exp, cfg, os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "matchbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("# completed in %v\n", time.Since(start).Round(time.Millisecond))
+}

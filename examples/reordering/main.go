@@ -1,0 +1,65 @@
+// Reordering pipeline (the paper's §V-C): take a mesh whose vertex ids
+// are scattered (as matrices arrive from collections), reorder it with
+// Reverse Cuthill-McKee, and compare bandwidth, partition balance and
+// matching performance before and after — the Fig 7 / Tables V-VI /
+// Fig 8 story.
+//
+//	go run ./examples/reordering
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/distgraph"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/order"
+)
+
+func main() {
+	// A banded CFD-style mesh, scrambled to simulate collection order.
+	mesh := gen.BandedMesh(25000, 32, 3, 0.001, 3)
+	original, _ := gen.Scramble(mesh, 4)
+
+	perm := order.RCM(original)
+	reordered := order.Apply(original, perm)
+
+	fmt.Printf("%-10s %9s %12s\n", "", "bandwidth", "profile")
+	fmt.Printf("%-10s %9d %12d\n", "original:", original.Bandwidth(), original.Profile())
+	fmt.Printf("%-10s %9d %12d\n", "RCM:", reordered.Bandwidth(), reordered.Profile())
+	fmt.Println()
+
+	const procs = 32
+	for _, in := range []struct {
+		name string
+		g    *graph.CSR
+	}{
+		{"original", original},
+		{"RCM", reordered},
+	} {
+		d := distgraph.NewBlockDist(in.g, procs)
+		fmt.Printf("%-9s topology: %s\n", in.name, d.ProcessGraphStats())
+		fmt.Printf("          ghosts:   %s\n", d.GhostEdgeStats())
+
+		var nsr float64
+		for _, model := range []core.Model{core.NSR, core.RMA, core.NCL, core.MBP} {
+			res, err := core.Match(in.g, core.Options{Procs: procs, Model: model, Deadline: 2 * time.Minute})
+			if err != nil {
+				log.Fatal(err)
+			}
+			t := res.Report.MaxVirtualTime
+			if model == core.NSR {
+				nsr = t
+				fmt.Printf("          %-4v %8.3fms\n", model, t*1e3)
+				continue
+			}
+			fmt.Printf("          %-4v %8.3fms  (%.2fx vs NSR)\n", model, t*1e3, nsr/t)
+		}
+		fmt.Println()
+	}
+	fmt.Println("expected pattern: RCM shrinks sigma(|E'|) and localizes the process graph,")
+	fmt.Println("letting the aggregated models pull further ahead of Send-Recv (paper Fig 8).")
+}

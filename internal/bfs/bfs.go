@@ -1,0 +1,217 @@
+// Package bfs implements a Graph500-style distributed breadth-first
+// search over the same 1-D vertex-block distribution as the matching
+// code. The paper uses BFS as the communication-pattern foil for
+// matching (Figs 2 and 11): BFS is level-synchronous with bulk frontier
+// expansion, whereas matching generates dynamic, unpredictable
+// point-to-point traffic. This package regenerates the BFS side of those
+// communication matrices.
+package bfs
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/distgraph"
+	"repro/internal/graph"
+	"repro/internal/mpi"
+)
+
+// Options configures a distributed BFS run.
+type Options struct {
+	Procs         int
+	Cost          *mpi.CostModel
+	TrackMatrices bool
+	Deadline      time.Duration
+	// TraceWaits records per-rank blocked intervals for
+	// Report.RenderTimeline.
+	TraceWaits bool
+	// UseNeighborhood switches the per-level frontier exchange from
+	// per-edge point-to-point sends to aggregated neighborhood
+	// collectives over the distributed graph topology — the approach
+	// Kandalla et al. study for BFS (the paper's ref [22]).
+	UseNeighborhood bool
+}
+
+// Result is the outcome of a BFS.
+type Result struct {
+	// Parent[v] is v's BFS tree parent, v itself for the root, or -1 if
+	// unreached.
+	Parent []int
+	// Level[v] is v's BFS level, or -1 if unreached.
+	Level []int
+	// Visited is the number of reached vertices.
+	Visited int
+	// Levels is the number of BFS levels (eccentricity of the root + 1).
+	Levels int
+	// Report carries runtime statistics and virtual time.
+	Report *mpi.Report
+}
+
+const tagVisit = 1
+
+// Run executes a level-synchronous distributed BFS from root. Cross-edge
+// frontier expansions travel as individual nonblocking sends (as in the
+// Graph500 reference MPI implementation the paper profiles), with a
+// per-level count exchange bounding receives and an allreduce deciding
+// termination.
+func Run(g *graph.CSR, root int, opt Options) (*Result, error) {
+	if opt.Procs < 1 {
+		return nil, fmt.Errorf("bfs: Procs = %d", opt.Procs)
+	}
+	if root < 0 || root >= g.NumVertices() {
+		return nil, fmt.Errorf("bfs: root %d out of range", root)
+	}
+	d := distgraph.NewBlockDist(g, opt.Procs)
+	parentGlobal := make([]int64, g.NumVertices())
+	levelGlobal := make([]int64, g.NumVertices())
+
+	rep, err := mpi.Run(mpi.Config{
+		Procs:         opt.Procs,
+		Cost:          opt.Cost,
+		TrackMatrices: opt.TrackMatrices,
+		Deadline:      opt.Deadline,
+		TraceWaits:    opt.TraceWaits,
+	}, func(c *mpi.Comm) error {
+		l := d.BuildLocal(c.Rank())
+		var topo *mpi.Topo
+		if opt.UseNeighborhood {
+			topo = c.CreateGraphTopo(l.NeighborRanks)
+		}
+		nOwned := l.NumOwned()
+		parent := make([]int64, nOwned)
+		level := make([]int64, nOwned)
+		for i := range parent {
+			parent[i] = -1
+			level[i] = -1
+		}
+		c.AccountAlloc(int64(nOwned) * 16)
+
+		frontier := make([]int32, 0, nOwned)
+		next := make([]int32, 0, nOwned)
+		visit := func(v, from, lvl int64) {
+			vi := int(v) - l.Lo
+			if parent[vi] != -1 {
+				return
+			}
+			parent[vi] = from
+			level[vi] = lvl
+			next = append(next, int32(vi))
+		}
+		if l.Owns(root) {
+			visit(int64(root), int64(root), 0)
+		}
+		frontier, next = next, frontier[:0]
+
+		sendCounts := make([]int64, opt.Procs)
+		nbrBufs := make([][]int64, len(l.NeighborRanks))
+		for lvl := int64(0); ; lvl++ {
+			// Expand the frontier: local visits immediately, cross edges
+			// as one message each (point-to-point mode) or batched per
+			// neighbor (neighborhood-collective mode).
+			for i := range sendCounts {
+				sendCounts[i] = 0
+			}
+			for i := range nbrBufs {
+				nbrBufs[i] = nbrBufs[i][:0]
+			}
+			for _, vi := range frontier {
+				v := int64(int(vi) + l.Lo)
+				for _, a := range g.Neighbors(int(vi) + l.Lo) {
+					c.Compute(1)
+					u := int64(a)
+					if l.Owns(int(u)) {
+						visit(u, v, lvl+1)
+						continue
+					}
+					dst := l.Owner(int(u))
+					if opt.UseNeighborhood {
+						i := l.NeighborIndex(dst)
+						nbrBufs[i] = append(nbrBufs[i], u, v)
+						continue
+					}
+					c.Isend(dst, tagVisit, []int64{u, v})
+					sendCounts[dst]++
+				}
+			}
+			if opt.UseNeighborhood {
+				for _, data := range topo.NeighborAlltoallvInt64(nbrBufs) {
+					for k := 0; k+2 <= len(data); k += 2 {
+						c.Compute(1)
+						visit(data[k], data[k+1], lvl+1)
+					}
+				}
+			} else {
+				// Everyone learns how many visit messages to expect.
+				expect := c.AlltoallInt64(sendCounts, 1)
+				for src := 0; src < opt.Procs; src++ {
+					for k := int64(0); k < expect[src]; k++ {
+						data, _ := c.Recv(src, tagVisit)
+						c.Compute(1)
+						visit(data[0], data[1], lvl+1)
+					}
+				}
+			}
+			frontier, next = next, frontier[:0]
+			total := c.AllreduceInt64(mpi.OpSum, []int64{int64(len(frontier))})[0]
+			if total == 0 {
+				break
+			}
+		}
+		copy(parentGlobal[l.Lo:l.Hi], parent)
+		copy(levelGlobal[l.Lo:l.Hi], level)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Parent: make([]int, len(parentGlobal)),
+		Level:  make([]int, len(levelGlobal)),
+		Report: rep,
+	}
+	for v := range parentGlobal {
+		res.Parent[v] = int(parentGlobal[v])
+		res.Level[v] = int(levelGlobal[v])
+		if res.Level[v] >= 0 {
+			res.Visited++
+			if res.Level[v]+1 > res.Levels {
+				res.Levels = res.Level[v] + 1
+			}
+		}
+	}
+	return res, nil
+}
+
+// Verify checks BFS tree invariants: the root is its own parent at level
+// 0; every other reached vertex has a reached parent one level shallower
+// connected by a real edge; level assignments are exactly the true BFS
+// distances (compared against the serial levels the caller provides).
+func Verify(g *graph.CSR, root int, r *Result, serialLevels []int) error {
+	if r.Parent[root] != root || r.Level[root] != 0 {
+		return fmt.Errorf("bfs: root parent/level = %d/%d", r.Parent[root], r.Level[root])
+	}
+	for v := range r.Parent {
+		switch {
+		case r.Level[v] < 0:
+			if r.Parent[v] != -1 {
+				return fmt.Errorf("bfs: unreached vertex %d has parent %d", v, r.Parent[v])
+			}
+		case v != root:
+			p := r.Parent[v]
+			if p < 0 || p >= len(r.Parent) {
+				return fmt.Errorf("bfs: vertex %d has bad parent %d", v, p)
+			}
+			if !g.HasEdge(v, p) {
+				return fmt.Errorf("bfs: tree edge {%d,%d} not in graph", v, p)
+			}
+			if r.Level[p] != r.Level[v]-1 {
+				return fmt.Errorf("bfs: vertex %d at level %d has parent at level %d", v, r.Level[v], r.Level[p])
+			}
+		}
+		if serialLevels != nil && r.Level[v] != serialLevels[v] {
+			return fmt.Errorf("bfs: vertex %d level %d, serial BFS says %d", v, r.Level[v], serialLevels[v])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,309 @@
+package coloring
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/distgraph"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/mpi"
+	"repro/internal/transport"
+)
+
+// Model aliases the matching package's communication models so both
+// owner-computes applications share one vocabulary (NSR, RMA, NCL, MBP,
+// NCLI).
+type Model = matching.Model
+
+// Options configures a distributed coloring run.
+type Options struct {
+	Procs         int
+	Model         Model
+	Cost          *mpi.CostModel
+	TrackMatrices bool
+	Deadline      time.Duration
+	// TraceWaits records per-rank blocked intervals for
+	// Report.RenderTimeline.
+	TraceWaits bool
+}
+
+// ParallelResult is the outcome of a distributed coloring.
+type ParallelResult struct {
+	*Result
+	Rounds   int
+	Messages int64
+	Report   *mpi.Report
+}
+
+// ctxColor announces "vertex y (mine) adjacent to your x is colored c";
+// the color rides in the record's x slot alongside the edge endpoints —
+// records are {ctx, x, y<<colorShift | color}.
+const (
+	ctxColor   int64 = 1
+	colorShift       = 24 // colors < 2^24; vertex ids shifted above
+)
+
+// maxMessagesPerCrossArc: each side announces its endpoint's color on a
+// cross arc exactly once.
+const maxMessagesPerCrossArc = 1
+
+// engine holds one rank's Jones-Plassmann state.
+type jpEngine struct {
+	c  *mpi.Comm
+	l  *distgraph.Local
+	g  *graph.CSR
+	tr transport.Sender
+
+	lo, hi    int
+	color     []int32 // owned vertices; -1 uncolored
+	waitCount []int32 // uncolored higher-priority neighbors remaining
+	ghostCol  []int32 // per local arc: far endpoint's color, -1 unknown
+	arcBase   int64
+
+	pendingArcs int64 // cross arcs whose announcement we have not received
+	work        []int32
+	rounds      int
+	sent        int64
+}
+
+func newJPEngine(c *mpi.Comm, l *distgraph.Local, tr transport.Sender) *jpEngine {
+	g := l.Graph()
+	nOwned := l.NumOwned()
+	e := &jpEngine{
+		c: c, l: l, g: g, tr: tr,
+		lo: l.Lo, hi: l.Hi,
+		color:     make([]int32, nOwned),
+		waitCount: make([]int32, nOwned),
+		ghostCol:  make([]int32, g.Offsets[l.Hi]-g.Offsets[l.Lo]),
+		arcBase:   g.Offsets[l.Lo],
+	}
+	for i := range e.color {
+		e.color[i] = -1
+	}
+	for i := range e.ghostCol {
+		e.ghostCol[i] = -1
+	}
+	var recvArcs int64
+	for vi := 0; vi < nOwned; vi++ {
+		v := vi + e.lo
+		for _, a := range g.Neighbors(v) {
+			e.c.Compute(1)
+			if priorityLess(v, int(a)) {
+				e.waitCount[vi]++
+			}
+			if !l.Owns(int(a)) {
+				recvArcs++
+			}
+		}
+	}
+	e.pendingArcs = recvArcs
+	c.AccountAlloc(int64(nOwned)*8 + int64(len(e.ghostCol))*4)
+	return e
+}
+
+// tryColor colors owned vertex vi if all higher-priority neighbors are
+// done, then releases lower-priority waiters.
+func (e *jpEngine) tryColor(vi int32) {
+	if e.color[vi] >= 0 || e.waitCount[vi] > 0 {
+		return
+	}
+	v := int(vi) + e.lo
+	row := e.g.Neighbors(v)
+	used := make([]bool, len(row)+1)
+	for i, a := range row {
+		e.c.Compute(1)
+		var c int32 = -1
+		if e.l.Owns(int(a)) {
+			c = e.color[int(a)-e.lo]
+		} else {
+			c = e.ghostCol[e.g.Offsets[v]+int64(i)-e.arcBase]
+		}
+		if c >= 0 && int(c) < len(used) {
+			used[c] = true
+		}
+	}
+	var chosen int32
+	for used[chosen] {
+		chosen++
+	}
+	e.color[vi] = chosen
+
+	// Announce to every rank holding a ghost copy (once per cross arc,
+	// so buffered transports stay within their bound) and release local
+	// lower-priority neighbors.
+	for _, a := range row {
+		e.c.Compute(1)
+		if e.l.Owns(int(a)) {
+			if priorityLess(int(a), v) {
+				ai := int32(int(a) - e.lo)
+				e.waitCount[ai]--
+				e.work = append(e.work, ai)
+			}
+			continue
+		}
+		e.sent++
+		e.tr.Send(e.l.Owner(int(a)), ctxColor, int64(a), int64(v)<<colorShift|int64(chosen))
+	}
+}
+
+// handleMessage ingests one color announcement.
+func (e *jpEngine) handleMessage(ctx, x, packed int64) {
+	e.c.Compute(1)
+	if ctx != ctxColor {
+		panic(fmt.Sprintf("coloring: unknown context %d", ctx))
+	}
+	y := packed >> colorShift
+	col := int32(packed & (1<<colorShift - 1))
+	xi := int32(int(x) - e.lo)
+	if xi < 0 || int(x) >= e.hi {
+		panic(fmt.Sprintf("coloring: rank %d received announcement for vertex %d outside [%d,%d)", e.c.Rank(), x, e.lo, e.hi))
+	}
+	arc := e.arcIndex(x, y)
+	if e.ghostCol[arc-e.arcBase] >= 0 {
+		panic(fmt.Sprintf("coloring: duplicate announcement for edge {%d,%d}", x, y))
+	}
+	e.ghostCol[arc-e.arcBase] = col
+	e.pendingArcs--
+	if priorityLess(int(x), int(y)) && e.color[xi] < 0 {
+		e.waitCount[xi]--
+		e.work = append(e.work, xi)
+	}
+}
+
+func (e *jpEngine) arcIndex(x, y int64) int64 {
+	nbrs := e.g.Neighbors(int(x))
+	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= int32(y) })
+	if i == len(nbrs) || nbrs[i] != int32(y) {
+		panic(fmt.Sprintf("coloring: message references nonexistent edge {%d,%d}", x, y))
+	}
+	return e.g.Offsets[x] + int64(i)
+}
+
+func (e *jpEngine) drainWork() {
+	for len(e.work) > 0 {
+		vi := e.work[len(e.work)-1]
+		e.work = e.work[:len(e.work)-1]
+		e.tryColor(vi)
+	}
+}
+
+func (e *jpEngine) start() {
+	for vi := int32(0); vi < int32(e.l.NumOwned()); vi++ {
+		e.tryColor(vi)
+		e.drainWork()
+	}
+}
+
+// uncolored counts owned vertices still waiting.
+func (e *jpEngine) uncolored() int64 {
+	var n int64
+	for _, c := range e.color {
+		if c < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes distributed Jones-Plassmann coloring on g. The result is
+// identical to Serial(g) for every model — the same uniqueness oracle as
+// the matching suite.
+func Run(g *graph.CSR, opt Options) (*ParallelResult, error) {
+	if opt.Procs < 1 {
+		return nil, fmt.Errorf("coloring: Procs = %d", opt.Procs)
+	}
+	d := distgraph.NewBlockDist(g, opt.Procs)
+	colors := make([]int64, g.NumVertices())
+	rounds := make([]int, opt.Procs)
+	sent := make([]int64, opt.Procs)
+
+	rep, err := mpi.Run(mpi.Config{
+		Procs:         opt.Procs,
+		Cost:          opt.Cost,
+		TrackMatrices: opt.TrackMatrices,
+		Deadline:      opt.Deadline,
+		TraceWaits:    opt.TraceWaits,
+	}, func(c *mpi.Comm) error {
+		l := d.BuildLocal(c.Rank())
+		var e *jpEngine
+		switch opt.Model {
+		case matching.NSR, matching.MBP, matching.NSRA:
+			var t transport.Async = transport.NewP2P(c, opt.Model == matching.MBP)
+			if opt.Model == matching.NSRA {
+				t = transport.NewP2PAgg(c, 64)
+			}
+			e = newJPEngine(c, l, t)
+			e.start()
+			// A rank is done when all owned vertices are colored and all
+			// expected announcements have been consumed (it owes nothing
+			// after its own announcements, sent eagerly at coloring time).
+			for e.uncolored() > 0 || e.pendingArcs > 0 {
+				progressed := t.Drain(e.handleMessage)
+				e.drainWork()
+				if e.uncolored() == 0 && e.pendingArcs == 0 {
+					break
+				}
+				if !progressed && len(e.work) == 0 {
+					t.Block()
+				}
+				e.rounds++
+			}
+			t.Finish()
+		case matching.NCL, matching.RMA, matching.NCLI:
+			topo := c.CreateGraphTopo(l.NeighborRanks)
+			var t transport.Round
+			switch opt.Model {
+			case matching.NCL:
+				t = transport.NewNCL(c, topo, l, maxMessagesPerCrossArc)
+			case matching.RMA:
+				t = transport.NewRMA(c, topo, l, maxMessagesPerCrossArc)
+			default:
+				t = transport.NewNCLI(c, topo, l, maxMessagesPerCrossArc)
+			}
+			e = newJPEngine(c, l, t)
+			e.start()
+			for {
+				t.Exchange(e.handleMessage)
+				e.drainWork()
+				total := c.AllreduceInt64(mpi.OpSum, []int64{e.uncolored() + e.pendingArcs})[0]
+				e.rounds++
+				if total == 0 {
+					t.Finish()
+					break
+				}
+			}
+			if r, ok := t.(*transport.RMA); ok {
+				r.Free()
+			}
+		default:
+			return fmt.Errorf("coloring: unknown model %v", opt.Model)
+		}
+		for vi, col := range e.color {
+			colors[e.lo+vi] = int64(col)
+		}
+		rounds[c.Rank()] = e.rounds
+		sent[c.Rank()] = e.sent
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Color: make([]int, len(colors))}
+	for v, c := range colors {
+		res.Color[v] = int(c)
+		if int(c)+1 > res.Colors {
+			res.Colors = int(c) + 1
+		}
+	}
+	pr := &ParallelResult{Result: res, Report: rep}
+	for r := 0; r < opt.Procs; r++ {
+		if rounds[r] > pr.Rounds {
+			pr.Rounds = rounds[r]
+		}
+		pr.Messages += sent[r]
+	}
+	return pr, nil
+}

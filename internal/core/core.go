@@ -1,0 +1,60 @@
+// Package core is the top-level facade over the paper's primary
+// contribution: distributed-memory half-approximate weighted graph
+// matching under interchangeable MPI communication models. It re-exports
+// the essential types of internal/matching so applications and examples
+// can depend on one package:
+//
+//	g := gen.Social(1_000_000, 16, 42)
+//	res, err := core.Match(g, core.Options{Procs: 64, Model: core.NCL})
+//	fmt.Println(res.Weight, res.Report.MaxVirtualTime)
+//
+// The full surface (transports, verification, serial baselines) lives in
+// internal/matching; graph construction in internal/graph and
+// internal/gen; the MPI-3 runtime in internal/mpi.
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/matching"
+)
+
+// Model selects a communication model; see matching.Model.
+type Model = matching.Model
+
+// Communication models (paper §V-A, plus this repository's extensions).
+const (
+	NSR  = matching.NSR  // nonblocking Send-Recv baseline
+	RMA  = matching.RMA  // MPI-3 one-sided
+	NCL  = matching.NCL  // MPI-3 neighborhood collectives
+	MBP  = matching.MBP  // MatchBox-P-style synchronous Send-Recv
+	NCLI = matching.NCLI // extension: nonblocking (pipelined) neighborhood collectives
+	NSRA = matching.NSRA // extension: Send-Recv with sender-side aggregation
+)
+
+// Models lists every communication model in presentation order.
+var Models = matching.Models
+
+// Options configures a distributed matching run; see matching.Options.
+type Options = matching.Options
+
+// Result is a matching; see matching.Result.
+type Result = matching.Result
+
+// ParallelResult is a distributed run's outcome; see
+// matching.ParallelResult.
+type ParallelResult = matching.ParallelResult
+
+// Match runs distributed half-approximate matching on g.
+func Match(g *graph.CSR, opt Options) (*ParallelResult, error) {
+	return matching.Run(g, opt)
+}
+
+// MatchSerial runs the serial locally-dominant algorithm.
+func MatchSerial(g *graph.CSR) *Result {
+	return matching.Serial(g)
+}
+
+// Verify checks that r is a valid matching of g.
+func Verify(g *graph.CSR, r *Result) error {
+	return matching.Verify(g, r)
+}

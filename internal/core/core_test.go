@@ -1,0 +1,32 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	g := gen.Social(2000, 8, 1)
+	serial := core.MatchSerial(g)
+	if err := core.Verify(g, serial); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []core.Model{core.NSR, core.RMA, core.NCL, core.MBP} {
+		res, err := core.Match(g, core.Options{Procs: 6, Model: m, Deadline: time.Minute})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if err := core.Verify(g, res.Result); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if res.Weight != serial.Weight {
+			t.Fatalf("%v: weight %g != serial %g", m, res.Weight, serial.Weight)
+		}
+		if res.Report == nil || res.Report.MaxVirtualTime <= 0 {
+			t.Fatalf("%v: missing performance report", m)
+		}
+	}
+}

@@ -1,0 +1,271 @@
+// Package distgraph implements the paper's 1-D vertex-based graph
+// distribution (§IV-A): each rank owns a contiguous block of vertices and
+// every edge incident on them; endpoints owned by other ranks are "ghost"
+// vertices. From the distribution it derives the distributed process
+// graph topology (an edge between two ranks iff they share ghost
+// vertices) and the statistics the paper reports about it: |Ep|, dmax,
+// davg, sigma_d (Tables III, IV, VI) and the ghost-augmented edge counts
+// |E'| (Table V).
+package distgraph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Dist is a 1-D block distribution of a graph over P ranks.
+type Dist struct {
+	G      *graph.CSR
+	P      int
+	starts []int // len P+1; rank r owns [starts[r], starts[r+1])
+}
+
+// NewBlockDist distributes g's vertices over p equal (+-1) contiguous
+// blocks, the paper's simple 1-D vertex-based partition.
+func NewBlockDist(g *graph.CSR, p int) *Dist {
+	if p < 1 {
+		panic(fmt.Sprintf("distgraph: p = %d", p))
+	}
+	n := g.NumVertices()
+	starts := make([]int, p+1)
+	for r := 0; r <= p; r++ {
+		starts[r] = r * n / p
+	}
+	return &Dist{G: g, P: p, starts: starts}
+}
+
+// Owner returns the rank owning global vertex v.
+func (d *Dist) Owner(v int) int {
+	// starts is produced by r*n/p, so owner is found directly; guard the
+	// boundary cases with a local search.
+	n := d.G.NumVertices()
+	if v < 0 || v >= n {
+		panic(fmt.Sprintf("distgraph: Owner(%d) out of range [0,%d)", v, n))
+	}
+	r := 0
+	if n > 0 {
+		r = v * d.P / n
+	}
+	for d.starts[r+1] <= v {
+		r++
+	}
+	for d.starts[r] > v {
+		r--
+	}
+	return r
+}
+
+// Range returns rank r's owned vertex interval [lo, hi).
+func (d *Dist) Range(r int) (lo, hi int) {
+	return d.starts[r], d.starts[r+1]
+}
+
+// NumOwned returns how many vertices rank r owns.
+func (d *Dist) NumOwned(r int) int {
+	return d.starts[r+1] - d.starts[r]
+}
+
+// Local is one rank's view of the distribution: its vertex range, the
+// process-graph neighborhood, and per-neighbor cross-edge (ghost) counts,
+// precomputed exactly as the paper's implementations need them for buffer
+// sizing and RMA displacement calculation (Fig 1).
+type Local struct {
+	Rank int
+	P    int
+	Lo   int // first owned vertex (global id)
+	Hi   int // one past last owned vertex
+
+	// NeighborRanks is the sorted list of ranks this rank shares ghost
+	// vertices with: its adjacency in the distributed process graph.
+	NeighborRanks []int
+	// CrossArcs[i] is the number of local arcs whose far endpoint is
+	// owned by NeighborRanks[i] — the per-neighbor ghost-edge count from
+	// which communication buffers are sized (each cross edge produces at
+	// most MaxMessagesPerCrossEdge messages in each direction).
+	CrossArcs []int64
+	// TotalCrossArcs is the sum of CrossArcs.
+	TotalCrossArcs int64
+	// LocalArcs is |E'| for this rank: all stored arcs, including those
+	// to ghosts.
+	LocalArcs int64
+
+	nbrIndex map[int]int
+	dist     *Dist
+}
+
+// BuildLocal computes rank r's local view.
+func (d *Dist) BuildLocal(r int) *Local {
+	if r < 0 || r >= d.P {
+		panic(fmt.Sprintf("distgraph: BuildLocal(%d) with P=%d", r, d.P))
+	}
+	lo, hi := d.Range(r)
+	counts := make(map[int]int64)
+	var localArcs int64
+	for v := lo; v < hi; v++ {
+		for _, a := range d.G.Neighbors(v) {
+			localArcs++
+			if int(a) < lo || int(a) >= hi {
+				counts[d.Owner(int(a))]++
+			}
+		}
+	}
+	nbrs := make([]int, 0, len(counts))
+	for q := range counts {
+		nbrs = append(nbrs, q)
+	}
+	sort.Ints(nbrs)
+	l := &Local{
+		Rank:          r,
+		P:             d.P,
+		Lo:            lo,
+		Hi:            hi,
+		NeighborRanks: nbrs,
+		CrossArcs:     make([]int64, len(nbrs)),
+		LocalArcs:     localArcs,
+		nbrIndex:      make(map[int]int, len(nbrs)),
+		dist:          d,
+	}
+	for i, q := range nbrs {
+		l.CrossArcs[i] = counts[q]
+		l.TotalCrossArcs += counts[q]
+		l.nbrIndex[q] = i
+	}
+	return l
+}
+
+// Owns reports whether this rank owns global vertex v.
+func (l *Local) Owns(v int) bool { return v >= l.Lo && v < l.Hi }
+
+// Owner returns the owning rank of any global vertex.
+func (l *Local) Owner(v int) int { return l.dist.Owner(v) }
+
+// NumOwned returns the number of vertices this rank owns.
+func (l *Local) NumOwned() int { return l.Hi - l.Lo }
+
+// NeighborIndex returns the position of rank q in NeighborRanks, or -1.
+func (l *Local) NeighborIndex(q int) int {
+	if i, ok := l.nbrIndex[q]; ok {
+		return i
+	}
+	return -1
+}
+
+// Graph returns the underlying global CSR (each rank reads only rows of
+// vertices it owns, per the owner-computes model).
+func (l *Local) Graph() *graph.CSR { return l.dist.G }
+
+// MemoryModelBytes estimates the bytes this rank holds for its share of
+// the graph: CSR rows for owned vertices (offset + neighbor + weight per
+// arc) plus per-vertex state. Used for Table VIII-style memory reports.
+func (l *Local) MemoryModelBytes() int64 {
+	return l.LocalArcs*(4+8) + int64(l.NumOwned())*(8+8)
+}
+
+// PGStats summarizes the distributed process graph, matching the
+// notation of the paper's Tables III, IV and VI.
+type PGStats struct {
+	P      int
+	Edges  int64 // |Ep|
+	DMax   int   // dmax
+	DMin   int
+	DAvg   float64 // davg
+	DSigma float64 // sigma_d
+}
+
+func (s PGStats) String() string {
+	return fmt.Sprintf("p=%d |Ep|=%d dmax=%d davg=%.2f sigma_d=%.2f", s.P, s.Edges, s.DMax, s.DAvg, s.DSigma)
+}
+
+// ProcessGraph returns each rank's process-graph adjacency (sorted).
+func (d *Dist) ProcessGraph() [][]int {
+	adj := make([]map[int]struct{}, d.P)
+	for r := range adj {
+		adj[r] = make(map[int]struct{})
+	}
+	for r := 0; r < d.P; r++ {
+		lo, hi := d.Range(r)
+		for v := lo; v < hi; v++ {
+			for _, a := range d.G.Neighbors(v) {
+				if int(a) < lo || int(a) >= hi {
+					q := d.Owner(int(a))
+					adj[r][q] = struct{}{}
+					adj[q][r] = struct{}{}
+				}
+			}
+		}
+	}
+	out := make([][]int, d.P)
+	for r := range adj {
+		for q := range adj[r] {
+			out[r] = append(out[r], q)
+		}
+		sort.Ints(out[r])
+	}
+	return out
+}
+
+// ProcessGraphStats computes PGStats for the distribution.
+func (d *Dist) ProcessGraphStats() PGStats {
+	pg := d.ProcessGraph()
+	st := PGStats{P: d.P, DMin: math.MaxInt}
+	var sum, sumSq float64
+	for _, nbrs := range pg {
+		deg := len(nbrs)
+		st.Edges += int64(deg)
+		if deg > st.DMax {
+			st.DMax = deg
+		}
+		if deg < st.DMin {
+			st.DMin = deg
+		}
+		sum += float64(deg)
+		sumSq += float64(deg) * float64(deg)
+	}
+	st.Edges /= 2
+	st.DAvg = sum / float64(d.P)
+	if v := sumSq/float64(d.P) - st.DAvg*st.DAvg; v > 0 {
+		st.DSigma = math.Sqrt(v)
+	}
+	if st.DMin == math.MaxInt {
+		st.DMin = 0
+	}
+	return st
+}
+
+// EPrimeStats reports the ghost-augmented per-rank edge counts |E'| the
+// paper uses in Table V to quantify reordering's effect on balance.
+type EPrimeStats struct {
+	P     int
+	Total int64   // sum over ranks of local arcs
+	Max   int64   // |E'|max
+	Avg   float64 // |E'|avg
+	Sigma float64 // sigma_|E'|
+}
+
+func (s EPrimeStats) String() string {
+	return fmt.Sprintf("p=%d |E'|=%d |E'|max=%d |E'|avg=%.0f sigma=%.0f", s.P, s.Total, s.Max, s.Avg, s.Sigma)
+}
+
+// GhostEdgeStats computes EPrimeStats for the distribution.
+func (d *Dist) GhostEdgeStats() EPrimeStats {
+	st := EPrimeStats{P: d.P}
+	var sum, sumSq float64
+	for r := 0; r < d.P; r++ {
+		lo, hi := d.Range(r)
+		arcs := d.G.Offsets[hi] - d.G.Offsets[lo]
+		st.Total += arcs
+		if arcs > st.Max {
+			st.Max = arcs
+		}
+		sum += float64(arcs)
+		sumSq += float64(arcs) * float64(arcs)
+	}
+	st.Avg = sum / float64(d.P)
+	if v := sumSq/float64(d.P) - st.Avg*st.Avg; v > 0 {
+		st.Sigma = math.Sqrt(v)
+	}
+	return st
+}

@@ -1,0 +1,39 @@
+package gen
+
+import "testing"
+
+func BenchmarkRGG(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RGG(50000, RGGRadiusForDegree(50000, 8), int64(i))
+	}
+}
+
+func BenchmarkGraph500(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Graph500(14, int64(i))
+	}
+}
+
+func BenchmarkSBP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		SBP(50000, 300, 12, 0.5, int64(i))
+	}
+}
+
+func BenchmarkSocial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Social(50000, 10, int64(i))
+	}
+}
+
+func BenchmarkKMerGrids(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		KMerGrids(1000, 5, 9, int64(i))
+	}
+}
+
+func BenchmarkBandedMesh(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		BandedMesh(50000, 32, 3, 0.002, int64(i))
+	}
+}

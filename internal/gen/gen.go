@@ -1,0 +1,382 @@
+// Package gen provides deterministic graph generators reproducing, at
+// laptop scale, the structural character of every input family in the
+// paper's Table II:
+//
+//   - RGG — random geometric graphs whose 1-D strip ordering bounds each
+//     process's neighborhood to at most two peers (paper §V-B);
+//   - RMAT/Graph500 — Kronecker graphs used for the weak-scaling study
+//     and the BFS communication-pattern contrast;
+//   - SBP — degree-corrected stochastic block partition graphs ("high
+//     overlap, low block sizes"), whose dense process connectivity is
+//     where Send-Recv beats the collectives (Fig 4c, Table III);
+//   - KMerGrids — protein k-mer analogues: many packed grid components
+//     of diverse sizes (Fig 5);
+//   - ChungLu/Social — heavy-tailed social networks standing in for
+//     Orkut and Friendster (Fig 6, Table IV);
+//   - BandedMesh — Cage15/HV15R-like banded meshes for the RCM
+//     reordering study (Fig 7-9, Tables V-VI);
+//   - Path/Grid2D — pathological uniform-weight instances motivating
+//     hashed tie-breaking (paper §III-A).
+//
+// All generators are pure functions of their parameters and seed.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// uniformWeight draws an edge weight in (0, 100].
+func uniformWeight(rng *rand.Rand) float64 {
+	return 100 * (1 - rng.Float64())
+}
+
+// RGG generates a random geometric graph: n points uniform in the unit
+// square, an edge between points within Euclidean distance radius, and
+// vertex ids assigned in ascending x order. The x-sorted numbering means
+// a 1-D block distribution over P ranks yields vertical strips, and when
+// radius < 1/P each rank's process neighborhood contains at most its two
+// adjacent strips — the property the paper's distributed RGG generator
+// guarantees.
+func RGG(n int, radius float64, seed int64) *graph.CSR {
+	if radius <= 0 || radius > 1 {
+		panic(fmt.Sprintf("gen: RGG radius %g out of (0,1]", radius))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	sort.Sort(&pointSorter{xs, ys})
+
+	// Cell binning for O(n) expected neighbor search.
+	cells := int(1 / radius)
+	if cells < 1 {
+		cells = 1
+	}
+	cellOf := func(i int) (int, int) {
+		cx := int(xs[i] / radius)
+		cy := int(ys[i] / radius)
+		if cx >= cells {
+			cx = cells - 1
+		}
+		if cy >= cells {
+			cy = cells - 1
+		}
+		return cx, cy
+	}
+	bins := make(map[[2]int][]int)
+	for i := 0; i < n; i++ {
+		cx, cy := cellOf(i)
+		bins[[2]int{cx, cy}] = append(bins[[2]int{cx, cy}], i)
+	}
+	b := graph.NewBuilder(n)
+	r2 := radius * radius
+	for i := 0; i < n; i++ {
+		cx, cy := cellOf(i)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, j := range bins[[2]int{cx + dx, cy + dy}] {
+					if j <= i {
+						continue
+					}
+					ddx, ddy := xs[i]-xs[j], ys[i]-ys[j]
+					if ddx*ddx+ddy*ddy <= r2 {
+						b.AddEdge(i, j, uniformWeight(rng))
+					}
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+type pointSorter struct{ xs, ys []float64 }
+
+func (p *pointSorter) Len() int           { return len(p.xs) }
+func (p *pointSorter) Less(i, j int) bool { return p.xs[i] < p.xs[j] }
+func (p *pointSorter) Swap(i, j int) {
+	p.xs[i], p.xs[j] = p.xs[j], p.xs[i]
+	p.ys[i], p.ys[j] = p.ys[j], p.ys[i]
+}
+
+// RGGRadiusForDegree returns the radius giving expected average degree d
+// for an n-point RGG (d = n*pi*r^2).
+func RGGRadiusForDegree(n int, d float64) float64 {
+	return math.Sqrt(d / (math.Pi * float64(n)))
+}
+
+// RMAT generates a recursive-matrix (Kronecker) graph with 2^scale
+// vertices and edgeFactor*2^scale sampled edges, using quadrant
+// probabilities (a,b,c,d). Duplicate samples and self loops are dropped
+// by the builder, so the realized edge count is slightly lower, as in
+// Graph500 practice.
+func RMAT(scale, edgeFactor int, a, bq, cq, dq float64, seed int64) *graph.CSR {
+	if s := a + bq + cq + dq; math.Abs(s-1) > 1e-9 {
+		panic(fmt.Sprintf("gen: RMAT probabilities sum to %g, want 1", s))
+	}
+	n := 1 << scale
+	m := edgeFactor * n
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for e := 0; e < m; e++ {
+		u, v := 0, 0
+		for bit := 0; bit < scale; bit++ {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// top-left: no bits set
+			case r < a+bq:
+				v |= 1 << bit
+			case r < a+bq+cq:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		b.AddEdge(u, v, uniformWeight(rng))
+	}
+	return b.Build()
+}
+
+// Graph500 generates an R-MAT graph with the Graph500 benchmark
+// parameters: a=0.57, b=c=0.19, d=0.05 and edge factor 16.
+func Graph500(scale int, seed int64) *graph.CSR {
+	return RMAT(scale, 16, 0.57, 0.19, 0.19, 0.05, seed)
+}
+
+// SBP generates a degree-corrected stochastic-block-partition graph of n
+// vertices in blocks blocks with expected average degree avgDeg.
+// overlap in [0,1) is the probability that an edge leaves its block, and
+// cross-block endpoints are spread uniformly over all other blocks — high
+// overlap with small blocks ("HILO") therefore connects every partition
+// to every other, which is exactly why the paper's process graphs for
+// this family are near-complete (Table III).
+func SBP(n, blocks int, avgDeg, overlap float64, seed int64) *graph.CSR {
+	if blocks < 1 || blocks > n {
+		panic(fmt.Sprintf("gen: SBP blocks=%d out of [1,%d]", blocks, n))
+	}
+	if overlap < 0 || overlap >= 1 {
+		panic(fmt.Sprintf("gen: SBP overlap=%g out of [0,1)", overlap))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := int(float64(n) * avgDeg / 2)
+	blockSize := (n + blocks - 1) / blocks
+	// Rounding can leave trailing blocks empty; only target real ones.
+	blocks = (n + blockSize - 1) / blockSize
+	blockOf := func(v int) int { return v / blockSize }
+	randIn := func(blk int) int {
+		lo := blk * blockSize
+		hi := lo + blockSize
+		if hi > n {
+			hi = n
+		}
+		return lo + rng.Intn(hi-lo)
+	}
+	b := graph.NewBuilder(n)
+	for e := 0; e < m; e++ {
+		u := rng.Intn(n)
+		var v int
+		if rng.Float64() < overlap && blocks > 1 {
+			// Cross-block edge to a uniformly random other block.
+			blk := rng.Intn(blocks - 1)
+			if blk >= blockOf(u) {
+				blk++
+			}
+			v = randIn(blk)
+		} else {
+			v = randIn(blockOf(u))
+		}
+		b.AddEdge(u, v, uniformWeight(rng))
+	}
+	return b.Build()
+}
+
+// KMerGrids generates a protein-k-mer-style input: components disjoint
+// 2-D grid components whose side lengths are drawn from [minSide,
+// maxSide], numbered component by component in row-major order. The
+// paper notes these graphs "consist of grids of different sizes" whose
+// dense packing stresses neighborhood collectives (Fig 5).
+func KMerGrids(components, minSide, maxSide int, seed int64) *graph.CSR {
+	if minSide < 1 || maxSide < minSide {
+		panic(fmt.Sprintf("gen: KMerGrids sides [%d,%d] invalid", minSide, maxSide))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	type dims struct{ r, c int }
+	sizes := make([]dims, components)
+	total := 0
+	for i := range sizes {
+		r := minSide + rng.Intn(maxSide-minSide+1)
+		c := minSide + rng.Intn(maxSide-minSide+1)
+		sizes[i] = dims{r, c}
+		total += r * c
+	}
+	b := graph.NewBuilder(total)
+	base := 0
+	for _, d := range sizes {
+		id := func(i, j int) int { return base + i*d.c + j }
+		for i := 0; i < d.r; i++ {
+			for j := 0; j < d.c; j++ {
+				if j+1 < d.c {
+					b.AddEdge(id(i, j), id(i, j+1), uniformWeight(rng))
+				}
+				if i+1 < d.r {
+					b.AddEdge(id(i, j), id(i+1, j), uniformWeight(rng))
+				}
+			}
+		}
+		base += d.r * d.c
+	}
+	return b.Build()
+}
+
+// ChungLu generates a graph with an expected power-law degree sequence
+// of exponent gamma (> 2) and expected average degree avgDeg, by
+// sampling endpoint pairs proportional to per-vertex weights. Heavy-tail
+// hubs connect distant id ranges, so block partitions of these graphs
+// produce near-complete process graphs — the paper's Friendster/Orkut
+// behavior (Table IV).
+func ChungLu(n int, avgDeg, gamma float64, seed int64) *graph.CSR {
+	if gamma <= 2 {
+		panic(fmt.Sprintf("gen: ChungLu gamma=%g must exceed 2", gamma))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Desired expected degrees: w_i proportional to (i+i0)^(-1/(gamma-1)).
+	w := make([]float64, n)
+	exp := -1 / (gamma - 1)
+	var sum float64
+	for i := range w {
+		w[i] = math.Pow(float64(i+10), exp)
+		sum += w[i]
+	}
+	scale := avgDeg * float64(n) / sum
+	cum := make([]float64, n+1)
+	for i := range w {
+		w[i] *= scale
+		cum[i+1] = cum[i] + w[i]
+	}
+	totalW := cum[n]
+	draw := func() int {
+		x := rng.Float64() * totalW
+		return sort.SearchFloat64s(cum[1:], x)
+	}
+	// Scatter hubs across the id space so hubs do not all land in rank 0's
+	// block: apply a deterministic hash shuffle of ids.
+	perm := rand.New(rand.NewSource(seed ^ 0x5bd1e995)).Perm(n)
+	m := int(avgDeg * float64(n) / 2)
+	b := graph.NewBuilder(n)
+	for e := 0; e < m; e++ {
+		u, v := draw(), draw()
+		b.AddEdge(perm[u], perm[v], uniformWeight(rng))
+	}
+	return b.Build()
+}
+
+// Social generates an Orkut/Friendster-style social network: power law
+// with exponent 2.3.
+func Social(n int, avgDeg float64, seed int64) *graph.CSR {
+	return ChungLu(n, avgDeg, 2.3, seed)
+}
+
+// BandedMesh generates a Cage15/HV15R-style banded mesh: a Hamiltonian
+// chain plus fill random edges per vertex within +-band, plus a fraction
+// longRange of uniformly random long edges that give the "irregular block
+// structures" the paper observes along the diagonal (Fig 9).
+func BandedMesh(n, band int, fill, longRange float64, seed int64) *graph.CSR {
+	if band < 1 {
+		panic("gen: BandedMesh band must be >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for v := 0; v+1 < n; v++ {
+		b.AddEdge(v, v+1, uniformWeight(rng))
+	}
+	extra := int(fill * float64(n))
+	for e := 0; e < extra; e++ {
+		u := rng.Intn(n)
+		off := 1 + rng.Intn(band)
+		v := u + off
+		if v >= n {
+			v = u - off
+			if v < 0 {
+				continue
+			}
+		}
+		b.AddEdge(u, v, uniformWeight(rng))
+	}
+	far := int(longRange * float64(n))
+	for e := 0; e < far; e++ {
+		b.AddEdge(rng.Intn(n), rng.Intn(n), uniformWeight(rng))
+	}
+	return b.Build()
+}
+
+// Path returns the pathological path graph 0-1-...-(n-1) with all edge
+// weights equal — the instance where locally-dominant matching without
+// hashed tie-breaking degenerates to a sequential chain.
+func Path(n int) *graph.CSR {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1, 1)
+	}
+	return b.Build()
+}
+
+// Grid2D returns an r-by-c grid with unit weights and row-major ids,
+// the second pathological family from §III-A.
+func Grid2D(r, c int) *graph.CSR {
+	b := graph.NewBuilder(r * c)
+	id := func(i, j int) int { return i*c + j }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				b.AddEdge(id(i, j), id(i, j+1), 1)
+			}
+			if i+1 < r {
+				b.AddEdge(id(i, j), id(i+1, j), 1)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// OrderByDegree relabels g so vertex ids descend by degree (ties by old
+// id). Sparse-matrix collections often store rows grouped by structural
+// role, concentrating dense rows; this ordering models that "original"
+// layout for the reordering study: per-block work is skewed until RCM
+// interleaves degrees along BFS levels.
+func OrderByDegree(g *graph.CSR) *graph.CSR {
+	n := g.NumVertices()
+	byDeg := make([]int, n)
+	for i := range byDeg {
+		byDeg[i] = i
+	}
+	sort.Slice(byDeg, func(a, b int) bool {
+		da, db := g.Degree(byDeg[a]), g.Degree(byDeg[b])
+		if da != db {
+			return da > db
+		}
+		return byDeg[a] < byDeg[b]
+	})
+	perm := make([]int, n)
+	for newID, oldID := range byDeg {
+		perm[oldID] = newID
+	}
+	return g.Permute(perm)
+}
+
+// Scramble relabels g by a seeded random permutation and returns the new
+// graph along with the permutation used (newID = perm[oldID]). The RCM
+// experiments scramble a banded mesh to obtain the "original" (poorly
+// ordered) input that reordering then repairs.
+func Scramble(g *graph.CSR, seed int64) (*graph.CSR, []int) {
+	perm := rand.New(rand.NewSource(seed)).Perm(g.NumVertices())
+	return g.Permute(perm), perm
+}

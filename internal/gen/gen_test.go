@@ -1,0 +1,257 @@
+package gen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func validate(t *testing.T, g *graph.CSR, name string) {
+	t.Helper()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("%s produced an invalid graph: %v", name, err)
+	}
+}
+
+func TestRGGBasic(t *testing.T) {
+	n := 2000
+	r := RGGRadiusForDegree(n, 8)
+	g := RGG(n, r, 1)
+	validate(t, g, "RGG")
+	if g.NumVertices() != n {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	avg := g.AvgDegree()
+	if avg < 4 || avg > 14 {
+		t.Errorf("avg degree = %g, want near 8", avg)
+	}
+}
+
+func TestRGGStripLocality(t *testing.T) {
+	// With x-sorted ids, edge id spans should be a small fraction of n:
+	// a 1-D block partition then touches only adjacent strips.
+	n := 4000
+	r := RGGRadiusForDegree(n, 6)
+	g := RGG(n, r, 2)
+	maxSpan := 0
+	for v := 0; v < n; v++ {
+		for _, a := range g.Neighbors(v) {
+			if s := int(a) - v; s > maxSpan {
+				maxSpan = s
+			}
+		}
+	}
+	// Points within radius r in x have at most ~3*r*n points between them
+	// in x order (w.h.p.); allow generous slack.
+	bound := int(6*r*float64(n)) + 50
+	if maxSpan > bound {
+		t.Errorf("max id span = %d, want <= %d (strip locality broken)", maxSpan, bound)
+	}
+}
+
+func TestRMATHubStructure(t *testing.T) {
+	g := Graph500(10, 3)
+	validate(t, g, "Graph500")
+	if g.NumVertices() != 1024 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	if g.MaxDegree() < 4*int(g.AvgDegree()) {
+		t.Errorf("R-MAT should be skewed: max %d vs avg %g", g.MaxDegree(), g.AvgDegree())
+	}
+}
+
+func TestRMATRejectsBadProbabilities(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad probabilities accepted")
+		}
+	}()
+	RMAT(4, 2, 0.5, 0.5, 0.5, 0.5, 1)
+}
+
+func TestSBPBlockStructure(t *testing.T) {
+	n, blocks := 3000, 30
+	g := SBP(n, blocks, 12, 0.3, 4)
+	validate(t, g, "SBP")
+	// Count cross-block arcs; with overlap 0.3 they should be a clear
+	// minority but present.
+	blockSize := (n + blocks - 1) / blocks
+	var cross, total int64
+	for v := 0; v < n; v++ {
+		for _, a := range g.Neighbors(v) {
+			total++
+			if v/blockSize != int(a)/blockSize {
+				cross++
+			}
+		}
+	}
+	frac := float64(cross) / float64(total)
+	if frac < 0.15 || frac > 0.45 {
+		t.Errorf("cross-block fraction = %g, want near 0.3", frac)
+	}
+}
+
+func TestSBPHighOverlapTouchesManyBlocks(t *testing.T) {
+	// HILO inputs must connect most block pairs — the cause of the
+	// paper's near-complete process graphs for this family.
+	n, blocks := 2000, 16
+	g := SBP(n, blocks, 20, 0.6, 5)
+	blockSize := (n + blocks - 1) / blocks
+	pairs := map[[2]int]bool{}
+	for v := 0; v < n; v++ {
+		for _, a := range g.Neighbors(v) {
+			bu, bv := v/blockSize, int(a)/blockSize
+			if bu != bv {
+				if bu > bv {
+					bu, bv = bv, bu
+				}
+				pairs[[2]int{bu, bv}] = true
+			}
+		}
+	}
+	possible := blocks * (blocks - 1) / 2
+	if len(pairs) < possible*3/4 {
+		t.Errorf("connected block pairs = %d of %d, want near-complete", len(pairs), possible)
+	}
+}
+
+func TestKMerGrids(t *testing.T) {
+	g := KMerGrids(20, 3, 9, 6)
+	validate(t, g, "KMerGrids")
+	// Grid vertices have degree 2..4.
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(v); d < 2 || d > 4 {
+			t.Fatalf("vertex %d degree %d outside grid range", v, d)
+		}
+	}
+}
+
+func TestChungLuPowerLaw(t *testing.T) {
+	g := Social(5000, 10, 7)
+	validate(t, g, "Social")
+	avg := g.AvgDegree()
+	if avg < 5 || avg > 20 {
+		t.Errorf("avg degree %g, want near 10", avg)
+	}
+	if g.MaxDegree() < 8*int(avg) {
+		t.Errorf("social graph should have hubs: max %d avg %g", g.MaxDegree(), avg)
+	}
+}
+
+func TestBandedMeshBandwidth(t *testing.T) {
+	g := BandedMesh(2000, 25, 3, 0, 8)
+	validate(t, g, "BandedMesh")
+	if bw := g.Bandwidth(); bw > 25 {
+		t.Errorf("bandwidth %d exceeds band 25 with no long-range edges", bw)
+	}
+	withFar := BandedMesh(2000, 25, 3, 0.02, 8)
+	if withFar.Bandwidth() <= 25 {
+		t.Error("long-range edges should blow up the bandwidth")
+	}
+}
+
+func TestPathAndGridPathological(t *testing.T) {
+	p := Path(10)
+	validate(t, p, "Path")
+	if p.NumEdges() != 9 {
+		t.Fatalf("path edges = %d", p.NumEdges())
+	}
+	for _, w := range p.Weights {
+		if w != 1 {
+			t.Fatal("path weights must be uniform")
+		}
+	}
+	g := Grid2D(4, 5)
+	validate(t, g, "Grid2D")
+	if g.NumVertices() != 20 || g.NumEdges() != 4*4+5*3 {
+		t.Fatalf("grid sizes: V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestScrambleRaisesBandwidthAndPreservesStructure(t *testing.T) {
+	g := BandedMesh(1000, 10, 2, 0, 9)
+	s, perm := Scramble(g, 10)
+	validate(t, s, "Scramble")
+	if len(perm) != g.NumVertices() {
+		t.Fatal("perm length")
+	}
+	if s.Bandwidth() <= g.Bandwidth() {
+		t.Error("scrambling a banded mesh should raise bandwidth")
+	}
+	if s.NumEdges() != g.NumEdges() {
+		t.Error("scramble changed edge count")
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(seed int64) *graph.CSR
+	}{
+		{"RGG", func(s int64) *graph.CSR { return RGG(500, 0.05, s) }},
+		{"Graph500", func(s int64) *graph.CSR { return Graph500(8, s) }},
+		{"SBP", func(s int64) *graph.CSR { return SBP(500, 10, 8, 0.4, s) }},
+		{"KMer", func(s int64) *graph.CSR { return KMerGrids(5, 3, 6, s) }},
+		{"Social", func(s int64) *graph.CSR { return Social(500, 8, s) }},
+		{"Banded", func(s int64) *graph.CSR { return BandedMesh(500, 10, 2, 0.01, s) }},
+	}
+	for _, tc := range cases {
+		a, b := tc.f(42), tc.f(42)
+		if a.NumArcs() != b.NumArcs() {
+			t.Errorf("%s: same seed, different arc counts", tc.name)
+			continue
+		}
+		for i := range a.Adj {
+			if a.Adj[i] != b.Adj[i] || a.Weights[i] != b.Weights[i] {
+				t.Errorf("%s: same seed, different graphs", tc.name)
+				break
+			}
+		}
+		c := tc.f(43)
+		same := a.NumArcs() == c.NumArcs()
+		if same {
+			diff := false
+			for i := range a.Adj {
+				if a.Adj[i] != c.Adj[i] {
+					diff = true
+					break
+				}
+			}
+			same = !diff
+		}
+		if same {
+			t.Errorf("%s: different seeds produced identical graphs", tc.name)
+		}
+	}
+}
+
+func TestRGGRadiusForDegree(t *testing.T) {
+	r := RGGRadiusForDegree(10000, 8)
+	if d := 10000 * math.Pi * r * r; math.Abs(d-8) > 1e-9 {
+		t.Errorf("radius inverts to degree %g, want 8", d)
+	}
+}
+
+func TestGeneratorsAlwaysValidQuick(t *testing.T) {
+	f := func(seed int64, sel uint8) bool {
+		var g *graph.CSR
+		switch sel % 5 {
+		case 0:
+			g = RGG(200, 0.08, seed)
+		case 1:
+			g = RMAT(7, 4, 0.45, 0.25, 0.2, 0.1, seed)
+		case 2:
+			g = SBP(200, 8, 6, 0.5, seed)
+		case 3:
+			g = KMerGrids(4, 2, 5, seed)
+		case 4:
+			g = Social(200, 6, seed)
+		}
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

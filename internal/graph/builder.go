@@ -1,0 +1,138 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is one undirected weighted edge for builder input.
+type Edge struct {
+	U, V int
+	W    float64
+}
+
+// Builder accumulates undirected edges and produces a CSR. Duplicate
+// edges are merged keeping the maximum weight (the convention used by the
+// SuiteSparse-derived matching literature); self loops are dropped, since
+// a matching can never use them.
+type Builder struct {
+	n     int
+	edges []Edge
+}
+
+// NewBuilder returns a Builder for a graph on n vertices.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: NewBuilder(%d): negative size", n))
+	}
+	return &Builder{n: n}
+}
+
+// AddEdge records the undirected edge {u,v} with weight w. Order of u,v
+// is irrelevant. Self loops are silently ignored.
+func (b *Builder) AddEdge(u, v int, w float64) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: AddEdge(%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	if u == v {
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.edges = append(b.edges, Edge{U: u, V: v, W: w})
+}
+
+// NumEdgesAdded returns how many AddEdge calls were recorded (before
+// dedup).
+func (b *Builder) NumEdgesAdded() int { return len(b.edges) }
+
+// Build produces the CSR. The builder may be reused afterwards; Build
+// does not clear it.
+func (b *Builder) Build() *CSR {
+	// Dedup on canonicalized (u,v), keeping max weight.
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i].U != b.edges[j].U {
+			return b.edges[i].U < b.edges[j].U
+		}
+		return b.edges[i].V < b.edges[j].V
+	})
+	uniq := b.edges[:0:0]
+	for _, e := range b.edges {
+		if k := len(uniq) - 1; k >= 0 && uniq[k].U == e.U && uniq[k].V == e.V {
+			if e.W > uniq[k].W {
+				uniq[k].W = e.W
+			}
+			continue
+		}
+		uniq = append(uniq, e)
+	}
+
+	deg := make([]int64, b.n+1)
+	for _, e := range uniq {
+		deg[e.U+1]++
+		deg[e.V+1]++
+	}
+	for i := 0; i < b.n; i++ {
+		deg[i+1] += deg[i]
+	}
+	g := &CSR{
+		Offsets: deg,
+		Adj:     make([]int32, deg[b.n]),
+		Weights: make([]float64, deg[b.n]),
+	}
+	cursor := make([]int64, b.n)
+	copy(cursor, deg[:b.n])
+	place := func(u, v int, w float64) {
+		g.Adj[cursor[u]] = int32(v)
+		g.Weights[cursor[u]] = w
+		cursor[u]++
+	}
+	for _, e := range uniq {
+		place(e.U, e.V, e.W)
+		place(e.V, e.U, e.W)
+	}
+	// Rows were filled in (U,V)-sorted edge order: U-side entries arrive
+	// sorted, V-side entries may interleave, so sort each row.
+	for v := 0; v < b.n; v++ {
+		lo, hi := g.Offsets[v], g.Offsets[v+1]
+		row := rowSorter{adj: g.Adj[lo:hi], w: g.Weights[lo:hi]}
+		sort.Sort(row)
+	}
+	return g
+}
+
+type rowSorter struct {
+	adj []int32
+	w   []float64
+}
+
+func (r rowSorter) Len() int           { return len(r.adj) }
+func (r rowSorter) Less(i, j int) bool { return r.adj[i] < r.adj[j] }
+func (r rowSorter) Swap(i, j int) {
+	r.adj[i], r.adj[j] = r.adj[j], r.adj[i]
+	r.w[i], r.w[j] = r.w[j], r.w[i]
+}
+
+// FromEdges is a convenience constructor.
+func FromEdges(n int, edges []Edge) *CSR {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e.U, e.V, e.W)
+	}
+	return b.Build()
+}
+
+// EdgeList returns each undirected edge once, in (U,V) sorted order.
+func (g *CSR) EdgeList() []Edge {
+	out := make([]Edge, 0, g.NumArcs()/2)
+	for v := 0; v < g.NumVertices(); v++ {
+		ws := g.NeighborWeights(v)
+		for i, a := range g.Neighbors(v) {
+			if int(a) > v {
+				out = append(out, Edge{U: v, V: int(a), W: ws[i]})
+			}
+		}
+	}
+	return out
+}

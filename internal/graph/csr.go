@@ -1,0 +1,285 @@
+// Package graph provides the in-memory graph representation shared by the
+// matching and BFS codes: undirected, edge-weighted graphs in Compressed
+// Sparse Row (CSR) form, plus builders, statistics, permutation and a
+// simple binary serialization.
+//
+// Vertices are dense integers in [0, N). An undirected edge {u,v} is
+// stored twice (u's row holds v and vice versa), as in the paper's
+// distribution (§IV-A), so CSR.NumArcs() == 2 * CSR.NumEdges() for simple
+// graphs without self loops.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CSR is an undirected weighted graph in compressed sparse row format.
+// The zero value is an empty graph.
+type CSR struct {
+	// Offsets has length NumVertices()+1; vertex v's arcs occupy
+	// Adj[Offsets[v]:Offsets[v+1]] with parallel Weights.
+	Offsets []int64
+	// Adj holds neighbor vertex ids.
+	Adj []int32
+	// Weights holds the edge weight for each arc. Both arcs of one
+	// undirected edge carry the same weight.
+	Weights []float64
+}
+
+// NumVertices returns the number of vertices.
+func (g *CSR) NumVertices() int {
+	if len(g.Offsets) == 0 {
+		return 0
+	}
+	return len(g.Offsets) - 1
+}
+
+// NumArcs returns the number of stored directed arcs (twice the edge
+// count for a simple undirected graph).
+func (g *CSR) NumArcs() int64 { return int64(len(g.Adj)) }
+
+// NumEdges returns the number of undirected edges, counting self loops
+// once.
+func (g *CSR) NumEdges() int64 {
+	var loops int64
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, a := range g.Neighbors(v) {
+			if int(a) == v {
+				loops++
+			}
+		}
+	}
+	return (g.NumArcs()-loops)/2 + loops
+}
+
+// Degree returns the number of arcs out of v.
+func (g *CSR) Degree(v int) int {
+	return int(g.Offsets[v+1] - g.Offsets[v])
+}
+
+// Neighbors returns v's adjacency slice (shared storage; do not mutate).
+func (g *CSR) Neighbors(v int) []int32 {
+	return g.Adj[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// NeighborWeights returns the weights parallel to Neighbors(v).
+func (g *CSR) NeighborWeights(v int) []float64 {
+	return g.Weights[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// HasEdge reports whether the arc u->v exists (neighbors are sorted by
+// the builder, so this is a binary search).
+func (g *CSR) HasEdge(u, v int) bool {
+	nbrs := g.Neighbors(u)
+	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= int32(v) })
+	return i < len(nbrs) && nbrs[i] == int32(v)
+}
+
+// EdgeWeight returns the weight of arc u->v; ok is false if absent.
+func (g *CSR) EdgeWeight(u, v int) (w float64, ok bool) {
+	nbrs := g.Neighbors(u)
+	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= int32(v) })
+	if i < len(nbrs) && nbrs[i] == int32(v) {
+		return g.NeighborWeights(u)[i], true
+	}
+	return 0, false
+}
+
+// Validate checks structural invariants: monotone offsets, in-range
+// neighbor ids, sorted rows, and symmetry (u in Adj[v] iff v in Adj[u]
+// with equal weights). It returns the first violation found.
+func (g *CSR) Validate() error {
+	n := g.NumVertices()
+	if len(g.Offsets) > 0 && g.Offsets[0] != 0 {
+		return fmt.Errorf("graph: Offsets[0] = %d, want 0", g.Offsets[0])
+	}
+	if len(g.Adj) != len(g.Weights) {
+		return fmt.Errorf("graph: len(Adj)=%d != len(Weights)=%d", len(g.Adj), len(g.Weights))
+	}
+	for v := 0; v < n; v++ {
+		if g.Offsets[v+1] < g.Offsets[v] {
+			return fmt.Errorf("graph: Offsets not monotone at %d", v)
+		}
+		if g.Offsets[v] < 0 || g.Offsets[v+1] > int64(len(g.Adj)) {
+			return fmt.Errorf("graph: Offsets[%d..%d] = [%d,%d] outside Adj of %d entries",
+				v, v+1, g.Offsets[v], g.Offsets[v+1], len(g.Adj))
+		}
+		nbrs := g.Neighbors(v)
+		for i, a := range nbrs {
+			if a < 0 || int(a) >= n {
+				return fmt.Errorf("graph: vertex %d has out-of-range neighbor %d", v, a)
+			}
+			if i > 0 && nbrs[i-1] >= a {
+				return fmt.Errorf("graph: vertex %d row not strictly sorted at position %d", v, i)
+			}
+		}
+	}
+	if int(g.Offsets[n]) != len(g.Adj) {
+		return fmt.Errorf("graph: Offsets[n]=%d != len(Adj)=%d", g.Offsets[n], len(g.Adj))
+	}
+	for v := 0; v < n; v++ {
+		ws := g.NeighborWeights(v)
+		for i, a := range g.Neighbors(v) {
+			if int(a) == v {
+				continue
+			}
+			w, ok := g.EdgeWeight(int(a), v)
+			if !ok {
+				return fmt.Errorf("graph: edge %d->%d has no reverse arc", v, a)
+			}
+			if w != ws[i] {
+				return fmt.Errorf("graph: edge {%d,%d} weight mismatch: %g vs %g", v, a, ws[i], w)
+			}
+		}
+	}
+	return nil
+}
+
+// TotalWeight returns the sum of all undirected edge weights.
+func (g *CSR) TotalWeight() float64 {
+	var s float64
+	for v := 0; v < g.NumVertices(); v++ {
+		ws := g.NeighborWeights(v)
+		for i, a := range g.Neighbors(v) {
+			if int(a) >= v { // count each undirected edge once
+				s += ws[i]
+			}
+		}
+	}
+	return s
+}
+
+// MaxDegree returns the maximum vertex degree (0 for an empty graph).
+func (g *CSR) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// AvgDegree returns the average vertex degree.
+func (g *CSR) AvgDegree() float64 {
+	if g.NumVertices() == 0 {
+		return 0
+	}
+	return float64(g.NumArcs()) / float64(g.NumVertices())
+}
+
+// Bandwidth returns the matrix bandwidth of the adjacency structure: the
+// maximum |u-v| over all edges. RCM reordering aims to reduce it
+// (paper §V-C).
+func (g *CSR) Bandwidth() int {
+	bw := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, a := range g.Neighbors(v) {
+			if d := v - int(a); d > bw {
+				bw = d
+			} else if -d > bw {
+				bw = -d
+			}
+		}
+	}
+	return bw
+}
+
+// Profile returns the envelope size: sum over rows of (v - min neighbor)
+// for rows with at least one neighbor below v; a finer-grained measure of
+// how tightly the structure hugs the diagonal than Bandwidth.
+func (g *CSR) Profile() int64 {
+	var p int64
+	for v := 0; v < g.NumVertices(); v++ {
+		min := v
+		for _, a := range g.Neighbors(v) {
+			if int(a) < min {
+				min = int(a)
+			}
+		}
+		p += int64(v - min)
+	}
+	return p
+}
+
+// Permute relabels vertices: newID = perm[oldID]. It returns a new graph;
+// perm must be a permutation of [0,N).
+func (g *CSR) Permute(perm []int) *CSR {
+	n := g.NumVertices()
+	if len(perm) != n {
+		panic(fmt.Sprintf("graph: Permute: len(perm)=%d, want %d", len(perm), n))
+	}
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		ws := g.NeighborWeights(v)
+		for i, a := range g.Neighbors(v) {
+			if int(a) >= v {
+				b.AddEdge(perm[v], perm[int(a)], ws[i])
+			}
+		}
+	}
+	return b.Build()
+}
+
+// DegreeHistogram returns counts[d] = number of vertices of degree d,
+// up to and including the max degree.
+func (g *CSR) DegreeHistogram() []int64 {
+	h := make([]int64, g.MaxDegree()+1)
+	for v := 0; v < g.NumVertices(); v++ {
+		h[g.Degree(v)]++
+	}
+	return h
+}
+
+// Stats bundles summary statistics for reporting.
+type Stats struct {
+	Vertices  int
+	Edges     int64
+	MaxDeg    int
+	AvgDeg    float64
+	SigmaDeg  float64
+	Bandwidth int
+	MinW      float64
+	MaxW      float64
+}
+
+// Summary computes Stats in one pass over the graph.
+func (g *CSR) Summary() Stats {
+	n := g.NumVertices()
+	st := Stats{Vertices: n, Edges: g.NumEdges(), Bandwidth: g.Bandwidth(), MinW: math.Inf(1), MaxW: math.Inf(-1)}
+	var sum, sumSq float64
+	for v := 0; v < n; v++ {
+		d := float64(g.Degree(v))
+		sum += d
+		sumSq += d * d
+		if g.Degree(v) > st.MaxDeg {
+			st.MaxDeg = g.Degree(v)
+		}
+	}
+	for _, w := range g.Weights {
+		if w < st.MinW {
+			st.MinW = w
+		}
+		if w > st.MaxW {
+			st.MaxW = w
+		}
+	}
+	if len(g.Weights) == 0 {
+		st.MinW, st.MaxW = 0, 0
+	}
+	if n > 0 {
+		st.AvgDeg = sum / float64(n)
+		variance := sumSq/float64(n) - st.AvgDeg*st.AvgDeg
+		if variance > 0 {
+			st.SigmaDeg = math.Sqrt(variance)
+		}
+	}
+	return st
+}
+
+func (st Stats) String() string {
+	return fmt.Sprintf("|V|=%d |E|=%d dmax=%d davg=%.2f sigma=%.2f bw=%d w=[%.3g,%.3g]",
+		st.Vertices, st.Edges, st.MaxDeg, st.AvgDeg, st.SigmaDeg, st.Bandwidth, st.MinW, st.MaxW)
+}

@@ -1,0 +1,36 @@
+package graph_test
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// ExampleBuilder shows basic graph construction and queries.
+func ExampleBuilder() {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 2.5)
+	b.AddEdge(1, 2, 1.0)
+	b.AddEdge(0, 1, 4.0) // duplicate: max weight wins
+	g := b.Build()
+
+	fmt.Println("vertices:", g.NumVertices())
+	fmt.Println("edges:", g.NumEdges())
+	w, _ := g.EdgeWeight(0, 1)
+	fmt.Println("weight(0,1):", w)
+	// Output:
+	// vertices: 4
+	// edges: 2
+	// weight(0,1): 4
+}
+
+// ExampleKeyOf shows the hashed total order that breaks weight ties.
+func ExampleKeyOf() {
+	a := graph.KeyOf(0, 1, 1.0)
+	b := graph.KeyOf(1, 2, 1.0) // same weight, different edge
+	fmt.Println("distinct keys:", a != b)
+	fmt.Println("symmetric:", graph.KeyOf(1, 0, 1.0) == a)
+	// Output:
+	// distinct keys: true
+	// symmetric: true
+}

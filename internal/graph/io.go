@@ -1,0 +1,129 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Binary graph format (little endian):
+//
+//	magic   uint64  'G','M','C','S','R','0','0','1'
+//	n       uint64  vertices
+//	m       uint64  arcs
+//	offsets (n+1) * int64
+//	adj     m * int32
+//	weights m * float64
+//
+// The format exists so cmd/gengraph can persist generated inputs and the
+// benchmark harness can reload them without regeneration.
+
+var magic = [8]byte{'G', 'M', 'C', 'S', 'R', '0', '0', '1'}
+
+// Encode serializes the graph to w.
+func (g *CSR) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	n := uint64(g.NumVertices())
+	m := uint64(len(g.Adj))
+	for _, v := range []uint64{n, m} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, section := range []any{g.Offsets, g.Adj, g.Weights} {
+		if err := binary.Write(bw, binary.LittleEndian, section); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode deserializes a graph written by Encode.
+func Decode(r io.Reader) (*CSR, error) {
+	br := bufio.NewReader(r)
+	var got [8]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if got != magic {
+		return nil, fmt.Errorf("graph: bad magic %q", got[:])
+	}
+	var n, m uint64
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return nil, err
+	}
+	const limit = 1 << 31
+	if n > limit || m > limit {
+		return nil, fmt.Errorf("graph: implausible sizes n=%d m=%d", n, m)
+	}
+	// Read each section in bounded chunks so a corrupt header cannot
+	// trigger a giant allocation before the (short) payload disproves it.
+	g := &CSR{}
+	if err := readChunked(br, int(n+1), &g.Offsets); err != nil {
+		return nil, fmt.Errorf("graph: reading offsets: %w", err)
+	}
+	if err := readChunked(br, int(m), &g.Adj); err != nil {
+		return nil, fmt.Errorf("graph: reading adjacency: %w", err)
+	}
+	if err := readChunked(br, int(m), &g.Weights); err != nil {
+		return nil, fmt.Errorf("graph: reading weights: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: loaded graph invalid: %w", err)
+	}
+	return g, nil
+}
+
+// SaveFile writes the graph to path.
+func (g *CSR) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a graph from path. Files ending in .mtx are parsed as
+// Matrix Market; everything else as the binary CSR format.
+func LoadFile(path string) (*CSR, error) {
+	if strings.HasSuffix(path, ".mtx") {
+		return LoadMatrixMarket(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}
+
+// readChunked reads exactly count little-endian elements into *dst,
+// growing the slice in bounded increments so untrusted headers cannot
+// force a huge allocation ahead of the data that would justify it.
+func readChunked[T int32 | int64 | float64](r io.Reader, count int, dst *[]T) error {
+	const chunk = 1 << 16
+	out := make([]T, 0, min(count, chunk))
+	for len(out) < count {
+		k := min(count-len(out), chunk)
+		part := make([]T, k)
+		if err := binary.Read(r, binary.LittleEndian, part); err != nil {
+			return err
+		}
+		out = append(out, part...)
+	}
+	*dst = out
+	return nil
+}

@@ -1,0 +1,50 @@
+package graph
+
+// Tie-breaking for edge weights.
+//
+// The locally-dominant matching algorithm stalls into long sequential
+// chains when many adjacent edges share one weight (paper §III-A: paths
+// and grids with ordered vertex numbering are pathological). The standard
+// fix, which the paper adopts, is to extend the weight comparison with a
+// hash of the endpoint ids, producing a strict total order on edges. With
+// a strict total order the locally-dominant matching is unique, which
+// also gives the test suite its strongest oracle: every parallel variant
+// must reproduce the serial matching exactly.
+
+// EdgeKey is a totally ordered comparison key for an undirected edge.
+type EdgeKey struct {
+	W float64
+	H uint64
+}
+
+// Less reports whether k orders strictly below o (lower weight, hash as
+// tiebreak).
+func (k EdgeKey) Less(o EdgeKey) bool {
+	if k.W != o.W {
+		return k.W < o.W
+	}
+	return k.H < o.H
+}
+
+// KeyOf returns the comparison key of edge {u,v} with weight w. The key
+// is symmetric in u and v.
+func KeyOf(u, v int, w float64) EdgeKey {
+	a, b := uint64(u), uint64(v)
+	if a > b {
+		a, b = b, a
+	}
+	return EdgeKey{W: w, H: splitmix64(a*0x9E3779B97F4A7C15 ^ splitmix64(b))}
+}
+
+// splitmix64 is the SplitMix64 finalizer: a fast, high-quality bijective
+// mixer, adequate for breaking weight ties without statistical artifacts.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// HashID mixes a single vertex id (exported for generators that want
+// reproducible pseudo-random weights keyed by structure).
+func HashID(v int) uint64 { return splitmix64(uint64(v)) }

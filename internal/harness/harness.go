@@ -1,0 +1,203 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation section (§V) at laptop scale. Each experiment is a
+// registry entry keyed by the paper's artifact id (fig4a, tab8, ...);
+// running one produces text tables — the same rows or series the paper
+// reports — annotated with the shape the paper observed so the output
+// is self-checking. See DESIGN.md §5 for the full index.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+// Config scales and parameterizes experiment runs.
+type Config struct {
+	// Scale multiplies workload sizes; 1.0 is the default laptop scale
+	// (graphs of 10^5..10^6 arcs, up to 64 simulated ranks). Benchmarks
+	// use smaller scales to stay within testing.B budgets.
+	Scale float64
+	// Cost overrides the runtime cost model (nil = defaults).
+	Cost *mpi.CostModel
+	// Deadline per runtime launch (0 = none).
+	Deadline time.Duration
+	// Out receives progress and tables; nil discards progress output.
+	Out io.Writer
+}
+
+// DefaultConfig returns the standard full-scale configuration.
+func DefaultConfig() Config {
+	return Config{Scale: 1.0, Deadline: 10 * time.Minute}
+}
+
+func (c Config) scaled(n int) int {
+	v := int(float64(n) * c.Scale)
+	if v < 8 {
+		v = 8
+	}
+	return v
+}
+
+// scaledProcs shrinks a process count with the square root of Scale so
+// per-rank work stays meaningful at small scales.
+func (c Config) scaledProcs(p int) int {
+	if c.Scale >= 1 {
+		return p
+	}
+	v := int(float64(p) * c.Scale)
+	if v < 2 {
+		v = 2
+	}
+	return v
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Out != nil {
+		fmt.Fprintf(c.Out, format+"\n", args...)
+	}
+}
+
+// Table is one rendered artifact: a titled grid of cells plus notes
+// recording the paper-reported shape it should reproduce.
+type Table struct {
+	ID      string
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+// Experiment regenerates one paper artifact.
+type Experiment struct {
+	// ID is the paper artifact id: fig2, fig4a..fig4c, tab3, fig5, fig6,
+	// tab4, fig7, tab5, tab6, fig8, fig9, tab7, fig10, tab8, fig11.
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Paper summarizes the shape the paper reported.
+	Paper string
+	// Run executes the experiment.
+	Run func(cfg Config) ([]*Table, error)
+}
+
+var registry = map[string]*Experiment{}
+
+func register(e *Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("harness: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Find returns the experiment with the given id, or nil.
+func Find(id string) *Experiment { return registry[id] }
+
+// IDs returns all registered experiment ids in order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// RunOne executes the experiment with the given id under cfg and renders
+// its tables to w.
+func RunOne(id string, cfg Config, w io.Writer) error {
+	e := Find(id)
+	if e == nil {
+		return fmt.Errorf("harness: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
+	}
+	fmt.Fprintf(w, "# %s — %s\n# paper: %s\n\n", e.ID, e.Title, e.Paper)
+	tables, err := e.Run(cfg)
+	if err != nil {
+		return fmt.Errorf("harness: %s: %w", id, err)
+	}
+	for _, t := range tables {
+		t.Render(w)
+	}
+	return nil
+}
+
+// RunAll executes every registered experiment.
+func RunAll(cfg Config, w io.Writer) error {
+	for _, id := range IDs() {
+		if err := RunOne(id, cfg, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// f2 formats a float with 2 decimals; f3 with 3; fx chooses compactly.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// ms formats seconds of virtual time as milliseconds.
+func ms(sec float64) string { return fmt.Sprintf("%.3fms", sec*1e3) }
+
+// speedup formats a ratio like the paper ("2.3x").
+func speedup(base, t float64) string {
+	if t <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", base/t)
+}

@@ -1,0 +1,284 @@
+package harness
+
+import (
+	"io"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testConfig() Config {
+	return Config{Scale: 0.12, Deadline: 10 * time.Minute}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig2", "fig4a", "fig4b", "fig4c", "tab2", "tab3", "fig5", "fig6", "tab4",
+		"fig7", "tab5", "tab6", "fig8", "fig9", "tab7", "fig10", "tab8", "fig11",
+		"ext-ncli", "ext-coloring",
+	}
+	for _, id := range want {
+		e := Find(id)
+		if e == nil {
+			t.Errorf("experiment %s not registered", id)
+			continue
+		}
+		if e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete: %+v", id, e)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d: %v", len(IDs()), len(want), IDs())
+	}
+}
+
+func TestFindUnknown(t *testing.T) {
+	if Find("nope") != nil {
+		t.Error("unknown id found")
+	}
+	if err := RunOne("nope", testConfig(), io.Discard); err == nil {
+		t.Error("unknown id ran")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{ID: "x", Title: "demo", Headers: []string{"a", "long-header"}}
+	tb.AddRow("1", "2")
+	tb.AddRow("333", "4")
+	tb.Notes = append(tb.Notes, "a note")
+	s := tb.String()
+	for _, want := range []string{"== x: demo ==", "long-header", "333", "note: a note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// parseSpeedups extracts the trailing "N.NNx" cells from a scaling table.
+func parseSpeedups(t *testing.T, tb *Table) [][]float64 {
+	t.Helper()
+	var out [][]float64
+	for _, row := range tb.Rows {
+		var ratios []float64
+		for _, cell := range row {
+			if strings.HasSuffix(cell, "x") {
+				v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "x"), 64)
+				if err == nil {
+					ratios = append(ratios, v)
+				}
+			}
+		}
+		out = append(out, ratios)
+	}
+	return out
+}
+
+func TestFig4aShapeRGG(t *testing.T) {
+	// The headline shape: on RGG, the aggregated models beat NSR at the
+	// largest process count.
+	// Full workload scale: the asynchronous Send-Recv path's modeled
+	// time varies slightly with goroutine interleaving, and small-scale
+	// margins can flip under instrumentation (e.g. -race).
+	cfg := testConfig()
+	cfg.Scale = 1.0
+	tables, err := Find("fig4a").Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseSpeedups(t, tables[0])
+	last := rows[len(rows)-1]
+	for i, s := range last {
+		if s <= 1 {
+			t.Errorf("fig4a largest-p speedup %d = %g, want > 1 (RMA/NCL must beat NSR)", i, s)
+		}
+	}
+}
+
+func TestFig4cShapeSBP(t *testing.T) {
+	// Contrasting shape: on SBP at the largest p, NSR wins.
+	cfg := testConfig()
+	cfg.Scale = 1.0
+	tables, err := Find("fig4c").Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseSpeedups(t, tables[0])
+	last := rows[len(rows)-1]
+	for i, s := range last {
+		if s >= 1 {
+			t.Errorf("fig4c largest-p speedup %d = %g, want < 1 (NSR must win)", i, s)
+		}
+	}
+}
+
+func TestTab3NearCompleteTopology(t *testing.T) {
+	tables, err := Find("tab3").Run(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Last row: p, |Ep|, dmax, davg, sigma: dmax must be p-1.
+	rows := tables[0].Rows
+	last := rows[len(rows)-1]
+	p, _ := strconv.Atoi(last[0])
+	dmax, _ := strconv.Atoi(last[2])
+	if dmax != p-1 {
+		t.Errorf("SBP process graph dmax = %d, want p-1 = %d", dmax, p-1)
+	}
+}
+
+func TestFig7RCMShape(t *testing.T) {
+	tables, err := Find("fig7").Run(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tb := range tables {
+		// The bandwidth row reads "bandwidth=N" in both columns.
+		var orig, rcm int
+		for _, row := range tb.Rows {
+			if strings.HasPrefix(row[0], "bandwidth=") {
+				orig, _ = strconv.Atoi(strings.TrimPrefix(row[0], "bandwidth="))
+				rcm, _ = strconv.Atoi(strings.TrimPrefix(row[1], "bandwidth="))
+			}
+		}
+		if rcm == 0 || rcm >= orig/4 {
+			t.Errorf("%s: RCM bandwidth %d not well below original %d", tb.Title, rcm, orig)
+		}
+	}
+}
+
+func TestTab5SigmaShrinks(t *testing.T) {
+	tables, err := Find("tab5").Run(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	// Rows alternate original/RCM per input; sigma is the last column.
+	for i := 0; i+1 < len(rows); i += 2 {
+		so, _ := strconv.ParseFloat(rows[i][len(rows[i])-1], 64)
+		sr, _ := strconv.ParseFloat(rows[i+1][len(rows[i+1])-1], 64)
+		if sr >= so {
+			t.Errorf("row %d: RCM sigma(|E'|) %g not below original %g", i, sr, so)
+		}
+	}
+}
+
+func TestFig10ProfileSane(t *testing.T) {
+	cfg := testConfig()
+	tables, err := Find("fig10").Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fractions at tau=1 over the three schemes sum to >= 1 (winners).
+	var sum float64
+	for _, row := range tables[0].Rows {
+		v, _ := strconv.ParseFloat(row[1], 64)
+		if v < 0 || v > 1 {
+			t.Errorf("profile fraction %g out of range", v)
+		}
+		sum += v
+	}
+	if sum < 0.99 {
+		t.Errorf("winners at tau=1 sum to %g, want >= 1", sum)
+	}
+}
+
+func TestTab8EnergyColumns(t *testing.T) {
+	tables, err := Find("tab8").Run(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		mem, _ := strconv.ParseFloat(row[2], 64)
+		energy, _ := strconv.ParseFloat(row[3], 64)
+		comp, _ := strconv.ParseFloat(row[5], 64)
+		mpiPct, _ := strconv.ParseFloat(row[6], 64)
+		if mem <= 0 || energy <= 0 {
+			t.Errorf("nonpositive mem/energy in row %v", row)
+		}
+		if comp+mpiPct < 99.9 || comp+mpiPct > 100.1 {
+			t.Errorf("comp%%+mpi%% = %g in row %v", comp+mpiPct, row)
+		}
+	}
+}
+
+func TestCommMatrixExperiments(t *testing.T) {
+	for _, id := range []string{"fig2", "fig11", "fig9"} {
+		tables, err := Find(id).Run(testConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			t.Errorf("%s produced no grid", id)
+		}
+	}
+}
+
+func TestScaledProcsAndSizes(t *testing.T) {
+	cfg := Config{Scale: 0.1}
+	if p := cfg.scaledProcs(32); p < 2 || p > 32 {
+		t.Errorf("scaledProcs = %d", p)
+	}
+	if cfg.scaled(100) < 8 {
+		t.Error("scaled floor broken")
+	}
+	full := Config{Scale: 1}
+	if full.scaledProcs(32) != 32 {
+		t.Error("full scale must not shrink procs")
+	}
+}
+
+func TestWorkloadsMemoized(t *testing.T) {
+	cfg := testConfig()
+	a := cfg.orkut()
+	b := cfg.orkut()
+	if a != b {
+		t.Error("workload memoization broken (regenerated)")
+	}
+	other := Config{Scale: cfg.Scale * 2}
+	if other.orkut() == a {
+		t.Error("different scales must not share graphs")
+	}
+}
+
+func TestSpeedupFormat(t *testing.T) {
+	if s := speedup(2, 1); s != "2.00x" {
+		t.Errorf("speedup = %q", s)
+	}
+	if s := speedup(1, 0); s != "-" {
+		t.Errorf("speedup by zero = %q", s)
+	}
+	if ms(0.001) != "1.000ms" {
+		t.Error("ms format")
+	}
+}
+
+func TestTab2Inventory(t *testing.T) {
+	tables, err := Find("tab2").Run(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) < 10 {
+		t.Errorf("inventory has %d rows, want all input families", len(tables[0].Rows))
+	}
+}
+
+func TestExtNCLIRuns(t *testing.T) {
+	tables, err := Find("ext-ncli").Run(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) == 0 {
+		t.Error("no rows")
+	}
+}
+
+func TestExtColoringRuns(t *testing.T) {
+	tables, err := Find("ext-coloring").Run(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) == 0 {
+		t.Error("no rows")
+	}
+}

@@ -1,0 +1,69 @@
+package matching
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+)
+
+// Wall-clock micro-benchmarks of the matchers (simulation throughput).
+
+func BenchmarkSerialSocial(b *testing.B) {
+	g := gen.Social(20000, 10, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := Serial(g)
+		if r.Cardinality == 0 {
+			b.Fatal("empty matching")
+		}
+	}
+	b.ReportMetric(float64(g.NumEdges())/1e6, "Medges")
+}
+
+func BenchmarkSerialRGG(b *testing.B) {
+	n := 50000
+	g := gen.RGG(n, gen.RGGRadiusForDegree(n, 8), 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Serial(g)
+	}
+}
+
+func BenchmarkGreedyOracle(b *testing.B) {
+	g := gen.Social(20000, 10, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Greedy(g)
+	}
+}
+
+func benchParallel(b *testing.B, m Model, procs int) {
+	g := gen.Social(10000, 10, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(g, Options{Procs: procs, Model: m, Deadline: time.Minute})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.Report.MaxVirtualTime*1e3, "modeled-ms")
+		}
+	}
+}
+
+func BenchmarkParallelNSR(b *testing.B) { benchParallel(b, NSR, 8) }
+func BenchmarkParallelRMA(b *testing.B) { benchParallel(b, RMA, 8) }
+func BenchmarkParallelNCL(b *testing.B) { benchParallel(b, NCL, 8) }
+func BenchmarkParallelMBP(b *testing.B) { benchParallel(b, MBP, 8) }
+
+func BenchmarkVerifyLocallyDominant(b *testing.B) {
+	g := gen.Social(20000, 10, 1)
+	r := Serial(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := VerifyLocallyDominant(g, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

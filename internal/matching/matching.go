@@ -1,0 +1,256 @@
+// Package matching implements half-approximate maximum weight graph
+// matching — the paper's case-study application — in serial and in
+// distributed memory under four MPI communication models:
+//
+//   - NSR: nonblocking point-to-point Send-Recv (the paper's baseline),
+//   - RMA: MPI-3 passive-target one-sided puts with precomputed remote
+//     displacements and per-round neighborhood count exchanges,
+//   - NCL: blocking MPI-3 neighborhood collectives with per-neighbor
+//     message aggregation,
+//   - MBP: a MatchBox-P-style synchronous-mode Send-Recv baseline.
+//
+// All variants parallelize the Manne-Bisseling locally-dominant
+// algorithm: vertices point at their heaviest available neighbor, a
+// mutually-pointing pair is matched, and neighbors of matched vertices
+// re-point until no edges remain. Ties are broken by a hash of endpoint
+// ids (graph.KeyOf), giving a strict total order under which the
+// locally-dominant matching is unique — every variant must therefore
+// produce exactly the serial matching, which the test suite exploits.
+package matching
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Result describes a matching.
+type Result struct {
+	// Mate[v] is v's partner, or -1 if v is unmatched.
+	Mate []int
+	// Weight is the sum of matched edge weights.
+	Weight float64
+	// Cardinality is the number of matched edges.
+	Cardinality int
+}
+
+// NewResult assembles a Result from a mate vector, computing weight and
+// cardinality. It panics if mate references a nonexistent edge; use
+// Verify for full validation with errors.
+func NewResult(g *graph.CSR, mate []int) *Result {
+	r := &Result{Mate: mate}
+	for v, u := range mate {
+		if u < 0 || u < v {
+			continue
+		}
+		w, ok := g.EdgeWeight(v, u)
+		if !ok {
+			panic(fmt.Sprintf("matching: mate pair {%d,%d} is not an edge", v, u))
+		}
+		r.Weight += w
+		r.Cardinality++
+	}
+	return r
+}
+
+// Verify checks that r is a valid matching of g: the mate relation is
+// symmetric, every matched pair is an edge, and the recorded weight and
+// cardinality are consistent.
+func Verify(g *graph.CSR, r *Result) error {
+	if len(r.Mate) != g.NumVertices() {
+		return fmt.Errorf("matching: mate vector has %d entries for %d vertices", len(r.Mate), g.NumVertices())
+	}
+	var weight float64
+	card := 0
+	for v, u := range r.Mate {
+		if u == -1 {
+			continue
+		}
+		if u < 0 || u >= g.NumVertices() {
+			return fmt.Errorf("matching: vertex %d matched to out-of-range %d", v, u)
+		}
+		if r.Mate[u] != v {
+			return fmt.Errorf("matching: asymmetric mates: %d->%d but %d->%d", v, u, u, r.Mate[u])
+		}
+		w, ok := g.EdgeWeight(v, u)
+		if !ok {
+			return fmt.Errorf("matching: matched pair {%d,%d} is not an edge", v, u)
+		}
+		if u > v {
+			weight += w
+			card++
+		}
+	}
+	if card != r.Cardinality {
+		return fmt.Errorf("matching: cardinality %d recorded, %d actual", r.Cardinality, card)
+	}
+	if d := weight - r.Weight; d > 1e-6 || d < -1e-6 {
+		return fmt.Errorf("matching: weight %g recorded, %g actual", r.Weight, weight)
+	}
+	return nil
+}
+
+// VerifyLocallyDominant checks the property that makes a matching
+// half-approximate: every edge of the graph is dominated — at least one
+// endpoint is matched to an edge of greater-or-equal total-order key.
+// All locally-dominant matchings satisfy this; a matching that satisfies
+// it has weight at least half the maximum (Preis 1999).
+func VerifyLocallyDominant(g *graph.CSR, r *Result) error {
+	if err := Verify(g, r); err != nil {
+		return err
+	}
+	matchKey := make([]graph.EdgeKey, g.NumVertices())
+	hasKey := make([]bool, g.NumVertices())
+	for v, u := range r.Mate {
+		if u >= 0 {
+			w, _ := g.EdgeWeight(v, u)
+			matchKey[v] = graph.KeyOf(v, u, w)
+			hasKey[v] = true
+		}
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		ws := g.NeighborWeights(v)
+		for i, a := range g.Neighbors(v) {
+			if int(a) < v {
+				continue
+			}
+			k := graph.KeyOf(v, int(a), ws[i])
+			uOK := hasKey[v] && !matchKey[v].Less(k)
+			vOK := hasKey[a] && !matchKey[a].Less(k)
+			if !uOK && !vOK {
+				return fmt.Errorf("matching: edge {%d,%d} (w=%g) dominates both endpoints' matches — not locally dominant", v, a, ws[i])
+			}
+		}
+	}
+	return nil
+}
+
+// sortedAdjacency returns, for each vertex, its arc positions (0-based
+// within the CSR row) ordered by decreasing edge key: the heaviest
+// available neighbor is found by a monotone pointer scan.
+func sortedAdjacency(g *graph.CSR) [][]int32 {
+	n := g.NumVertices()
+	out := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		nbrs := g.Neighbors(v)
+		ws := g.NeighborWeights(v)
+		pos := make([]int32, len(nbrs))
+		for i := range pos {
+			pos[i] = int32(i)
+		}
+		sort.Slice(pos, func(i, j int) bool {
+			ki := graph.KeyOf(v, int(nbrs[pos[i]]), ws[pos[i]])
+			kj := graph.KeyOf(v, int(nbrs[pos[j]]), ws[pos[j]])
+			return kj.Less(ki)
+		})
+		out[v] = pos
+	}
+	return out
+}
+
+// Serial computes the locally-dominant half-approximate matching with
+// the pointer-based algorithm of Manne & Bisseling (paper Algorithm 2):
+// every vertex points at its heaviest available neighbor, mutually
+// pointing pairs match, and neighbors of newly matched or exhausted
+// vertices re-point. Runs in O(|E| log dmax) expected time.
+func Serial(g *graph.CSR) *Result {
+	n := g.NumVertices()
+	sorted := sortedAdjacency(g)
+	ptr := make([]int32, n)
+	cand := make([]int32, n)
+	state := make([]uint8, n) // 0 unmatched, 1 matched, 2 dead
+	mate := make([]int, n)
+	for i := range cand {
+		cand[i] = -1
+		mate[i] = -1
+	}
+	const (
+		unmatched = 0
+		matched   = 1
+		dead      = 2
+	)
+
+	work := make([]int32, 0, n)
+	// repoint pushes neighbors of v that currently point at v.
+	repoint := func(v int32) {
+		for _, a := range g.Neighbors(int(v)) {
+			if state[a] == unmatched && cand[a] == v {
+				work = append(work, a)
+			}
+		}
+	}
+	process := func(v int32) {
+		if state[v] != unmatched {
+			return
+		}
+		// Idempotent: current candidate still available?
+		if cand[v] >= 0 && state[cand[v]] == unmatched {
+			return
+		}
+		row := g.Neighbors(int(v))
+		for ptr[v] < int32(len(row)) {
+			u := row[sorted[v][ptr[v]]]
+			if state[u] == unmatched {
+				break
+			}
+			ptr[v]++
+		}
+		if ptr[v] == int32(len(row)) {
+			cand[v] = -1
+			state[v] = dead
+			repoint(v)
+			return
+		}
+		u := row[sorted[v][ptr[v]]]
+		cand[v] = u
+		if cand[u] == v {
+			state[v], state[u] = matched, matched
+			mate[v], mate[u] = int(u), int(v)
+			repoint(v)
+			repoint(u)
+		}
+	}
+
+	for v := int32(0); v < int32(n); v++ {
+		work = append(work, v)
+		for len(work) > 0 {
+			x := work[len(work)-1]
+			work = work[:len(work)-1]
+			process(x)
+		}
+	}
+	return NewResult(g, mate)
+}
+
+// Greedy computes the matching produced by sorting all edges by
+// decreasing key and taking each edge whose endpoints are both free.
+// Under a strict total order on edge keys, the greedy matching and the
+// locally-dominant matching coincide (Preis 1999) — the test suite uses
+// this as an independent oracle for Serial and all parallel variants.
+func Greedy(g *graph.CSR) *Result {
+	type keyed struct {
+		u, v int32
+		key  graph.EdgeKey
+	}
+	edges := make([]keyed, 0, g.NumArcs()/2)
+	for v := 0; v < g.NumVertices(); v++ {
+		ws := g.NeighborWeights(v)
+		for i, a := range g.Neighbors(v) {
+			if int(a) > v {
+				edges = append(edges, keyed{int32(v), a, graph.KeyOf(v, int(a), ws[i])})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[j].key.Less(edges[i].key) })
+	mate := make([]int, g.NumVertices())
+	for i := range mate {
+		mate[i] = -1
+	}
+	for _, e := range edges {
+		if mate[e.u] == -1 && mate[e.v] == -1 {
+			mate[e.u], mate[e.v] = int(e.v), int(e.u)
+		}
+	}
+	return NewResult(g, mate)
+}

@@ -1,0 +1,169 @@
+package matching
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/distgraph"
+	"repro/internal/graph"
+	"repro/internal/mpi"
+	"repro/internal/transport"
+)
+
+// Model selects the communication model for the distributed matcher,
+// using the paper's descriptors (§V-A).
+type Model int
+
+const (
+	// NSR is the baseline: nonblocking MPI Send-Recv with Iprobe polling.
+	NSR Model = iota
+	// RMA uses MPI-3 passive-target one-sided puts with precomputed
+	// displacements plus neighborhood count exchanges.
+	RMA
+	// NCL uses blocking MPI-3 neighborhood collectives over the
+	// distributed graph topology with per-neighbor aggregation.
+	NCL
+	// MBP models MatchBox-P: Send-Recv with synchronous-mode sends.
+	MBP
+	// NCLI extends the study with nonblocking neighborhood collectives
+	// (pipelined rounds with double buffering) — the direction the
+	// paper's related work (Kandalla et al.) explores for BFS.
+	NCLI
+	// NSRA extends the study with sender-side message aggregation for
+	// Send-Recv — the optimization the paper calls "challenging" for
+	// irregular applications (§V-D).
+	NSRA
+)
+
+// Models lists all communication models in presentation order.
+var Models = []Model{NSR, RMA, NCL, MBP, NCLI, NSRA}
+
+func (m Model) String() string {
+	switch m {
+	case NSR:
+		return "NSR"
+	case RMA:
+		return "RMA"
+	case NCL:
+		return "NCL"
+	case MBP:
+		return "MBP"
+	case NCLI:
+		return "NCLI"
+	case NSRA:
+		return "NSRA"
+	}
+	return fmt.Sprintf("Model(%d)", int(m))
+}
+
+// Options configures a distributed matching run.
+type Options struct {
+	// Procs is the number of simulated MPI ranks. Must be >= 1.
+	Procs int
+	// Model selects the communication model.
+	Model Model
+	// Cost overrides the virtual-time cost model (nil = defaults).
+	Cost *mpi.CostModel
+	// TrackMatrices enables per-pair communication matrices (Fig 2/9/11).
+	TrackMatrices bool
+	// Deadline bounds wall-clock execution (0 = no watchdog).
+	Deadline time.Duration
+	// EagerReject switches the protocol to the paper's literal
+	// Algorithm 6 (reject-on-sight); see DESIGN.md §3. The result is a
+	// valid matching but not necessarily locally dominant.
+	EagerReject bool
+	// TraceWaits records per-rank blocked intervals for
+	// Report.RenderTimeline.
+	TraceWaits bool
+}
+
+// ParallelResult is the outcome of a distributed run.
+type ParallelResult struct {
+	*Result
+	// Rounds is the maximum driver-loop iteration count over ranks (for
+	// NCL/RMA, the number of neighborhood exchange rounds).
+	Rounds int
+	// Messages is the total protocol messages pushed by all ranks.
+	Messages int64
+	// Report carries the runtime's virtual time and traffic ledgers.
+	Report *mpi.Report
+	// Dist is the distribution used (for process-graph statistics).
+	Dist *distgraph.Dist
+}
+
+// Run executes distributed half-approximate matching on g under the
+// given options and returns the matching together with performance
+// ledgers. The matching is identical to Serial(g) for all models unless
+// EagerReject is set (in which case it is still a valid matching).
+func Run(g *graph.CSR, opt Options) (*ParallelResult, error) {
+	if opt.Procs < 1 {
+		return nil, fmt.Errorf("matching: Procs = %d", opt.Procs)
+	}
+	d := distgraph.NewBlockDist(g, opt.Procs)
+	mates := make([]int64, g.NumVertices())
+	rounds := make([]int, opt.Procs)
+	sent := make([]int64, opt.Procs)
+
+	rep, err := mpi.Run(mpi.Config{
+		Procs:         opt.Procs,
+		Cost:          opt.Cost,
+		TrackMatrices: opt.TrackMatrices,
+		Deadline:      opt.Deadline,
+		TraceWaits:    opt.TraceWaits,
+	}, func(c *mpi.Comm) error {
+		l := d.BuildLocal(c.Rank())
+		var e *engine
+		switch opt.Model {
+		case NSR, MBP:
+			t := transport.NewP2P(c, opt.Model == MBP)
+			e = newEngine(c, l, t, opt.EagerReject)
+			runAsync(e, t)
+		case NSRA:
+			t := transport.NewP2PAgg(c, aggBatchRecords)
+			e = newEngine(c, l, t, opt.EagerReject)
+			runAsync(e, t)
+		case NCL:
+			topo := c.CreateGraphTopo(l.NeighborRanks)
+			t := transport.NewNCL(c, topo, l, MaxMessagesPerCrossEdge)
+			e = newEngine(c, l, t, opt.EagerReject)
+			runRounds(e, t)
+		case RMA:
+			topo := c.CreateGraphTopo(l.NeighborRanks)
+			t := transport.NewRMA(c, topo, l, MaxMessagesPerCrossEdge)
+			e = newEngine(c, l, t, opt.EagerReject)
+			runRounds(e, t)
+			t.Free()
+		case NCLI:
+			topo := c.CreateGraphTopo(l.NeighborRanks)
+			t := transport.NewNCLI(c, topo, l, MaxMessagesPerCrossEdge)
+			e = newEngine(c, l, t, opt.EagerReject)
+			runRounds(e, t)
+		default:
+			return fmt.Errorf("matching: unknown model %v", opt.Model)
+		}
+		e.writeMates(mates)
+		rounds[c.Rank()] = e.rounds
+		sent[c.Rank()] = e.sent
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	mate := make([]int, len(mates))
+	for i, m := range mates {
+		mate[i] = int(m)
+	}
+	pr := &ParallelResult{
+		Result: NewResult(g, mate),
+		Report: rep,
+		Dist:   d,
+	}
+	for r := 0; r < opt.Procs; r++ {
+		if rounds[r] > pr.Rounds {
+			pr.Rounds = rounds[r]
+		}
+		pr.Messages += sent[r]
+	}
+	return pr, nil
+}

@@ -1,0 +1,58 @@
+package matching
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/transport"
+)
+
+// MaxMessagesPerCrossEdge bounds the protocol traffic per cross edge per
+// direction: one REQUEST plus at most one REJECT or INVALID (paper
+// §IV-B: "a vertex may send at most 2 messages to a ghost vertex"). The
+// RMA window regions and the collective aggregation buffers are sized
+// with it.
+const MaxMessagesPerCrossEdge = 2
+
+// aggBatchRecords is the per-destination batch size of the NSRA model's
+// aggregating Send-Recv transport.
+const aggBatchRecords = 64
+
+// runAsync is the Send-Recv driver (paper Algorithms 1 and 3): process
+// incoming messages and local work until this rank's unresolved ghost
+// count reaches zero. As the paper notes (§V-D), the point-to-point
+// variant needs no global reduction — a local test suffices — because a
+// rank with no unresolved cross edges owes nothing to anyone.
+func runAsync(e *engine, t transport.Async) {
+	e.start()
+	for e.pending > 0 {
+		progressed := t.Drain(e.handleMessage)
+		e.drainWork()
+		if e.pending == 0 {
+			break
+		}
+		if !progressed && len(e.work) == 0 {
+			t.Block()
+		}
+		e.rounds++
+	}
+	// Peers may still depend on records parked in aggregation buffers.
+	t.Finish()
+}
+
+// runRounds is the driver shared by the RMA, NCL and NCLI variants:
+// rounds of (exchange, process, local work) with a global reduction on
+// the unresolved ghost counts deciding termination — the extra
+// collective the paper identifies as the cost of uncoordinated exits
+// (§V-D).
+func runRounds(e *engine, t transport.Round) {
+	e.start()
+	for {
+		t.Exchange(e.handleMessage)
+		e.drainWork()
+		total := e.c.AllreduceInt64(mpi.OpSum, []int64{e.pending})[0]
+		e.rounds++
+		if total == 0 {
+			t.Finish()
+			return
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Package metrics converts runtime ledgers into the paper's evaluation
+// quantities: power/energy/EDP and memory usage (Table VIII) and
+// Dolan-Moré performance profiles (Fig 10).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mpi"
+)
+
+// EnergyModel maps a run's virtual time and activity to node power and
+// energy. The paper measures these with CrayPat on Cori (32 cores/node);
+// its Table VIII shows power varying only mildly across communication
+// models (9.6-10.7 kW for 32 nodes) while energy tracks runtime, plus a
+// per-message activity term that gives the chattier Send-Recv variant its
+// slightly higher draw. The defaults reproduce that structure.
+type EnergyModel struct {
+	// CoresPerNode converts rank counts to node counts (Cori: 32).
+	CoresPerNode int
+	// IdleWattsPerNode is the baseline draw of an allocated node.
+	IdleWattsPerNode float64
+	// ActiveWattsPerNode scales with average core activity (0..1).
+	ActiveWattsPerNode float64
+	// JoulesPerMessage is the incremental energy of injecting one
+	// message (NIC + software path).
+	JoulesPerMessage float64
+}
+
+// DefaultEnergyModel returns parameters tuned to Table VIII's regime.
+func DefaultEnergyModel() *EnergyModel {
+	return &EnergyModel{
+		CoresPerNode:       32,
+		IdleWattsPerNode:   190,
+		ActiveWattsPerNode: 130,
+		JoulesPerMessage:   25e-6,
+	}
+}
+
+// Report is an energy/memory summary for one run, in the units of the
+// paper's Table VIII.
+type Report struct {
+	Nodes        int
+	TimeSec      float64
+	AvgPowerKW   float64 // total power across nodes
+	EnergyKJ     float64
+	EDP          float64 // energy (J) x delay (s)
+	CompPct      float64 // fraction of busy time in computation
+	MPIPct       float64 // fraction of busy time in communication
+	MemMBPerProc float64 // average modeled memory per rank
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("nodes=%d t=%.3fs P=%.2fkW E=%.2fkJ EDP=%.3g comp=%.1f%% mpi=%.1f%% mem=%.1fMB/proc",
+		r.Nodes, r.TimeSec, r.AvgPowerKW, r.EnergyKJ, r.EDP, r.CompPct, r.MPIPct, r.MemMBPerProc)
+}
+
+// Evaluate derives the Table VIII quantities from a runtime report.
+// extraMemPerRank optionally adds modeled application memory (graph
+// storage) per rank; it may be nil.
+func (m *EnergyModel) Evaluate(rep *mpi.Report, extraMemPerRank []int64) Report {
+	nodes := (rep.Procs + m.CoresPerNode - 1) / m.CoresPerNode
+	t := rep.MaxVirtualTime
+	tot := mpi.Aggregate(rep.Stats)
+
+	var busy, comp float64
+	var memBytes float64
+	for i, rs := range rep.Stats {
+		busy += rs.CommTime + rs.CompTime
+		comp += rs.CompTime
+		mem := float64(rs.MemoryBytes())
+		if extraMemPerRank != nil {
+			mem += float64(extraMemPerRank[i])
+		}
+		memBytes += mem
+	}
+	var compPct, mpiPct float64
+	if busy > 0 {
+		compPct = 100 * comp / busy
+		mpiPct = 100 - compPct
+	}
+	// Average core activity: busy rank-seconds over total rank-seconds.
+	activity := 0.0
+	if t > 0 {
+		activity = busy / (float64(rep.Procs) * t)
+		if activity > 1 {
+			activity = 1
+		}
+	}
+	powerW := float64(nodes) * (m.IdleWattsPerNode + m.ActiveWattsPerNode*activity)
+	energyJ := powerW * t
+	energyJ += float64(tot.Msgs) * m.JoulesPerMessage
+	if t > 0 {
+		powerW = energyJ / t
+	}
+	return Report{
+		Nodes:        nodes,
+		TimeSec:      t,
+		AvgPowerKW:   powerW / 1e3,
+		EnergyKJ:     energyJ / 1e3,
+		EDP:          energyJ * t,
+		CompPct:      compPct,
+		MPIPct:       mpiPct,
+		MemMBPerProc: memBytes / float64(rep.Procs) / (1 << 20),
+	}
+}
+
+// Curve is one scheme's performance profile: Frac[i] of the problem set
+// is solved within factor Tau[i] of the per-problem best scheme
+// (Dolan & Moré 2002; the paper's Fig 10).
+type Curve struct {
+	Name string
+	Tau  []float64
+	Frac []float64
+}
+
+// Profiles builds performance-profile curves from per-scheme times over
+// a common problem set. times[scheme][i] is scheme's time on problem i;
+// all schemes must cover the same problems. Nonpositive times are
+// treated as failures (infinite ratio).
+func Profiles(times map[string][]float64) ([]Curve, error) {
+	if len(times) == 0 {
+		return nil, fmt.Errorf("metrics: no schemes")
+	}
+	n := -1
+	names := make([]string, 0, len(times))
+	for name, ts := range times {
+		if n == -1 {
+			n = len(ts)
+		} else if len(ts) != n {
+			return nil, fmt.Errorf("metrics: scheme %s has %d problems, want %d", name, len(ts), n)
+		}
+		names = append(names, name)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("metrics: empty problem set")
+	}
+	sort.Strings(names)
+
+	best := make([]float64, n)
+	for i := range best {
+		best[i] = math.Inf(1)
+		for _, name := range names {
+			if t := times[name][i]; t > 0 && t < best[i] {
+				best[i] = t
+			}
+		}
+	}
+	curves := make([]Curve, 0, len(names))
+	for _, name := range names {
+		ratios := make([]float64, 0, n)
+		for i, t := range times[name] {
+			if t <= 0 || math.IsInf(best[i], 1) {
+				ratios = append(ratios, math.Inf(1))
+				continue
+			}
+			ratios = append(ratios, t/best[i])
+		}
+		sort.Float64s(ratios)
+		c := Curve{Name: name}
+		for i, r := range ratios {
+			c.Tau = append(c.Tau, r)
+			c.Frac = append(c.Frac, float64(i+1)/float64(n))
+		}
+		curves = append(curves, c)
+	}
+	return curves, nil
+}
+
+// FracWithin returns the fraction of problems a curve solves within
+// factor tau of the best scheme.
+func (c Curve) FracWithin(tau float64) float64 {
+	frac := 0.0
+	for i, t := range c.Tau {
+		if t <= tau {
+			frac = c.Frac[i]
+		}
+	}
+	return frac
+}
+
+// AreaScore integrates a profile curve up to tauMax (higher = better);
+// a scalar summary used by the harness to rank schemes as Fig 10 does
+// visually.
+func (c Curve) AreaScore(tauMax float64) float64 {
+	area := 0.0
+	prevTau, prevFrac := 1.0, 0.0
+	for i := range c.Tau {
+		tau := math.Min(c.Tau[i], tauMax)
+		if tau > prevTau {
+			area += prevFrac * (tau - prevTau)
+		}
+		prevTau, prevFrac = tau, c.Frac[i]
+		if c.Tau[i] >= tauMax {
+			break
+		}
+	}
+	if prevTau < tauMax {
+		area += prevFrac * (tauMax - prevTau)
+	}
+	return area / (tauMax - 1)
+}

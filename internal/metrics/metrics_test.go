@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/matching"
+	"repro/internal/mpi"
+)
+
+func TestEnergyFromRealRun(t *testing.T) {
+	g := gen.Social(800, 8, 1)
+	res, err := matching.Run(g, matching.Options{Procs: 8, Model: matching.NSR, Deadline: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := DefaultEnergyModel().Evaluate(res.Report, nil)
+	if rep.Nodes != 1 {
+		t.Errorf("nodes = %d, want 1 for 8 ranks at 32/node", rep.Nodes)
+	}
+	if rep.EnergyKJ <= 0 || rep.AvgPowerKW <= 0 || rep.EDP <= 0 {
+		t.Errorf("nonpositive energy report: %+v", rep)
+	}
+	if math.Abs(rep.CompPct+rep.MPIPct-100) > 1e-6 {
+		t.Errorf("comp%%+mpi%% = %g", rep.CompPct+rep.MPIPct)
+	}
+	if rep.MemMBPerProc <= 0 {
+		t.Error("memory must be positive")
+	}
+	if rep.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestEnergyTracksTime(t *testing.T) {
+	// A run that takes longer (MBP's synchronous sends) must burn more
+	// energy under the model — the core of Table VIII's story.
+	g := gen.Social(1000, 8, 2)
+	var e [2]float64
+	for i, m := range []matching.Model{matching.NSR, matching.MBP} {
+		res, err := matching.Run(g, matching.Options{Procs: 8, Model: m, Deadline: 30 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e[i] = DefaultEnergyModel().Evaluate(res.Report, nil).EnergyKJ
+	}
+	if e[1] <= e[0] {
+		t.Errorf("MBP energy %g should exceed NSR %g", e[1], e[0])
+	}
+}
+
+func TestExtraMemoryCounted(t *testing.T) {
+	g := gen.Path(100)
+	res, err := matching.Run(g, matching.Options{Procs: 4, Model: matching.NSR, Deadline: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := DefaultEnergyModel()
+	without := m.Evaluate(res.Report, nil).MemMBPerProc
+	extra := []int64{1 << 20, 1 << 20, 1 << 20, 1 << 20}
+	with := m.Evaluate(res.Report, extra).MemMBPerProc
+	if d := with - without; math.Abs(d-1.0) > 1e-9 {
+		t.Errorf("extra MB accounted = %g, want 1.0", d)
+	}
+}
+
+func TestNodesRoundUp(t *testing.T) {
+	rep := &mpi.Report{Procs: 33, Stats: []*mpi.RankStats{}}
+	r := DefaultEnergyModel().Evaluate(rep, nil)
+	if r.Nodes != 2 {
+		t.Errorf("33 ranks -> %d nodes, want 2", r.Nodes)
+	}
+}
+
+func TestProfilesBasic(t *testing.T) {
+	times := map[string][]float64{
+		"A": {1, 2, 4}, // best on problem 0
+		"B": {2, 1, 1}, // best on problems 1, 2
+	}
+	curves, err := Profiles(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Curve{}
+	for _, c := range curves {
+		byName[c.Name] = c
+	}
+	// At tau=1: A wins 1/3, B wins 2/3.
+	if f := byName["A"].FracWithin(1); math.Abs(f-1.0/3) > 1e-9 {
+		t.Errorf("A at tau=1: %g", f)
+	}
+	if f := byName["B"].FracWithin(1); math.Abs(f-2.0/3) > 1e-9 {
+		t.Errorf("B at tau=1: %g", f)
+	}
+	// At tau=2 both reach 1.0 (A's worst ratio 4/1=4? A: ratios 1, 2, 4 -> at tau 2, frac 2/3).
+	if f := byName["A"].FracWithin(4); f != 1.0 {
+		t.Errorf("A at tau=4: %g", f)
+	}
+	if f := byName["B"].FracWithin(2); f != 1.0 {
+		t.Errorf("B at tau=2: %g", f)
+	}
+	// B dominates overall: higher area score.
+	if byName["B"].AreaScore(8) <= byName["A"].AreaScore(8) {
+		t.Error("B should have the better profile")
+	}
+}
+
+func TestProfilesFailuresAreInfinite(t *testing.T) {
+	times := map[string][]float64{
+		"ok":   {1, 1},
+		"fail": {1, -1},
+	}
+	curves, err := Profiles(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range curves {
+		if c.Name == "fail" {
+			if f := c.FracWithin(1e9); f != 0.5 {
+				t.Errorf("failed problem should never be solved: %g", f)
+			}
+		}
+	}
+}
+
+func TestProfilesErrors(t *testing.T) {
+	if _, err := Profiles(nil); err == nil {
+		t.Error("empty scheme set accepted")
+	}
+	if _, err := Profiles(map[string][]float64{"a": {1}, "b": {1, 2}}); err == nil {
+		t.Error("mismatched problem sets accepted")
+	}
+	if _, err := Profiles(map[string][]float64{"a": {}}); err == nil {
+		t.Error("empty problem set accepted")
+	}
+}

@@ -1,0 +1,351 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ReduceOp selects the combining operation for reductions.
+type ReduceOp int
+
+// Supported reduction operations.
+const (
+	OpSum ReduceOp = iota
+	OpMin
+	OpMax
+	OpProd
+	OpLand // logical and of nonzero-ness
+	OpLor  // logical or of nonzero-ness
+)
+
+func (op ReduceOp) String() string {
+	switch op {
+	case OpSum:
+		return "sum"
+	case OpMin:
+		return "min"
+	case OpMax:
+		return "max"
+	case OpProd:
+		return "prod"
+	case OpLand:
+		return "land"
+	case OpLor:
+		return "lor"
+	}
+	return fmt.Sprintf("ReduceOp(%d)", int(op))
+}
+
+func (op ReduceOp) foldInt64(a, b int64) int64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	case OpMax:
+		if b > a {
+			return b
+		}
+		return a
+	case OpProd:
+		return a * b
+	case OpLand:
+		if a != 0 && b != 0 {
+			return 1
+		}
+		return 0
+	case OpLor:
+		if a != 0 || b != 0 {
+			return 1
+		}
+		return 0
+	}
+	panic("mpi: unknown ReduceOp")
+}
+
+func (op ReduceOp) foldFloat64(a, b float64) float64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	case OpMax:
+		if b > a {
+			return b
+		}
+		return a
+	case OpProd:
+		return a * b
+	}
+	panic("mpi: ReduceOp " + op.String() + " not supported for float64")
+}
+
+// collHub is the rendezvous point for global collectives. All ranks must
+// invoke the same sequence of collective operations (the standard MPI
+// contract); each operation performs a deposit barrier, a read phase, and
+// a release barrier, so the hub's scratch space can be reused immediately.
+type collHub struct {
+	mu       sync.Mutex
+	cv       *sync.Cond
+	n        int
+	count    int
+	gen      int64
+	poisoned bool
+
+	ideps [][]int64
+	fdeps [][]float64
+	vdeps [][][]int64
+	adeps []any
+	times []float64
+}
+
+func newCollHub(n int) *collHub {
+	h := &collHub{
+		n:     n,
+		ideps: make([][]int64, n),
+		fdeps: make([][]float64, n),
+		vdeps: make([][][]int64, n),
+		adeps: make([]any, n),
+		times: make([]float64, n),
+	}
+	h.cv = sync.NewCond(&h.mu)
+	return h
+}
+
+func (h *collHub) poison() {
+	h.mu.Lock()
+	h.poisoned = true
+	h.mu.Unlock()
+	h.cv.Broadcast()
+}
+
+// await is a reusable full barrier over the world.
+func (h *collHub) await() {
+	h.mu.Lock()
+	if h.poisoned {
+		h.mu.Unlock()
+		panic("mpi: collective aborted: a peer rank failed")
+	}
+	gen := h.gen
+	h.count++
+	if h.count == h.n {
+		h.count = 0
+		h.gen++
+		h.mu.Unlock()
+		h.cv.Broadcast()
+		return
+	}
+	for h.gen == gen && !h.poisoned {
+		h.cv.Wait()
+	}
+	poisoned := h.poisoned
+	h.mu.Unlock()
+	if poisoned {
+		panic("mpi: collective aborted: a peer rank failed")
+	}
+}
+
+// maxTime returns the maximum deposited clock; callable between the two
+// barriers of a collective (deposits are stable there).
+func (h *collHub) maxTime() float64 {
+	t := h.times[0]
+	for _, v := range h.times[1:] {
+		if v > t {
+			t = v
+		}
+	}
+	return t
+}
+
+// enter deposits this rank's clock and runs the deposit barrier.
+func (c *Comm) enterColl(dep func(h *collHub)) *collHub {
+	h := c.hub
+	h.mu.Lock()
+	h.times[c.rank] = c.ps.now
+	h.mu.Unlock()
+	if dep != nil {
+		dep(h)
+	}
+	h.await()
+	return h
+}
+
+// exitColl runs the release barrier and applies the synchronized clock.
+func (c *Comm) exitColl(h *collHub, bytes int64) {
+	t := h.maxTime()
+	h.await()
+	end := t + c.w.cost.collCost(c.size(), bytes)
+	c.waitUntil(end)
+	c.ps.rs.CollCount++
+	c.ps.rs.CollBytes += bytes
+}
+
+// Barrier blocks until all ranks have entered it.
+func (c *Comm) Barrier() {
+	h := c.enterColl(nil)
+	c.exitColl(h, 8)
+}
+
+// AllreduceInt64 combines in element-wise across all ranks with op and
+// returns the combined vector on every rank. All ranks must pass vectors
+// of the same length.
+func (c *Comm) AllreduceInt64(op ReduceOp, in []int64) []int64 {
+	h := c.enterColl(func(h *collHub) {
+		h.mu.Lock()
+		h.ideps[c.rank] = in
+		h.mu.Unlock()
+	})
+	if len(h.ideps[0]) != len(in) {
+		panic(fmt.Sprintf("mpi: AllreduceInt64 length mismatch: rank %d has %d, rank 0 has %d", c.rank, len(in), len(h.ideps[0])))
+	}
+	out := append([]int64(nil), h.ideps[0]...)
+	for r := 1; r < c.size(); r++ {
+		for i, v := range h.ideps[r] {
+			out[i] = op.foldInt64(out[i], v)
+		}
+	}
+	c.exitColl(h, int64(8*len(in)))
+	return out
+}
+
+// AllreduceFloat64 is AllreduceInt64 for float64 vectors. The fold is
+// performed in rank order on every rank, so the result is deterministic
+// and identical everywhere.
+func (c *Comm) AllreduceFloat64(op ReduceOp, in []float64) []float64 {
+	h := c.enterColl(func(h *collHub) {
+		h.mu.Lock()
+		h.fdeps[c.rank] = in
+		h.mu.Unlock()
+	})
+	out := append([]float64(nil), h.fdeps[0]...)
+	for r := 1; r < c.size(); r++ {
+		for i, v := range h.fdeps[r] {
+			out[i] = op.foldFloat64(out[i], v)
+		}
+	}
+	c.exitColl(h, int64(8*len(in)))
+	return out
+}
+
+// AlltoallInt64 exchanges fixed-size chunks: rank i's send[j*chunk:(j+1)*chunk]
+// is delivered to rank j, and the result holds rank j's chunk for this rank
+// at position j*chunk. len(send) must be Size()*chunk.
+func (c *Comm) AlltoallInt64(send []int64, chunk int) []int64 {
+	if len(send) != c.size()*chunk {
+		panic(fmt.Sprintf("mpi: AlltoallInt64: len(send)=%d, want %d*%d", len(send), c.size(), chunk))
+	}
+	h := c.enterColl(func(h *collHub) {
+		h.mu.Lock()
+		h.ideps[c.rank] = send
+		h.mu.Unlock()
+	})
+	out := make([]int64, c.size()*chunk)
+	for r := 0; r < c.size(); r++ {
+		copy(out[r*chunk:(r+1)*chunk], h.ideps[r][c.rank*chunk:(c.rank+1)*chunk])
+	}
+	c.exitColl(h, int64(8*len(send)))
+	return out
+}
+
+// AlltoallvInt64 exchanges variable-size slices: send[j] goes to rank j;
+// the result's element r is what rank r sent to this rank. send must have
+// length Size(); entries may be nil/empty.
+func (c *Comm) AlltoallvInt64(send [][]int64) [][]int64 {
+	if len(send) != c.size() {
+		panic(fmt.Sprintf("mpi: AlltoallvInt64: len(send)=%d, want %d", len(send), c.size()))
+	}
+	h := c.enterColl(func(h *collHub) {
+		h.mu.Lock()
+		h.vdeps[c.rank] = send
+		h.mu.Unlock()
+	})
+	out := make([][]int64, c.size())
+	var bytes int64
+	for r := 0; r < c.size(); r++ {
+		out[r] = append([]int64(nil), h.vdeps[r][c.rank]...)
+		bytes += int64(8 * len(send[r]))
+	}
+	c.exitColl(h, bytes)
+	return out
+}
+
+// AllgatherInt64 gathers each rank's vector onto all ranks; result[r] is
+// rank r's contribution. Contributions may differ in length (MPI's
+// Allgatherv generality).
+func (c *Comm) AllgatherInt64(mine []int64) [][]int64 {
+	h := c.enterColl(func(h *collHub) {
+		h.mu.Lock()
+		h.ideps[c.rank] = mine
+		h.mu.Unlock()
+	})
+	out := make([][]int64, c.size())
+	for r := 0; r < c.size(); r++ {
+		out[r] = append([]int64(nil), h.ideps[r]...)
+	}
+	c.exitColl(h, int64(8*len(mine)))
+	return out
+}
+
+// BcastInt64 broadcasts root's data to all ranks; every rank returns a
+// private copy. Non-root ranks' data argument is ignored (may be nil).
+func (c *Comm) BcastInt64(root int, data []int64) []int64 {
+	c.checkRank(root, "bcast")
+	h := c.enterColl(func(h *collHub) {
+		if c.rank == root {
+			h.mu.Lock()
+			h.ideps[root] = data
+			h.mu.Unlock()
+		}
+	})
+	out := append([]int64(nil), h.ideps[root]...)
+	c.exitColl(h, int64(8*len(out)))
+	return out
+}
+
+// ReduceInt64 combines across ranks like AllreduceInt64, but only root
+// receives the result; other ranks return nil.
+func (c *Comm) ReduceInt64(root int, op ReduceOp, in []int64) []int64 {
+	c.checkRank(root, "reduce")
+	h := c.enterColl(func(h *collHub) {
+		h.mu.Lock()
+		h.ideps[c.rank] = in
+		h.mu.Unlock()
+	})
+	var out []int64
+	if c.rank == root {
+		out = append([]int64(nil), h.ideps[0]...)
+		for r := 1; r < c.size(); r++ {
+			for i, v := range h.ideps[r] {
+				out[i] = op.foldInt64(out[i], v)
+			}
+		}
+	}
+	c.exitColl(h, int64(8*len(in)))
+	return out
+}
+
+// GatherInt64 gathers each rank's vector onto root; root's result[r] is
+// rank r's contribution, other ranks return nil.
+func (c *Comm) GatherInt64(root int, mine []int64) [][]int64 {
+	c.checkRank(root, "gather")
+	h := c.enterColl(func(h *collHub) {
+		h.mu.Lock()
+		h.ideps[c.rank] = mine
+		h.mu.Unlock()
+	})
+	var out [][]int64
+	if c.rank == root {
+		out = make([][]int64, c.size())
+		for r := 0; r < c.size(); r++ {
+			out[r] = append([]int64(nil), h.ideps[r]...)
+		}
+	}
+	c.exitColl(h, int64(8*len(mine)))
+	return out
+}

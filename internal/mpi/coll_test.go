@@ -1,0 +1,234 @@
+package mpi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	rep, err := Run(testCfg(4), func(c *Comm) error {
+		c.Compute(float64(c.Rank()) * 1000) // skew clocks
+		c.Barrier()
+		// After a barrier, all clocks are (at least) the maximum pre-barrier
+		// clock; the slowest rank had ~3000 units.
+		min := 3000 * c.Cost().ComputePerUnit
+		if c.Now() < min {
+			t.Errorf("rank %d clock %g after barrier, want >= %g", c.Rank(), c.Now(), min)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = rep
+}
+
+func TestAllreduceInt64Ops(t *testing.T) {
+	const p = 5
+	_, err := Run(testCfg(p), func(c *Comm) error {
+		r := int64(c.Rank())
+		in := []int64{r + 1, r + 1}
+		sum := c.AllreduceInt64(OpSum, in)
+		if sum[0] != 15 || sum[1] != 15 {
+			t.Errorf("sum = %v, want [15 15]", sum)
+		}
+		if mx := c.AllreduceInt64(OpMax, in); mx[0] != 5 {
+			t.Errorf("max = %v, want 5", mx)
+		}
+		if mn := c.AllreduceInt64(OpMin, in); mn[0] != 1 {
+			t.Errorf("min = %v, want 1", mn)
+		}
+		if pr := c.AllreduceInt64(OpProd, []int64{r + 1}); pr[0] != 120 {
+			t.Errorf("prod = %v, want 120", pr)
+		}
+		land := c.AllreduceInt64(OpLand, []int64{r}) // rank 0 contributes 0
+		if land[0] != 0 {
+			t.Errorf("land = %v, want 0", land)
+		}
+		lor := c.AllreduceInt64(OpLor, []int64{r})
+		if lor[0] != 1 {
+			t.Errorf("lor = %v, want 1", lor)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceFloat64(t *testing.T) {
+	_, err := Run(testCfg(4), func(c *Comm) error {
+		v := []float64{float64(c.Rank()) + 0.5}
+		sum := c.AllreduceFloat64(OpSum, v)
+		if sum[0] != 8.0 { // 0.5+1.5+2.5+3.5
+			t.Errorf("sum = %v, want 8", sum)
+		}
+		mx := c.AllreduceFloat64(OpMax, v)
+		if mx[0] != 3.5 {
+			t.Errorf("max = %v", mx)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallInt64(t *testing.T) {
+	const p, chunk = 4, 2
+	_, err := Run(testCfg(p), func(c *Comm) error {
+		send := make([]int64, p*chunk)
+		for j := 0; j < p; j++ {
+			send[j*chunk] = int64(c.Rank()*100 + j)
+			send[j*chunk+1] = -1
+		}
+		got := c.AlltoallInt64(send, chunk)
+		for j := 0; j < p; j++ {
+			want := int64(j*100 + c.Rank())
+			if got[j*chunk] != want {
+				t.Errorf("rank %d slot %d = %d, want %d", c.Rank(), j, got[j*chunk], want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallvInt64RoundTrip(t *testing.T) {
+	// Property: alltoallv followed by alltoallv of the received data (sent
+	// back to the source) returns the original vectors.
+	const p = 4
+	_, err := Run(testCfg(p), func(c *Comm) error {
+		rng := rand.New(rand.NewSource(int64(c.Rank()) + 1))
+		send := make([][]int64, p)
+		for j := range send {
+			send[j] = make([]int64, rng.Intn(5))
+			for k := range send[j] {
+				send[j][k] = rng.Int63()
+			}
+		}
+		got := c.AlltoallvInt64(send)
+		back := c.AlltoallvInt64(got)
+		for j := range send {
+			if len(back[j]) != len(send[j]) {
+				t.Errorf("rank %d: round trip to %d changed length %d -> %d", c.Rank(), j, len(send[j]), len(back[j]))
+				continue
+			}
+			for k := range send[j] {
+				if back[j][k] != send[j][k] {
+					t.Errorf("rank %d: round trip corrupted element", c.Rank())
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgatherBcastGatherReduce(t *testing.T) {
+	const p = 4
+	_, err := Run(testCfg(p), func(c *Comm) error {
+		all := c.AllgatherInt64([]int64{int64(c.Rank() * 2)})
+		for r := 0; r < p; r++ {
+			if all[r][0] != int64(r*2) {
+				t.Errorf("allgather[%d] = %v", r, all[r])
+			}
+		}
+		var payload []int64
+		if c.Rank() == 2 {
+			payload = []int64{7, 8, 9}
+		}
+		b := c.BcastInt64(2, payload)
+		if len(b) != 3 || b[2] != 9 {
+			t.Errorf("bcast got %v", b)
+		}
+		g := c.GatherInt64(1, []int64{int64(c.Rank())})
+		if c.Rank() == 1 {
+			for r := 0; r < p; r++ {
+				if g[r][0] != int64(r) {
+					t.Errorf("gather[%d] = %v", r, g[r])
+				}
+			}
+		} else if g != nil {
+			t.Error("non-root gather result should be nil")
+		}
+		red := c.ReduceInt64(0, OpSum, []int64{1})
+		if c.Rank() == 0 && red[0] != p {
+			t.Errorf("reduce = %v, want %d", red, p)
+		}
+		if c.Rank() != 0 && red != nil {
+			t.Error("non-root reduce result should be nil")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceMatchesLocalFoldQuick(t *testing.T) {
+	// Property: for random vectors, Allreduce(sum) equals the serial fold.
+	f := func(seed int64, width uint8) bool {
+		p := 3
+		w := int(width%8) + 1
+		rng := rand.New(rand.NewSource(seed))
+		inputs := make([][]int64, p)
+		for r := range inputs {
+			inputs[r] = make([]int64, w)
+			for i := range inputs[r] {
+				inputs[r][i] = rng.Int63n(1 << 30)
+			}
+		}
+		want := make([]int64, w)
+		for _, in := range inputs {
+			for i, v := range in {
+				want[i] += v
+			}
+		}
+		ok := true
+		_, err := Run(testCfg(p), func(c *Comm) error {
+			got := c.AllreduceInt64(OpSum, inputs[c.Rank()])
+			for i := range want {
+				if got[i] != want[i] {
+					ok = false
+				}
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectiveDeterministicAcrossRanks(t *testing.T) {
+	// Float reductions fold in rank order everywhere, so all ranks get
+	// bit-identical results.
+	const p = 6
+	_, err := Run(testCfg(p), func(c *Comm) error {
+		in := []float64{0.1 * float64(c.Rank()+1)}
+		out := c.AllreduceFloat64(OpSum, in)
+		all := c.AllgatherInt64([]int64{int64(floatBits(out[0]))})
+		for r := 1; r < p; r++ {
+			if all[r][0] != all[0][0] {
+				t.Error("float allreduce result differs between ranks")
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func floatBits(f float64) uint64 {
+	return math.Float64bits(f)
+}

@@ -1,0 +1,329 @@
+// Package mpi implements an in-process, MPI-3-like message-passing runtime.
+//
+// The runtime exists so that distributed-memory SPMD codes written against
+// the three MPI communication models studied by Ghosh et al. (IPDPS 2019) —
+// nonblocking point-to-point Send-Recv, one-sided Remote Memory Access
+// (RMA), and neighborhood collectives over a distributed graph topology —
+// can run, unmodified in structure, inside a single Go process: every MPI
+// rank is a goroutine, every message is really delivered, and every
+// synchronization primitive really synchronizes.
+//
+// In addition to functional semantics the runtime keeps two ledgers:
+//
+//   - Traffic statistics: per-rank and per-pair message and byte counts for
+//     every primitive, plus buffer high-water marks, mirroring what tools
+//     like TAU and CrayPat report on a real machine.
+//
+//   - A deterministic virtual clock per rank, advanced by a configurable
+//     LogGP-style cost model (see CostModel). Message receive operations
+//     never observe data "before" it was sent: arrival times propagate
+//     through messages, and collectives synchronize clocks. The maximum
+//     rank clock at the end of a run is the modeled parallel execution
+//     time, which is what the benchmark harness reports.
+//
+// Ranks communicate through typed []int64 payloads; higher layers encode
+// their records into int64 words (8 bytes each for accounting purposes).
+//
+// Usage:
+//
+//	rep, err := mpi.Run(cfg, func(c *mpi.Comm) error {
+//	    if c.Rank() == 0 {
+//	        c.Isend(1, 7, []int64{42})
+//	    } else if c.Rank() == 1 {
+//	        data, _ := c.Recv(0, 7)
+//	        _ = data
+//	    }
+//	    c.Barrier()
+//	    return nil
+//	})
+//
+// API errors that correspond to MPI usage errors (bad rank, negative tag)
+// panic, mirroring the default MPI_ERRORS_ARE_FATAL behavior; errors
+// returned from rank bodies abort the run and are reported by Run.
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Wildcard values for Recv, Probe and Iprobe, mirroring MPI_ANY_SOURCE and
+// MPI_ANY_TAG.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Config describes a runtime instance.
+type Config struct {
+	// Procs is the number of ranks (goroutines) to launch. Must be >= 1.
+	Procs int
+
+	// Cost is the virtual-time cost model. Nil selects DefaultCostModel.
+	Cost *CostModel
+
+	// TrackMatrices enables per-pair message/byte matrices (O(P^2) memory
+	// per enabled run). Scalar counters are always collected.
+	TrackMatrices bool
+
+	// Deadline aborts a run (with a full goroutine dump) if the ranks have
+	// not all returned within this wall-clock duration. Zero disables the
+	// watchdog. The watchdog exists to turn accidental communication
+	// deadlocks into actionable failures instead of hangs.
+	Deadline time.Duration
+
+	// TraceWaits records every rank's blocked intervals for
+	// Report.WaitSpans / Report.RenderTimeline.
+	TraceWaits bool
+}
+
+// World holds the shared state of one runtime instance. A World is created
+// by Run and lives for the duration of one SPMD execution.
+type World struct {
+	n         int
+	cost      *CostModel
+	matrices  bool
+	mailboxes []*mailbox
+	hub       *collHub
+	stats     []*RankStats
+
+	topoMu  sync.Mutex
+	topoSeq int
+
+	winMu  sync.Mutex
+	winSeq int
+
+	ctxMu  sync.Mutex
+	ctxSeq int32
+}
+
+// procState is the per-process (per-goroutine) mutable state shared by
+// every communicator handle the process holds: one virtual clock, one
+// statistics ledger, one trace buffer.
+type procState struct {
+	now   float64
+	rs    *RankStats
+	trace *[]WaitSpan
+}
+
+// Comm is a rank's handle to a communicator. Exactly one goroutine (the
+// rank body) may use a given Comm; a process may hold several Comms
+// (the world plus any produced by Split), all sharing one clock and
+// ledger. All communication, timing and statistics methods hang off
+// Comm.
+type Comm struct {
+	w     *World
+	wrank int   // rank in the world (mailbox / ledger index)
+	rank  int   // rank within this communicator
+	group []int // comm rank -> world rank; nil for the world communicator
+	hub   *collHub
+	ctx   int32 // communicator id isolating point-to-point traffic
+	ps    *procState
+}
+
+// size returns the number of ranks in this communicator.
+func (c *Comm) size() int {
+	if c.group == nil {
+		return c.w.n
+	}
+	return len(c.group)
+}
+
+// worldRank translates a rank of this communicator to a world rank.
+func (c *Comm) worldRank(r int) int {
+	if c.group == nil {
+		return r
+	}
+	return c.group[r]
+}
+
+// Report summarizes a completed run.
+type Report struct {
+	// Procs is the number of ranks that ran.
+	Procs int
+	// MaxVirtualTime is the modeled parallel execution time in seconds:
+	// the maximum final virtual clock over all ranks.
+	MaxVirtualTime float64
+	// TotalVirtualTime is the sum of final clocks (useful for averages).
+	TotalVirtualTime float64
+	// Wall is the real elapsed time of the run.
+	Wall time.Duration
+	// Stats holds the per-rank statistics ledgers.
+	Stats []*RankStats
+
+	waits [][]WaitSpan
+}
+
+// Run launches cfg.Procs rank goroutines executing body and waits for all
+// of them. It returns a Report with traffic statistics and the modeled
+// virtual time. If any rank body returns an error or panics, Run returns
+// an error describing the first few failures (the Report is still valid
+// for whatever completed).
+func Run(cfg Config, body func(c *Comm) error) (*Report, error) {
+	if cfg.Procs < 1 {
+		panic(fmt.Sprintf("mpi: Config.Procs must be >= 1, got %d", cfg.Procs))
+	}
+	cost := cfg.Cost
+	if cost == nil {
+		cost = DefaultCostModel()
+	}
+	w := &World{
+		n:         cfg.Procs,
+		cost:      cost,
+		matrices:  cfg.TrackMatrices,
+		mailboxes: make([]*mailbox, cfg.Procs),
+		hub:       newCollHub(cfg.Procs),
+		stats:     make([]*RankStats, cfg.Procs),
+	}
+	for i := range w.mailboxes {
+		w.mailboxes[i] = newMailbox()
+		w.stats[i] = newRankStats(i, cfg.Procs, cfg.TrackMatrices)
+	}
+
+	var (
+		wg     sync.WaitGroup
+		errMu  sync.Mutex
+		errs   []error
+		comms  = make([]*Comm, cfg.Procs)
+		start  = time.Now()
+		doneCh = make(chan struct{})
+	)
+	var waits [][]WaitSpan
+	if cfg.TraceWaits {
+		waits = make([][]WaitSpan, cfg.Procs)
+	}
+	for r := 0; r < cfg.Procs; r++ {
+		ps := &procState{rs: w.stats[r]}
+		if waits != nil {
+			ps.trace = &waits[r]
+		}
+		c := &Comm{w: w, wrank: r, rank: r, hub: w.hub, ps: ps}
+		comms[r] = c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					buf := make([]byte, 16<<10)
+					buf = buf[:runtime.Stack(buf, false)]
+					errMu.Lock()
+					errs = append(errs, fmt.Errorf("rank %d panicked: %v\n%s", c.wrank, p, buf))
+					errMu.Unlock()
+					// Unblock peers that may be blocked waiting anywhere.
+					w.poison()
+				}
+			}()
+			if err := body(c); err != nil {
+				errMu.Lock()
+				errs = append(errs, fmt.Errorf("rank %d: %w", c.wrank, err))
+				errMu.Unlock()
+			}
+		}()
+	}
+	go func() { wg.Wait(); close(doneCh) }()
+
+	if cfg.Deadline > 0 {
+		select {
+		case <-doneCh:
+		case <-time.After(cfg.Deadline):
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			panic(fmt.Sprintf("mpi: run exceeded deadline %v (likely communication deadlock); goroutines:\n%s", cfg.Deadline, buf))
+		}
+	} else {
+		<-doneCh
+	}
+
+	for i, mb := range w.mailboxes {
+		w.stats[i].QueueHighWater = mb.highWater()
+	}
+	rep := &Report{Procs: cfg.Procs, Wall: time.Since(start), Stats: w.stats, waits: waits}
+	for _, c := range comms {
+		rep.MaxVirtualTime = math.Max(rep.MaxVirtualTime, c.ps.now)
+		rep.TotalVirtualTime += c.ps.now
+	}
+	errMu.Lock()
+	defer errMu.Unlock()
+	if len(errs) > 0 {
+		sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+		if len(errs) > 3 {
+			errs = errs[:3]
+		}
+		return rep, fmt.Errorf("mpi: %d rank failure(s); first: %w", len(errs), errs[0])
+	}
+	return rep, nil
+}
+
+// Rank returns this process's rank within this communicator, in
+// [0, Size()).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in this communicator.
+func (c *Comm) Size() int { return c.size() }
+
+// WorldRank returns this process's rank in the world communicator.
+func (c *Comm) WorldRank() int { return c.wrank }
+
+// Now returns this rank's current virtual clock in seconds.
+func (c *Comm) Now() float64 { return c.ps.now }
+
+// Cost returns the cost model in effect.
+func (c *Comm) Cost() *CostModel { return c.w.cost }
+
+// Stats returns this rank's statistics ledger. The ledger must only be
+// inspected by this rank while the run is live; after Run returns, all
+// ledgers may be read freely from the Report.
+func (c *Comm) Stats() *RankStats { return c.ps.rs }
+
+// Compute charges units of local computation to this rank's virtual clock
+// using CostModel.ComputePerUnit. A "unit" is deliberately abstract: the
+// matching and BFS codes charge one unit per adjacency entry scanned or
+// per protocol event handled.
+func (c *Comm) Compute(units float64) {
+	dt := units * c.w.cost.ComputePerUnit
+	c.ps.now += dt
+	c.ps.rs.CompTime += dt
+}
+
+// AdvanceTime adds dt seconds of miscellaneous local activity to the
+// virtual clock without classifying it as compute or communication.
+func (c *Comm) AdvanceTime(dt float64) {
+	if dt < 0 {
+		panic("mpi: AdvanceTime with negative duration")
+	}
+	c.ps.now += dt
+}
+
+// AccountAlloc records bytes of application communication-buffer memory
+// against this rank (window memory, aggregation buffers). Use a negative
+// value to record a release. The high-water mark feeds the Table VIII
+// style memory reports.
+func (c *Comm) AccountAlloc(bytes int64) { c.ps.rs.accountAlloc(bytes) }
+
+// chargeComm adds dt of communication time to the clock and the ledger.
+func (c *Comm) chargeComm(dt float64) {
+	c.ps.now += dt
+	c.ps.rs.CommTime += dt
+}
+
+// waitUntil advances the clock to at least t, booking the idle gap as
+// communication (wait) time.
+func (c *Comm) waitUntil(t float64) {
+	if t > c.ps.now {
+		c.ps.rs.CommTime += t - c.ps.now
+		c.noteWait(c.ps.now, t)
+		c.ps.now = t
+	}
+}
+
+func (c *Comm) mbox() *mailbox { return c.w.mailboxes[c.wrank] }
+
+func (c *Comm) checkRank(r int, what string) {
+	if r < 0 || r >= c.size() {
+		panic(fmt.Sprintf("mpi: %s: rank %d out of range [0,%d)", what, r, c.size()))
+	}
+}

@@ -1,0 +1,80 @@
+package mpi
+
+import "fmt"
+
+// NbrRequest is an in-flight nonblocking neighborhood collective started
+// with INeighborAlltoallvInt64 (the analogue of MPI_Ineighbor_alltoallv
+// from MPI-3's nonblocking collectives). The caller may compute while the
+// exchange progresses and must eventually call Wait (or poll Test until
+// completion) exactly once.
+//
+// Real MPI requires receive counts when the operation is posted; the
+// runtime sizes receives from the arriving messages instead, which models
+// an implementation with preposted maximum-size buffers — valid whenever
+// the application can bound per-neighbor volume, as the matching protocol
+// can (MaxMessagesPerCrossEdge).
+type NbrRequest struct {
+	t        *Topo
+	seq      int64
+	finished bool
+}
+
+// INeighborAlltoallvInt64 starts a nonblocking neighborhood all-to-all:
+// send[i] is delivered to neighbor i. The injection cost is charged at
+// start; transit overlaps with whatever the caller does before Wait.
+func (t *Topo) INeighborAlltoallvInt64(send [][]int64) *NbrRequest {
+	if len(send) != len(t.neighbors) {
+		panic(fmt.Sprintf("mpi: INeighborAlltoallvInt64: len(send)=%d, want degree %d", len(send), len(t.neighbors)))
+	}
+	c := t.c
+	cost := c.w.cost
+	seq := t.seq
+	t.seq++
+	c.ps.rs.NbrCollCount++
+	c.chargeComm(cost.AlphaNbrCall)
+	for i, nb := range t.neighbors {
+		bytes := int64(8 * len(send[i]))
+		c.chargeComm(cost.AlphaNbr + cost.BetaNbr*float64(bytes))
+		c.internalSend(nb, t.itag(seq), send[i], cost.AlphaNbr, cost.BetaNbr, (*RankStats).noteNbrChunk)
+	}
+	return &NbrRequest{t: t, seq: seq}
+}
+
+// Wait blocks until every neighbor's contribution has arrived and
+// returns them in neighbor order. The caller's clock advances only to
+// the latest arrival — time spent computing since the start overlaps the
+// transfer, which is the point of the nonblocking form.
+func (r *NbrRequest) Wait() [][]int64 {
+	if r.finished {
+		panic("mpi: NbrRequest.Wait called twice")
+	}
+	r.finished = true
+	c := r.t.c
+	out := make([][]int64, len(r.t.neighbors))
+	for i, nb := range r.t.neighbors {
+		out[i] = c.internalRecv(nb, r.t.itag(r.seq))
+	}
+	return out
+}
+
+// Test reports whether the exchange has completed without blocking; when
+// it has, the received contributions are returned and the request is
+// finished (as MPI_Test frees the request). A small probe cost is
+// charged per poll.
+func (r *NbrRequest) Test() ([][]int64, bool) {
+	if r.finished {
+		panic("mpi: NbrRequest.Test called after completion")
+	}
+	c := r.t.c
+	c.chargeComm(c.w.cost.ProbeOverhead)
+	mb := c.mbox()
+	mb.mu.Lock()
+	for _, nb := range r.t.neighbors {
+		if mb.match(nb, 0, r.t.itag(r.seq), 0, false) == nil {
+			mb.mu.Unlock()
+			return nil, false
+		}
+	}
+	mb.mu.Unlock()
+	return r.Wait(), true
+}

@@ -1,0 +1,299 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Status describes a received or probed message, like MPI_Status.
+type Status struct {
+	Source int
+	Tag    int
+	Count  int // number of int64 words in the payload
+}
+
+// message is an in-flight payload. itag != 0 marks runtime-internal
+// traffic (neighborhood collectives, RMA control) which is invisible to
+// user-level Recv/Probe.
+type message struct {
+	src    int // sender's rank within the sending communicator
+	tag    int
+	itag   int64
+	mctx   int32 // communicator id (user-level traffic only)
+	data   []int64
+	bytes  int64
+	arrive float64 // virtual arrival time at the receiver
+}
+
+// mailbox is one rank's receive queue. Senders push under mu; the owner
+// scans for matches. FIFO order per (src,tag) gives MPI's non-overtaking
+// guarantee.
+type mailbox struct {
+	mu       sync.Mutex
+	cv       *sync.Cond
+	q        []*message
+	queued   int64 // bytes currently queued (eager-buffer occupancy)
+	hw       int64 // high-water of queued
+	poisoned bool
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cv = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) push(m *message) {
+	mb.mu.Lock()
+	mb.q = append(mb.q, m)
+	mb.queued += m.bytes
+	if mb.queued > mb.hw {
+		mb.hw = mb.queued
+	}
+	mb.mu.Unlock()
+	mb.cv.Broadcast()
+}
+
+// match finds the queued message matching (src, tag, itag) with the
+// earliest virtual arrival time and, if remove is set, dequeues it.
+// Returns nil when nothing matches.
+//
+// Selecting by virtual arrival rather than physical queue position
+// matters for timing fidelity: goroutine scheduling (especially on few
+// cores) can enqueue a late-stamped message ahead of an early-stamped
+// one, and processing the late one first would ratchet the receiver's
+// clock and contaminate every subsequent reply with artificial delay.
+// Ties (and messages from one source, whose stamps are monotone) retain
+// FIFO order, preserving MPI's non-overtaking guarantee.
+func (mb *mailbox) match(src, tag int, itag int64, mctx int32, remove bool) *message {
+	best := -1
+	for i, m := range mb.q {
+		if m.itag != itag {
+			continue
+		}
+		if itag == 0 {
+			if m.mctx != mctx {
+				continue
+			}
+			if src != AnySource && m.src != src {
+				continue
+			}
+			if tag != AnyTag && m.tag != tag {
+				continue
+			}
+		} else if m.src != src {
+			continue
+		}
+		if best < 0 || m.arrive < mb.q[best].arrive {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	m := mb.q[best]
+	if remove {
+		mb.q = append(mb.q[:best], mb.q[best+1:]...)
+		mb.queued -= m.bytes
+	}
+	return m
+}
+
+func (mb *mailbox) poison() {
+	mb.mu.Lock()
+	mb.poisoned = true
+	mb.mu.Unlock()
+	mb.cv.Broadcast()
+}
+
+func (mb *mailbox) highWater() int64 {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.hw
+}
+
+// poison unblocks every rank in the world after a failure so the run can
+// unwind instead of deadlocking.
+func (w *World) poison() {
+	w.hub.poison()
+	for _, mb := range w.mailboxes {
+		mb.poison()
+	}
+}
+
+// Isend posts a nonblocking standard-mode send of data to rank dst with
+// the given tag (tag must be >= 0). The payload is copied, so the caller
+// may immediately reuse data — this mirrors MPI eager-protocol semantics,
+// under which small sends complete locally and the message is buffered at
+// the receiver. The sender is charged only its software send overhead.
+func (c *Comm) Isend(dst, tag int, data []int64) {
+	c.send(dst, tag, data, false)
+}
+
+// Send is a blocking standard-mode send. Under the runtime's eager
+// delivery it is equivalent to Isend; it exists so ported code reads
+// naturally.
+func (c *Comm) Send(dst, tag int, data []int64) {
+	c.send(dst, tag, data, false)
+}
+
+// Ssend is a synchronous-mode send: functionally identical to Send, but
+// the sender is additionally charged a rendezvous round trip
+// (CostModel.SyncSendRTT). The MatchBox-P baseline model uses this.
+func (c *Comm) Ssend(dst, tag int, data []int64) {
+	c.send(dst, tag, data, true)
+}
+
+func (c *Comm) send(dst, tag int, data []int64, sync bool) {
+	c.checkRank(dst, "send")
+	if tag < 0 {
+		panic(fmt.Sprintf("mpi: send with negative tag %d (tags < 0 are reserved)", tag))
+	}
+	m := &message{src: c.rank, tag: tag, mctx: c.ctx, data: append([]int64(nil), data...)}
+	m.bytes = int64(8 * len(m.data))
+	cost := c.w.cost
+	c.chargeComm(cost.SendOverhead)
+	if sync {
+		c.chargeComm(cost.SyncSendRTT)
+		c.ps.rs.SyncSends++
+	}
+	m.arrive = c.ps.now + cost.AlphaP2P + cost.BetaP2P*float64(m.bytes)
+	c.ps.rs.noteSend(c.worldRank(dst), m.bytes)
+	c.w.mailboxes[c.worldRank(dst)].push(m)
+}
+
+// Recv blocks until a message matching (src, tag) is available and returns
+// its payload. src may be AnySource and tag may be AnyTag. The receiver's
+// clock advances to at least the message's arrival time.
+func (c *Comm) Recv(src, tag int) ([]int64, Status) {
+	if src != AnySource {
+		c.checkRank(src, "recv")
+	}
+	mb := c.mbox()
+	mb.mu.Lock()
+	var m *message
+	for {
+		if m = mb.match(src, tag, 0, c.ctx, true); m != nil {
+			break
+		}
+		if mb.poisoned {
+			mb.mu.Unlock()
+			panic("mpi: Recv aborted: a peer rank failed")
+		}
+		mb.cv.Wait()
+	}
+	mb.mu.Unlock()
+	c.completeRecv(m)
+	return m.data, Status{Source: m.src, Tag: m.tag, Count: len(m.data)}
+}
+
+// Iprobe checks, without blocking, whether a message matching (src, tag)
+// is queued. It charges the probe overhead so that poll-heavy code (the
+// Send-Recv matching driver) pays for its polling, as it does under MPI.
+func (c *Comm) Iprobe(src, tag int) (bool, Status) {
+	if src != AnySource {
+		c.checkRank(src, "iprobe")
+	}
+	c.chargeComm(c.w.cost.ProbeOverhead)
+	c.ps.rs.ProbeCount++
+	mb := c.mbox()
+	mb.mu.Lock()
+	m := mb.match(src, tag, 0, c.ctx, false)
+	mb.mu.Unlock()
+	if m == nil {
+		return false, Status{}
+	}
+	c.ps.rs.ProbeHits++
+	return true, Status{Source: m.src, Tag: m.tag, Count: len(m.data)}
+}
+
+// Probe blocks until a message matching (src, tag) is queued and returns
+// its status without receiving it.
+func (c *Comm) Probe(src, tag int) Status {
+	if src != AnySource {
+		c.checkRank(src, "probe")
+	}
+	c.chargeComm(c.w.cost.ProbeOverhead)
+	c.ps.rs.ProbeCount++
+	mb := c.mbox()
+	mb.mu.Lock()
+	var m *message
+	for {
+		if m = mb.match(src, tag, 0, c.ctx, false); m != nil {
+			break
+		}
+		if mb.poisoned {
+			mb.mu.Unlock()
+			panic("mpi: Probe aborted: a peer rank failed")
+		}
+		mb.cv.Wait()
+	}
+	mb.mu.Unlock()
+	c.ps.rs.ProbeHits++
+	c.waitUntil(m.arrive)
+	return Status{Source: m.src, Tag: m.tag, Count: len(m.data)}
+}
+
+// completeRecv applies receive-side timing and accounting for m.
+func (c *Comm) completeRecv(m *message) {
+	rs := c.ps.rs
+	if d := m.arrive - c.ps.now; d > 0 {
+		rs.RecvWaitTime += d
+		if d > rs.MaxRecvWait {
+			rs.MaxRecvWait = d
+			rs.MaxRecvWaitSrc = m.src
+		}
+	}
+	c.waitUntil(m.arrive)
+	c.chargeComm(c.w.cost.RecvOverhead)
+	rs.RecvCount++
+	rs.RecvBytes += m.bytes
+}
+
+// internalSend delivers runtime-internal traffic (neighborhood collective
+// chunks, RMA control messages) outside the user tag space. alpha/beta
+// select the cost category; note attributes the traffic in the ledger.
+func (c *Comm) internalSend(dst int, itag int64, data []int64, alpha, beta float64, note func(rs *RankStats, dst int, bytes int64)) {
+	m := &message{src: c.rank, itag: itag, data: append([]int64(nil), data...)}
+	m.bytes = int64(8 * len(m.data))
+	m.arrive = c.ps.now + alpha + beta*float64(m.bytes)
+	if note != nil {
+		note(c.ps.rs, c.worldRank(dst), m.bytes)
+	}
+	c.w.mailboxes[c.worldRank(dst)].push(m)
+}
+
+// internalRecv blocks for an internal message from src with the exact itag.
+func (c *Comm) internalRecv(src int, itag int64) []int64 {
+	mb := c.mbox()
+	mb.mu.Lock()
+	var m *message
+	for {
+		if m = mb.match(src, 0, itag, 0, true); m != nil {
+			break
+		}
+		if mb.poisoned {
+			mb.mu.Unlock()
+			panic("mpi: internal recv aborted: a peer rank failed")
+		}
+		mb.cv.Wait()
+	}
+	mb.mu.Unlock()
+	c.waitUntil(m.arrive)
+	return m.data
+}
+
+// PendingMessages returns how many user-level messages are queued for this
+// rank (diagnostic; used by tests to verify clean shutdown).
+func (c *Comm) PendingMessages() int {
+	mb := c.mbox()
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	n := 0
+	for _, m := range mb.q {
+		if m.itag == 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,333 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+)
+
+func testCfg(p int) Config {
+	return Config{Procs: p, TrackMatrices: true, Deadline: 30 * time.Second}
+}
+
+func TestSendRecvBasic(t *testing.T) {
+	rep, err := Run(testCfg(2), func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Isend(1, 7, []int64{1, 2, 3})
+		} else {
+			data, st := c.Recv(0, 7)
+			if st.Source != 0 || st.Tag != 7 || st.Count != 3 {
+				t.Errorf("status = %+v, want src 0 tag 7 count 3", st)
+			}
+			if data[0] != 1 || data[1] != 2 || data[2] != 3 {
+				t.Errorf("data = %v", data)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats[0].SendCount != 1 || rep.Stats[0].SendBytes != 24 {
+		t.Errorf("sender stats = %+v", rep.Stats[0])
+	}
+	if rep.Stats[1].RecvCount != 1 || rep.Stats[1].RecvBytes != 24 {
+		t.Errorf("receiver stats = %+v", rep.Stats[1])
+	}
+}
+
+func TestSendBufferReusable(t *testing.T) {
+	_, err := Run(testCfg(2), func(c *Comm) error {
+		if c.Rank() == 0 {
+			buf := []int64{42}
+			c.Isend(1, 0, buf)
+			buf[0] = 99 // must not affect the in-flight message
+		} else {
+			data, _ := c.Recv(0, 0)
+			if data[0] != 42 {
+				t.Errorf("got %d, want 42 (send buffer not copied)", data[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvAnySourceAnyTag(t *testing.T) {
+	_, err := Run(testCfg(4), func(c *Comm) error {
+		if c.Rank() != 0 {
+			c.Isend(0, 10+c.Rank(), []int64{int64(c.Rank())})
+			return nil
+		}
+		seen := map[int64]bool{}
+		for i := 0; i < 3; i++ {
+			data, st := c.Recv(AnySource, AnyTag)
+			if int64(st.Source) != data[0] {
+				t.Errorf("source %d but payload %d", st.Source, data[0])
+			}
+			if st.Tag != 10+st.Source {
+				t.Errorf("tag %d from %d", st.Tag, st.Source)
+			}
+			seen[data[0]] = true
+		}
+		if len(seen) != 3 {
+			t.Errorf("saw %d distinct senders, want 3", len(seen))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonOvertakingOrder(t *testing.T) {
+	// Messages from one sender with one tag must arrive in send order.
+	const k = 50
+	_, err := Run(testCfg(2), func(c *Comm) error {
+		if c.Rank() == 0 {
+			for i := int64(0); i < k; i++ {
+				c.Isend(1, 3, []int64{i})
+			}
+			return nil
+		}
+		for i := int64(0); i < k; i++ {
+			data, _ := c.Recv(0, 3)
+			if data[0] != i {
+				t.Errorf("message %d arrived out of order (got %d)", i, data[0])
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagSelectivity(t *testing.T) {
+	_, err := Run(testCfg(2), func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Isend(1, 1, []int64{1})
+			c.Isend(1, 2, []int64{2})
+			return nil
+		}
+		// Receive tag 2 first even though tag 1 was sent earlier.
+		d2, _ := c.Recv(0, 2)
+		d1, _ := c.Recv(0, 1)
+		if d2[0] != 2 || d1[0] != 1 {
+			t.Errorf("tag-selective receive failed: %v %v", d2, d1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIprobe(t *testing.T) {
+	_, err := Run(testCfg(2), func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Isend(1, 5, []int64{11, 22})
+			return nil
+		}
+		// Wait for the message to land, then probe.
+		st := c.Probe(0, AnyTag)
+		if st.Tag != 5 || st.Count != 2 {
+			t.Errorf("probe status %+v", st)
+		}
+		ok, st2 := c.Iprobe(AnySource, 5)
+		if !ok || st2.Source != 0 {
+			t.Errorf("iprobe: ok=%v st=%+v", ok, st2)
+		}
+		// Probe must not consume: message still receivable.
+		data, _ := c.Recv(0, 5)
+		if len(data) != 2 || data[0] != 11 {
+			t.Errorf("after probes, recv got %v", data)
+		}
+		// Now the queue is empty.
+		if ok, _ := c.Iprobe(AnySource, AnyTag); ok {
+			t.Error("iprobe found a message after all were received")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSsendCharges(t *testing.T) {
+	var tSync, tEager float64
+	for _, sync := range []bool{false, true} {
+		rep, err := Run(testCfg(2), func(c *Comm) error {
+			if c.Rank() == 0 {
+				for i := 0; i < 10; i++ {
+					if sync {
+						c.Ssend(1, 0, []int64{1})
+					} else {
+						c.Isend(1, 0, []int64{1})
+					}
+				}
+			} else {
+				for i := 0; i < 10; i++ {
+					c.Recv(0, 0)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sync {
+			tSync = rep.MaxVirtualTime
+			if rep.Stats[0].SyncSends != 10 {
+				t.Errorf("SyncSends = %d, want 10", rep.Stats[0].SyncSends)
+			}
+		} else {
+			tEager = rep.MaxVirtualTime
+		}
+	}
+	if tSync <= tEager {
+		t.Errorf("synchronous sends (%g) should model slower than eager (%g)", tSync, tEager)
+	}
+}
+
+func TestVirtualTimeCausality(t *testing.T) {
+	// A receiver that posts Recv "early" must still observe an arrival
+	// time no earlier than the sender's send time plus latency.
+	rep, err := Run(testCfg(2), func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Compute(1e6) // sender is busy for a long virtual while
+			c.Isend(1, 0, []int64{1})
+		} else {
+			before := c.Now()
+			c.Recv(0, 0)
+			if c.Now() <= before {
+				t.Error("receiver clock did not advance across a blocking recv")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := DefaultCostModel()
+	wantMin := 1e6 * m.ComputePerUnit
+	if rep.MaxVirtualTime < wantMin {
+		t.Errorf("MaxVirtualTime = %g, want >= %g (receiver must wait for busy sender)", rep.MaxVirtualTime, wantMin)
+	}
+}
+
+func TestMessageMatrix(t *testing.T) {
+	rep, err := Run(testCfg(3), func(c *Comm) error {
+		next := (c.Rank() + 1) % 3
+		c.Isend(next, 0, []int64{0, 0}) // 16 bytes
+		c.Recv((c.Rank()+2)%3, 0)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm := MsgMatrix(rep.Stats)
+	bm := ByteMatrix(rep.Stats)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			wantM, wantB := int64(0), int64(0)
+			if j == (i+1)%3 {
+				wantM, wantB = 1, 16
+			}
+			if mm[i][j] != wantM || bm[i][j] != wantB {
+				t.Errorf("matrix[%d][%d] = (%d,%d), want (%d,%d)", i, j, mm[i][j], bm[i][j], wantM, wantB)
+			}
+		}
+	}
+}
+
+func TestQueueHighWater(t *testing.T) {
+	rep, err := Run(testCfg(2), func(c *Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < 4; i++ {
+				c.Isend(1, 0, []int64{1, 2, 3, 4}) // 32 bytes each
+			}
+			c.Barrier()
+		} else {
+			c.Barrier() // let all four queue up before receiving
+			for i := 0; i < 4; i++ {
+				c.Recv(0, 0)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw := rep.Stats[1].QueueHighWater; hw != 128 {
+		t.Errorf("receiver queue high-water = %d, want 128", hw)
+	}
+	if hw := rep.Stats[0].QueueHighWater; hw != 0 {
+		t.Errorf("sender queue high-water = %d, want 0", hw)
+	}
+}
+
+func TestRankFailurePropagates(t *testing.T) {
+	_, err := Run(testCfg(2), func(c *Comm) error {
+		if c.Rank() == 0 {
+			panic("deliberate test failure")
+		}
+		c.Recv(0, 0) // would deadlock without poisoning
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected an error from a panicking rank")
+	}
+}
+
+func TestSelfSend(t *testing.T) {
+	_, err := Run(testCfg(1), func(c *Comm) error {
+		c.Isend(0, 9, []int64{5})
+		data, st := c.Recv(0, 9)
+		if data[0] != 5 || st.Source != 0 {
+			t.Errorf("self-send got %v %+v", data, st)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPendingMessagesDiagnostic(t *testing.T) {
+	_, err := Run(testCfg(2), func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Isend(1, 0, []int64{1})
+		}
+		c.Barrier()
+		if c.Rank() == 1 {
+			if n := c.PendingMessages(); n != 1 {
+				t.Errorf("pending = %d, want 1", n)
+			}
+			c.Recv(0, 0)
+			if n := c.PendingMessages(); n != 0 {
+				t.Errorf("pending after recv = %d, want 0", n)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlineWatchdogFires(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected the watchdog to panic on a deadlocked run")
+		}
+	}()
+	Run(Config{Procs: 2, Deadline: 200 * time.Millisecond}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Recv(1, 0) // never sent: deadlock
+		}
+		return nil
+	})
+}

@@ -1,0 +1,255 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Win is an MPI-3 RMA window: every rank exposes a local buffer of int64
+// words that any other rank can target with one-sided Put, Get and atomic
+// operations. The runtime models passive-target synchronization
+// (MPI_Win_lock_all / MPI_Win_unlock_all around an epoch, with
+// MPI_Win_flush_all to complete outstanding operations), which is the mode
+// the paper's RMA implementation uses.
+//
+// Consistency contract (identical to MPI's separate memory model used
+// correctly): a target may read a window region that a peer Put into only
+// after some synchronizing communication from the origin informs it the
+// data is there — in the matching code, the per-round neighborhood count
+// exchange, exactly as in the paper (§IV-D). Put data is physically
+// applied on delivery under a per-target lock, so conforming access
+// patterns are race-free.
+type Win struct {
+	w     *World
+	id    int64
+	size  int
+	bufs  [][]int64
+	locks []sync.Mutex
+}
+
+// winView is a rank's handle to a window; pending tracks bytes put since
+// the last flush for virtual-time draining.
+type winView struct {
+	win            *Win
+	c              *Comm
+	pending        int64
+	pendingTargets map[int]struct{}
+	locked         bool
+}
+
+// WinHandle is what ranks use to operate on a window.
+type WinHandle = *winView
+
+// WinCreate collectively creates an RMA window with a local buffer of
+// localSize int64 words on every rank (sizes may differ per rank). The
+// buffer memory is charged to the rank's allocation ledger.
+func (c *Comm) WinCreate(localSize int) WinHandle {
+	if localSize < 0 {
+		panic(fmt.Sprintf("mpi: WinCreate: negative size %d", localSize))
+	}
+	var id int64
+	if c.rank == 0 {
+		c.w.winMu.Lock()
+		c.w.winSeq++
+		id = int64(c.w.winSeq)
+		c.w.winMu.Unlock()
+	}
+	id = c.BcastInt64(0, []int64{id})[0]
+
+	buf := make([]int64, localSize)
+	c.AccountAlloc(int64(8 * localSize))
+
+	// Share buffer references through the hub.
+	h := c.enterColl(func(h *collHub) {
+		h.mu.Lock()
+		h.adeps[c.rank] = buf
+		h.mu.Unlock()
+	})
+	var win *Win
+	if c.rank == 0 {
+		win = &Win{w: c.w, id: id, size: localSize}
+		win.bufs = make([][]int64, c.size())
+		win.locks = make([]sync.Mutex, c.size())
+		for r := 0; r < c.size(); r++ {
+			win.bufs[r] = h.adeps[r].([]int64)
+		}
+		h.mu.Lock()
+		h.adeps[0] = win
+		h.mu.Unlock()
+	}
+	c.exitColl(h, 8)
+	// Second rendezvous so non-root ranks can pick up the Win object.
+	h = c.enterColl(nil)
+	win = h.adeps[0].(*Win)
+	c.exitColl(h, 8)
+
+	return &winView{win: win, c: c, pendingTargets: make(map[int]struct{})}
+}
+
+// Free collectively releases the window and returns its memory to the
+// allocation ledger.
+func (v *winView) Free() {
+	c := v.c
+	c.Barrier()
+	c.AccountAlloc(int64(-8 * len(v.win.bufs[c.rank])))
+}
+
+// LockAll opens a passive-target access epoch on all ranks (cheap: the
+// runtime's windows are always accessible; the call exists for fidelity
+// and charges a small synchronization cost).
+func (v *winView) LockAll() {
+	if v.locked {
+		panic("mpi: LockAll: epoch already open")
+	}
+	v.locked = true
+	v.c.chargeComm(v.c.w.cost.AlphaFlush)
+}
+
+// UnlockAll closes the passive-target epoch, completing all outstanding
+// operations like FlushAll.
+func (v *winView) UnlockAll() {
+	if !v.locked {
+		panic("mpi: UnlockAll: no epoch open")
+	}
+	v.FlushAll()
+	v.locked = false
+}
+
+// Put copies data into target's window starting at word offset disp. The
+// origin pays only the issue cost; transfer bytes are drained at the next
+// Flush/FlushAll, modeling RDMA write pipelining.
+func (v *winView) Put(target, disp int, data []int64) {
+	c := v.c
+	c.checkRank(target, "Put")
+	win := v.win
+	if disp < 0 || disp+len(data) > len(win.bufs[target]) {
+		panic(fmt.Sprintf("mpi: Put: rank %d target %d range [%d,%d) outside window of %d words",
+			c.rank, target, disp, disp+len(data), len(win.bufs[target])))
+	}
+	win.locks[target].Lock()
+	copy(win.bufs[target][disp:], data)
+	win.locks[target].Unlock()
+	bytes := int64(8 * len(data))
+	c.chargeComm(c.w.cost.AlphaPut)
+	v.pending += bytes
+	v.pendingTargets[target] = struct{}{}
+	c.ps.rs.notePut(c.worldRank(target), bytes)
+}
+
+// Get copies count words from target's window starting at disp. Unlike
+// Put, a Get's result is needed immediately, so the origin pays the full
+// round trip.
+func (v *winView) Get(target, disp, count int) []int64 {
+	c := v.c
+	c.checkRank(target, "Get")
+	win := v.win
+	if disp < 0 || disp+count > len(win.bufs[target]) {
+		panic(fmt.Sprintf("mpi: Get: rank %d target %d range [%d,%d) outside window of %d words",
+			c.rank, target, disp, disp+count, len(win.bufs[target])))
+	}
+	out := make([]int64, count)
+	win.locks[target].Lock()
+	copy(out, win.bufs[target][disp:disp+count])
+	win.locks[target].Unlock()
+	bytes := int64(8 * count)
+	c.chargeComm(c.w.cost.AlphaGet + c.w.cost.AlphaP2P + c.w.cost.BetaGet*float64(bytes))
+	c.ps.rs.GetCount++
+	c.ps.rs.GetBytes += bytes
+	return out
+}
+
+// Accumulate atomically adds each element of data into target's window at
+// disp (MPI_Accumulate with MPI_SUM).
+func (v *winView) Accumulate(target, disp int, data []int64) {
+	c := v.c
+	c.checkRank(target, "Accumulate")
+	win := v.win
+	if disp < 0 || disp+len(data) > len(win.bufs[target]) {
+		panic(fmt.Sprintf("mpi: Accumulate: range [%d,%d) outside window of %d words",
+			disp, disp+len(data), len(win.bufs[target])))
+	}
+	win.locks[target].Lock()
+	for i, x := range data {
+		win.bufs[target][disp+i] += x
+	}
+	win.locks[target].Unlock()
+	bytes := int64(8 * len(data))
+	c.chargeComm(c.w.cost.AlphaPut)
+	v.pending += bytes
+	v.pendingTargets[target] = struct{}{}
+	c.ps.rs.AtomicCount++
+	c.ps.rs.notePut(c.worldRank(target), bytes)
+}
+
+// FetchAndAdd atomically adds delta to the single word at target:disp and
+// returns the previous value (MPI_Fetch_and_op with MPI_SUM). Used by the
+// ablation study comparing the paper's precomputed-displacement scheme
+// against a naive distributed counter; note the full round-trip charge.
+func (v *winView) FetchAndAdd(target, disp int, delta int64) int64 {
+	c := v.c
+	c.checkRank(target, "FetchAndAdd")
+	win := v.win
+	if disp < 0 || disp >= len(win.bufs[target]) {
+		panic(fmt.Sprintf("mpi: FetchAndAdd: disp %d outside window of %d words", disp, len(win.bufs[target])))
+	}
+	win.locks[target].Lock()
+	old := win.bufs[target][disp]
+	win.bufs[target][disp] = old + delta
+	win.locks[target].Unlock()
+	c.chargeComm(c.w.cost.AtomicRTT)
+	c.ps.rs.AtomicCount++
+	return old
+}
+
+// CompareAndSwap atomically replaces target:disp with swap if it equals
+// expect, returning the previous value (MPI_Compare_and_swap).
+func (v *winView) CompareAndSwap(target, disp int, expect, swap int64) int64 {
+	c := v.c
+	c.checkRank(target, "CompareAndSwap")
+	win := v.win
+	if disp < 0 || disp >= len(win.bufs[target]) {
+		panic(fmt.Sprintf("mpi: CompareAndSwap: disp %d outside window of %d words", disp, len(win.bufs[target])))
+	}
+	win.locks[target].Lock()
+	old := win.bufs[target][disp]
+	if old == expect {
+		win.bufs[target][disp] = swap
+	}
+	win.locks[target].Unlock()
+	c.chargeComm(c.w.cost.AtomicRTT)
+	c.ps.rs.AtomicCount++
+	return old
+}
+
+// FlushAll completes all outstanding RMA operations issued by this rank
+// (MPI_Win_flush_all): the virtual clock drains pending put bytes plus a
+// per-active-target completion round trip.
+func (v *winView) FlushAll() {
+	c := v.c
+	c.chargeComm(c.w.cost.AlphaFlush +
+		c.w.cost.FlushPerTarget*float64(len(v.pendingTargets)) +
+		c.w.cost.BetaPut*float64(v.pending))
+	v.pending = 0
+	clear(v.pendingTargets)
+	c.ps.rs.FlushCount++
+}
+
+// Flush completes outstanding operations to one target. The runtime does
+// not track pending bytes per target, so this conservatively drains
+// everything, like FlushAll, but charges only the flush latency once.
+func (v *winView) Flush(target int) {
+	v.c.checkRank(target, "Flush")
+	v.FlushAll()
+}
+
+// Local returns this rank's own window buffer. Reads of regions written
+// by remote Puts are safe once a synchronizing message from the origin
+// (for example a count exchange) has been received, per the window
+// consistency contract.
+func (v *winView) Local() []int64 { return v.win.bufs[v.c.rank] }
+
+// TargetSize returns the window size (in words) of the given rank.
+func (v *winView) TargetSize(target int) int {
+	v.c.checkRank(target, "TargetSize")
+	return len(v.win.bufs[target])
+}

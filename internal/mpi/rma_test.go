@@ -1,0 +1,266 @@
+package mpi
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGetBasic(t *testing.T) {
+	_, err := Run(testCfg(2), func(c *Comm) error {
+		win := c.WinCreate(8)
+		win.LockAll()
+		if c.Rank() == 0 {
+			win.Put(1, 2, []int64{10, 20, 30})
+			win.FlushAll()
+			c.Isend(1, 0, []int64{1}) // synchronize: tell target data is there
+		} else {
+			c.Recv(0, 0)
+			local := win.Local()
+			if local[2] != 10 || local[3] != 20 || local[4] != 30 {
+				t.Errorf("window = %v", local)
+			}
+			if local[0] != 0 || local[5] != 0 {
+				t.Errorf("put touched bytes outside its range: %v", local)
+			}
+		}
+		win.UnlockAll()
+		c.Barrier()
+		if c.Rank() == 1 {
+			got := win.Get(0, 0, 1)
+			if got[0] != 0 {
+				t.Errorf("get = %v, want fresh zeros", got)
+			}
+		}
+		win.Free()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutVisibilityAcrossCountExchange(t *testing.T) {
+	// The paper's RMA pattern: puts, flush, then a neighborhood count
+	// exchange tells each target how many words landed.
+	const p = 4
+	_, err := Run(testCfg(p), func(c *Comm) error {
+		topo := c.CreateGraphTopo(ringNeighbors(c.Rank(), p))
+		deg := topo.Degree()
+		const slot = 4 // words reserved per neighbor
+		win := c.WinCreate(deg * slot)
+		win.LockAll()
+
+		// Each rank puts (rank, seq) pairs into the slot its target
+		// reserved for it. The target's slot for us is at index
+		// (their NeighborIndex of us) * slot — exchange those indexes
+		// first, as the paper's prefix-sum/alltoall scheme does.
+		mine := make([]int64, deg)
+		for i := range topo.Neighbors() {
+			mine[i] = int64(topo.NeighborIndex(topo.Neighbors()[i])) // our slot index for them, by construction i
+			mine[i] = int64(i)
+		}
+		theirIdx := topo.NeighborAlltoallInt64(mine, 1)
+
+		counts := make([]int64, deg)
+		for i, nb := range topo.Neighbors() {
+			n := int64(1 + (c.Rank()+nb)%3) // 1..3 words
+			data := make([]int64, n)
+			for k := range data {
+				data[k] = int64(c.Rank()*100 + k)
+			}
+			win.Put(nb, int(theirIdx[i])*slot, data)
+			counts[i] = n
+		}
+		win.FlushAll()
+		incoming := topo.NeighborAlltoallInt64(counts, 1)
+
+		local := win.Local()
+		for i, nb := range topo.Neighbors() {
+			n := int(incoming[i])
+			want := 1 + (nb+c.Rank())%3
+			if n != want {
+				t.Errorf("rank %d: count from %d = %d, want %d", c.Rank(), nb, n, want)
+			}
+			for k := 0; k < n; k++ {
+				if local[i*slot+k] != int64(nb*100+k) {
+					t.Errorf("rank %d: word %d from %d = %d", c.Rank(), k, nb, local[i*slot+k])
+				}
+			}
+		}
+		win.UnlockAll()
+		win.Free()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccumulateAndFetchAndAdd(t *testing.T) {
+	const p = 4
+	rep, err := Run(testCfg(p), func(c *Comm) error {
+		win := c.WinCreate(2)
+		win.LockAll()
+		// Everyone accumulates into rank 0's first word.
+		win.Accumulate(0, 0, []int64{int64(c.Rank() + 1)})
+		win.FlushAll()
+		c.Barrier()
+		if c.Rank() == 0 {
+			if got := win.Local()[0]; got != 10 {
+				t.Errorf("accumulate sum = %d, want 10", got)
+			}
+		}
+		// FetchAndAdd hands out disjoint tickets.
+		old := win.FetchAndAdd(0, 1, 1)
+		all := c.AllgatherInt64([]int64{old})
+		if c.Rank() == 0 {
+			seen := map[int64]bool{}
+			for _, v := range all {
+				if seen[v[0]] {
+					t.Errorf("duplicate ticket %d", v[0])
+				}
+				seen[v[0]] = true
+			}
+		}
+		win.UnlockAll()
+		win.Free()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var atomics int64
+	for _, rs := range rep.Stats {
+		atomics += rs.AtomicCount
+	}
+	if atomics != 2*p {
+		t.Errorf("atomic ops = %d, want %d", atomics, 2*p)
+	}
+}
+
+func TestCompareAndSwap(t *testing.T) {
+	_, err := Run(testCfg(2), func(c *Comm) error {
+		win := c.WinCreate(1)
+		if c.Rank() == 0 {
+			if old := win.CompareAndSwap(0, 0, 0, 42); old != 0 {
+				t.Errorf("first CAS old = %d", old)
+			}
+			if old := win.CompareAndSwap(0, 0, 0, 99); old != 42 {
+				t.Errorf("failed CAS should return current 42, got %d", old)
+			}
+			if got := win.Local()[0]; got != 42 {
+				t.Errorf("failed CAS must not write; got %d", got)
+			}
+		}
+		win.Free()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutBoundsPanics(t *testing.T) {
+	_, err := Run(testCfg(2), func(c *Comm) error {
+		win := c.WinCreate(4)
+		if c.Rank() == 0 {
+			win.Put(1, 3, []int64{1, 2}) // overruns the 4-word window
+		}
+		win.Free()
+		return nil
+	})
+	if err == nil {
+		t.Fatal("out-of-bounds put must fail the run")
+	}
+}
+
+func TestWindowMemoryAccounted(t *testing.T) {
+	rep, err := Run(testCfg(2), func(c *Comm) error {
+		win := c.WinCreate(1000)
+		win.Free()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, rs := range rep.Stats {
+		if rs.AllocHighWater != 8000 {
+			t.Errorf("rank %d window high-water = %d, want 8000", r, rs.AllocHighWater)
+		}
+		if rs.AllocCurrent != 0 {
+			t.Errorf("rank %d leaked %d buffer bytes", r, rs.AllocCurrent)
+		}
+	}
+}
+
+func TestFlushDrainsPendingTime(t *testing.T) {
+	// Flushing after large puts must cost more than flushing after none.
+	run := func(words int) float64 {
+		rep, err := Run(testCfg(2), func(c *Comm) error {
+			win := c.WinCreate(words + 1)
+			if c.Rank() == 0 {
+				if words > 0 {
+					win.Put(1, 0, make([]int64, words))
+				}
+				win.FlushAll()
+			}
+			c.Barrier()
+			win.Free()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Stats[0].CommTime
+	}
+	if big, small := run(1<<16), run(0); big <= small {
+		t.Errorf("flush after 512KiB of puts (%g) should cost more than empty flush (%g)", big, small)
+	}
+}
+
+func TestDifferentWindowSizesPerRank(t *testing.T) {
+	_, err := Run(testCfg(3), func(c *Comm) error {
+		win := c.WinCreate((c.Rank() + 1) * 2)
+		for r := 0; r < 3; r++ {
+			if got, want := win.TargetSize(r), (r+1)*2; got != want {
+				t.Errorf("TargetSize(%d) = %d, want %d", r, got, want)
+			}
+		}
+		win.Free()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMAQuickPutGetIdentity(t *testing.T) {
+	// Property: any vector put into a peer window and read back via Get
+	// round-trips exactly.
+	f := func(vals []int64) bool {
+		if len(vals) > 256 {
+			vals = vals[:256]
+		}
+		ok := true
+		_, err := Run(testCfg(2), func(c *Comm) error {
+			win := c.WinCreate(len(vals) + 1)
+			if c.Rank() == 0 {
+				win.Put(1, 0, vals)
+				win.FlushAll()
+				got := win.Get(1, 0, len(vals))
+				for i := range vals {
+					if got[i] != vals[i] {
+						ok = false
+					}
+				}
+			}
+			c.Barrier()
+			win.Free()
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Split partitions the communicator into disjoint sub-communicators, the
+// analogue of MPI_Comm_split: ranks passing the same color land in the
+// same new communicator, ordered by (key, old rank). A negative color
+// (like MPI_UNDEFINED) returns nil, and the caller takes no further part
+// in any of the new communicators.
+//
+// The call is collective over c. The returned communicator shares the
+// process's clock and statistics ledger with c but has its own rank
+// numbering, collective rendezvous, and isolated point-to-point message
+// space: traffic on one communicator can never be received on another.
+func (c *Comm) Split(color, key int) *Comm {
+	// Gather (color, key, commRank) from every member.
+	all := c.AllgatherInt64([]int64{int64(color), int64(key), int64(c.rank)})
+
+	// Allocate ctx ids and hubs once (lowest member of each color group),
+	// and publish them through this communicator's hub so all members of
+	// a group agree on identity and share one rendezvous structure.
+	type member struct{ color, key, rank int }
+	members := make([]member, len(all))
+	for i, v := range all {
+		members[i] = member{int(v[0]), int(v[1]), int(v[2])}
+	}
+	if color < 0 {
+		// Still participate in the publication rendezvous below.
+		h := c.enterColl(nil)
+		c.exitColl(h, 8)
+		return nil
+	}
+
+	// Deterministic group construction, identical on every member.
+	var group []member
+	for _, m := range members {
+		if m.color == color {
+			group = append(group, m)
+		}
+	}
+	sort.Slice(group, func(i, j int) bool {
+		if group[i].key != group[j].key {
+			return group[i].key < group[j].key
+		}
+		return group[i].rank < group[j].rank
+	})
+	leader := group[0].rank
+	myRank := -1
+	worldGroup := make([]int, len(group))
+	for i, m := range group {
+		worldGroup[i] = c.worldRank(m.rank)
+		if m.rank == c.rank {
+			myRank = i
+		}
+	}
+	if myRank < 0 {
+		panic("mpi: Split: caller missing from its own color group")
+	}
+
+	// The group leader allocates the context id and the hub; everyone
+	// else picks them up from the publication slot keyed by leader rank.
+	type subComm struct {
+		ctx int32
+		hub *collHub
+	}
+	var mine *subComm
+	h := c.enterColl(func(h *collHub) {
+		if c.rank == leader {
+			c.w.ctxMu.Lock()
+			c.w.ctxSeq++
+			ctx := c.w.ctxSeq
+			c.w.ctxMu.Unlock()
+			h.mu.Lock()
+			h.adeps[c.rank] = &subComm{ctx: ctx, hub: newCollHub(len(group))}
+			h.mu.Unlock()
+		}
+	})
+	v, ok := h.adeps[leader].(*subComm)
+	if !ok {
+		panic(fmt.Sprintf("mpi: Split: leader %d published nothing", leader))
+	}
+	mine = v
+	c.exitColl(h, 8)
+
+	return &Comm{
+		w:     c.w,
+		wrank: c.wrank,
+		rank:  myRank,
+		group: worldGroup,
+		hub:   mine.hub,
+		ctx:   mine.ctx,
+		ps:    c.ps,
+	}
+}

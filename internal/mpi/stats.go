@@ -1,0 +1,191 @@
+package mpi
+
+// RankStats is one rank's traffic and resource ledger. During a run it is
+// written only by the owning rank goroutine (message-queue high-water marks
+// are tracked inside the receiver's mailbox under its lock and folded in
+// when read), so no additional synchronization is needed. After Run
+// returns, all ledgers are safe to read from any goroutine.
+type RankStats struct {
+	Rank int
+
+	// Point-to-point.
+	SendCount  int64 // Isend/Send/Ssend operations issued
+	SendBytes  int64
+	RecvCount  int64 // Recv operations completed
+	RecvBytes  int64
+	ProbeCount int64 // Iprobe/Probe polls
+	ProbeHits  int64 // polls that found a message
+	SyncSends  int64 // synchronous-mode sends (MBP model)
+	// Collectives.
+	CollCount    int64 // global collective operations
+	CollBytes    int64
+	NbrCollCount int64 // neighborhood collective operations
+	NbrCollBytes int64 // bytes sent into neighborhood collectives
+	// RMA.
+	PutCount    int64
+	PutBytes    int64
+	GetCount    int64
+	GetBytes    int64
+	FlushCount  int64
+	AtomicCount int64
+
+	// Virtual-time breakdown (seconds).
+	CommTime float64 // time in communication calls, including waits
+	CompTime float64 // time charged via Compute
+
+	// Memory accounting (bytes).
+	AllocCurrent   int64 // live application comm-buffer bytes
+	AllocHighWater int64 // high-water of AllocCurrent
+	// QueueHighWater is the high-water mark of bytes queued in this rank's
+	// mailbox (unreceived eager messages) — the analogue of MPI internal
+	// eager-buffer memory. It is folded in from the mailbox by Finalize.
+	QueueHighWater int64
+	// PeerBufBytes models the per-connection eager/rendezvous pools an
+	// MPI implementation allocates for every peer a rank exchanges
+	// point-to-point traffic with (the reason the paper's Send-Recv
+	// variant is the memory hog at scale, Table VIII). Counted once per
+	// distinct destination at EagerBufPerPeer bytes.
+	PeerBufBytes int64
+	peerSeen     []bool
+
+	// RecvWaitTime totals the virtual time this rank spent blocked
+	// waiting for messages to arrive; MaxRecvWait is the largest single
+	// wait and MaxRecvWaitSrc its sender (useful for diagnosing
+	// dependency chains and load imbalance).
+	RecvWaitTime   float64
+	MaxRecvWait    float64
+	MaxRecvWaitSrc int
+
+	// Optional per-destination matrices (row view), length = world size.
+	// MsgRow[d] counts messages this rank sent to d by any mechanism
+	// (point-to-point, put, neighborhood chunk); ByteRow[d] the bytes.
+	MsgRow  []int64
+	ByteRow []int64
+}
+
+// EagerBufPerPeer is the modeled per-peer buffer pool for point-to-point
+// connections (64 KiB, the order of MPICH/Cray eager-path pools).
+const EagerBufPerPeer = 64 << 10
+
+func newRankStats(rank, n int, matrices bool) *RankStats {
+	rs := &RankStats{Rank: rank, peerSeen: make([]bool, n)}
+	if matrices {
+		rs.MsgRow = make([]int64, n)
+		rs.ByteRow = make([]int64, n)
+	}
+	return rs
+}
+
+func (rs *RankStats) accountAlloc(bytes int64) {
+	rs.AllocCurrent += bytes
+	if rs.AllocCurrent > rs.AllocHighWater {
+		rs.AllocHighWater = rs.AllocCurrent
+	}
+}
+
+func (rs *RankStats) noteSend(dst int, bytes int64) {
+	rs.SendCount++
+	rs.SendBytes += bytes
+	if !rs.peerSeen[dst] {
+		rs.peerSeen[dst] = true
+		rs.PeerBufBytes += EagerBufPerPeer
+	}
+	if rs.MsgRow != nil {
+		rs.MsgRow[dst]++
+		rs.ByteRow[dst] += bytes
+	}
+}
+
+func (rs *RankStats) notePut(dst int, bytes int64) {
+	rs.PutCount++
+	rs.PutBytes += bytes
+	if rs.MsgRow != nil {
+		rs.MsgRow[dst]++
+		rs.ByteRow[dst] += bytes
+	}
+}
+
+func (rs *RankStats) noteNbrChunk(dst int, bytes int64) {
+	rs.NbrCollBytes += bytes
+	if rs.MsgRow != nil {
+		rs.MsgRow[dst]++
+		rs.ByteRow[dst] += bytes
+	}
+}
+
+// MemoryBytes returns the modeled per-rank memory footprint of
+// communication state: application buffers, runtime queue high-water,
+// and per-peer connection pools.
+func (rs *RankStats) MemoryBytes() int64 {
+	return rs.AllocHighWater + rs.QueueHighWater + rs.PeerBufBytes
+}
+
+// Totals aggregates a set of per-rank ledgers.
+type Totals struct {
+	Msgs, Bytes       int64 // all transmitted traffic (p2p + put + neighborhood)
+	P2PMsgs, P2PBytes int64
+	PutMsgs, PutBytes int64
+	NbrOps, NbrBytes  int64
+	CollOps           int64
+	CommTimeSum       float64
+	CompTimeSum       float64
+	MaxMemoryBytes    int64
+	SumMemoryBytes    int64
+	MaxAllocHighWater int64
+	MaxQueueHighWater int64
+}
+
+// Aggregate folds per-rank ledgers into totals.
+func Aggregate(stats []*RankStats) Totals {
+	var t Totals
+	for _, rs := range stats {
+		t.P2PMsgs += rs.SendCount
+		t.P2PBytes += rs.SendBytes
+		t.PutMsgs += rs.PutCount
+		t.PutBytes += rs.PutBytes
+		t.NbrOps += rs.NbrCollCount
+		t.NbrBytes += rs.NbrCollBytes
+		t.CollOps += rs.CollCount
+		t.CommTimeSum += rs.CommTime
+		t.CompTimeSum += rs.CompTime
+		mem := rs.MemoryBytes()
+		t.SumMemoryBytes += mem
+		if mem > t.MaxMemoryBytes {
+			t.MaxMemoryBytes = mem
+		}
+		if rs.AllocHighWater > t.MaxAllocHighWater {
+			t.MaxAllocHighWater = rs.AllocHighWater
+		}
+		if rs.QueueHighWater > t.MaxQueueHighWater {
+			t.MaxQueueHighWater = rs.QueueHighWater
+		}
+	}
+	t.Msgs = t.P2PMsgs + t.PutMsgs
+	t.Bytes = t.P2PBytes + t.PutBytes + t.NbrBytes
+	return t
+}
+
+// MsgMatrix assembles the full per-pair message-count matrix from per-rank
+// rows; returns nil if matrices were not tracked. Row = sender, column =
+// receiver, matching the paper's communication plots.
+func MsgMatrix(stats []*RankStats) [][]int64 {
+	return gatherRows(stats, func(rs *RankStats) []int64 { return rs.MsgRow })
+}
+
+// ByteMatrix assembles the per-pair byte-volume matrix; nil if untracked.
+func ByteMatrix(stats []*RankStats) [][]int64 {
+	return gatherRows(stats, func(rs *RankStats) []int64 { return rs.ByteRow })
+}
+
+func gatherRows(stats []*RankStats, row func(*RankStats) []int64) [][]int64 {
+	if len(stats) == 0 || row(stats[0]) == nil {
+		return nil
+	}
+	m := make([][]int64, len(stats))
+	for i, rs := range stats {
+		r := make([]int64, len(row(rs)))
+		copy(r, row(rs))
+		m[i] = r
+	}
+	return m
+}

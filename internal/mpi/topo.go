@@ -1,0 +1,210 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Topo is a distributed graph process topology, the analogue of a
+// communicator created with MPI_Dist_graph_create_adjacent. Each rank
+// declares the set of ranks it communicates with; neighborhood collectives
+// then involve only those ranks. The topology must be symmetric: if j is
+// a neighbor of i, then i must be a neighbor of j (CreateGraphTopo
+// verifies this and panics otherwise, since an asymmetric topology would
+// deadlock neighborhood collectives).
+type Topo struct {
+	c         *Comm
+	id        int64
+	neighbors []int
+	index     map[int]int // neighbor rank -> position in neighbors
+	seq       int64       // per-call sequence, advances identically on all members
+}
+
+// CreateGraphTopo collectively creates a distributed graph topology from
+// each rank's adjacency list. The call is collective over the world (as
+// MPI_Dist_graph_create_adjacent is over its communicator); ranks with no
+// neighbors pass an empty list. Neighbor order is preserved: buffers in
+// neighborhood collectives are laid out in this order, exactly as in MPI.
+func (c *Comm) CreateGraphTopo(neighbors []int) *Topo {
+	idx := make(map[int]int, len(neighbors))
+	for i, nb := range neighbors {
+		c.checkRank(nb, "CreateGraphTopo")
+		if nb == c.rank {
+			panic(fmt.Sprintf("mpi: CreateGraphTopo: rank %d listed itself as a neighbor", c.rank))
+		}
+		if _, dup := idx[nb]; dup {
+			panic(fmt.Sprintf("mpi: CreateGraphTopo: rank %d listed neighbor %d twice", c.rank, nb))
+		}
+		idx[nb] = i
+	}
+
+	// Allocate a world-unique topology id (collective, so all members
+	// agree), then verify symmetry from the gathered adjacency lists.
+	var id int64
+	if c.rank == 0 {
+		c.w.topoMu.Lock()
+		c.w.topoSeq++
+		id = int64(c.w.topoSeq)
+		c.w.topoMu.Unlock()
+	}
+	id = c.BcastInt64(0, []int64{id})[0]
+
+	mine := make([]int64, len(neighbors))
+	for i, nb := range neighbors {
+		mine[i] = int64(nb)
+	}
+	all := c.AllgatherInt64(mine)
+	for _, nb := range neighbors {
+		found := false
+		for _, v := range all[nb] {
+			if int(v) == c.rank {
+				found = true
+				break
+			}
+		}
+		if !found {
+			panic(fmt.Sprintf("mpi: CreateGraphTopo: asymmetric topology: rank %d lists %d but not vice versa", c.rank, nb))
+		}
+	}
+
+	return &Topo{
+		c:         c,
+		id:        id,
+		neighbors: append([]int(nil), neighbors...),
+		index:     idx,
+	}
+}
+
+// Neighbors returns the topology's neighbor list for this rank (a copy).
+func (t *Topo) Neighbors() []int { return append([]int(nil), t.neighbors...) }
+
+// Degree returns the number of neighbors of this rank.
+func (t *Topo) Degree() int { return len(t.neighbors) }
+
+// NeighborIndex returns the buffer position of neighbor rank nb, or -1.
+func (t *Topo) NeighborIndex(nb int) int {
+	if i, ok := t.index[nb]; ok {
+		return i
+	}
+	return -1
+}
+
+// itag derives the internal message tag for call number seq on this topo.
+func (t *Topo) itag(seq int64) int64 { return 1 + t.id<<32 + seq }
+
+// NeighborAlltoallInt64 is MPI_Neighbor_alltoall: each rank sends a
+// fixed-size chunk to every neighbor and receives one from each. send
+// must hold Degree()*chunk words, laid out in neighbor order; the result
+// has the same layout with received chunks. A rank with zero neighbors
+// returns immediately — neighborhood collectives synchronize only within
+// the neighborhood, never globally.
+func (t *Topo) NeighborAlltoallInt64(send []int64, chunk int) []int64 {
+	if len(send) != len(t.neighbors)*chunk {
+		panic(fmt.Sprintf("mpi: NeighborAlltoallInt64: len(send)=%d, want %d*%d", len(send), len(t.neighbors), chunk))
+	}
+	c := t.c
+	cost := c.w.cost
+	seq := t.seq
+	t.seq++
+	c.ps.rs.NbrCollCount++
+	c.chargeComm(cost.AlphaNbrCall)
+	for i, nb := range t.neighbors {
+		part := send[i*chunk : (i+1)*chunk]
+		bytes := int64(8 * len(part))
+		c.chargeComm(cost.AlphaNbr + cost.BetaNbr*float64(bytes))
+		c.internalSend(nb, t.itag(seq), part, cost.AlphaNbr, cost.BetaNbr, (*RankStats).noteNbrChunk)
+	}
+	out := make([]int64, len(t.neighbors)*chunk)
+	for i, nb := range t.neighbors {
+		part := c.internalRecv(nb, t.itag(seq))
+		if len(part) != chunk {
+			panic(fmt.Sprintf("mpi: NeighborAlltoallInt64: rank %d received %d words from %d, want chunk %d", c.rank, len(part), nb, chunk))
+		}
+		copy(out[i*chunk:(i+1)*chunk], part)
+	}
+	return out
+}
+
+// NeighborAlltoallvInt64 is MPI_Neighbor_alltoallv: send[i] is delivered
+// to neighbor i; the result's element i is what neighbor i sent to this
+// rank. Callers typically learn incoming sizes beforehand with a
+// NeighborAlltoallInt64 count exchange, as the paper's NCL implementation
+// does; this API nevertheless sizes receive buffers from the actual
+// messages and the caller may cross-check.
+func (t *Topo) NeighborAlltoallvInt64(send [][]int64) [][]int64 {
+	if len(send) != len(t.neighbors) {
+		panic(fmt.Sprintf("mpi: NeighborAlltoallvInt64: len(send)=%d, want degree %d", len(send), len(t.neighbors)))
+	}
+	c := t.c
+	cost := c.w.cost
+	seq := t.seq
+	t.seq++
+	c.ps.rs.NbrCollCount++
+	c.chargeComm(cost.AlphaNbrCall)
+	for i, nb := range t.neighbors {
+		bytes := int64(8 * len(send[i]))
+		c.chargeComm(cost.AlphaNbr + cost.BetaNbr*float64(bytes))
+		c.internalSend(nb, t.itag(seq), send[i], cost.AlphaNbr, cost.BetaNbr, (*RankStats).noteNbrChunk)
+	}
+	out := make([][]int64, len(t.neighbors))
+	for i, nb := range t.neighbors {
+		out[i] = c.internalRecv(nb, t.itag(seq))
+	}
+	return out
+}
+
+// NeighborAllgatherInt64 is MPI_Neighbor_allgather: every rank sends the
+// same vector to all neighbors; the result's element i is neighbor i's
+// vector.
+func (t *Topo) NeighborAllgatherInt64(mine []int64) [][]int64 {
+	send := make([][]int64, len(t.neighbors))
+	for i := range send {
+		send[i] = mine
+	}
+	return t.NeighborAlltoallvInt64(send)
+}
+
+// TopoStats summarizes a process graph: number of undirected edges, and
+// degree distribution statistics, as reported in the paper's Tables III,
+// IV and VI.
+type TopoStats struct {
+	Procs    int
+	Edges    int64 // |Ep|: undirected process-graph edges
+	DegMin   int
+	DegMax   int     // dmax
+	DegAvg   float64 // davg
+	DegSigma float64 // sigma_d
+}
+
+// GatherTopoStats collectively computes process-graph statistics for the
+// topology. Every member receives the result.
+func (t *Topo) GatherTopoStats() TopoStats {
+	c := t.c
+	deg := int64(len(t.neighbors))
+	sums := c.AllreduceInt64(OpSum, []int64{deg, deg * deg})
+	maxs := c.AllreduceInt64(OpMax, []int64{deg})
+	mins := c.AllreduceInt64(OpMin, []int64{deg})
+	n := float64(c.size())
+	avg := float64(sums[0]) / n
+	variance := float64(sums[1])/n - avg*avg
+	if variance < 0 {
+		variance = 0
+	}
+	return TopoStats{
+		Procs:    c.size(),
+		Edges:    sums[0] / 2,
+		DegMin:   int(mins[0]),
+		DegMax:   int(maxs[0]),
+		DegAvg:   avg,
+		DegSigma: math.Sqrt(variance),
+	}
+}
+
+// SortedNeighbors returns the neighbor list in ascending rank order
+// (convenience for deterministic iteration in diagnostics).
+func (t *Topo) SortedNeighbors() []int {
+	out := append([]int(nil), t.neighbors...)
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,322 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+)
+
+// ringNeighbors returns the two ring neighbors of rank r in a world of p.
+func ringNeighbors(r, p int) []int {
+	if p == 1 {
+		return nil
+	}
+	if p == 2 {
+		return []int{1 - r}
+	}
+	return []int{(r + p - 1) % p, (r + 1) % p}
+}
+
+func TestNeighborAlltoallRing(t *testing.T) {
+	const p = 5
+	_, err := Run(testCfg(p), func(c *Comm) error {
+		topo := c.CreateGraphTopo(ringNeighbors(c.Rank(), p))
+		nbrs := topo.Neighbors()
+		send := make([]int64, len(nbrs))
+		for i := range send {
+			send[i] = int64(c.Rank()*1000 + nbrs[i])
+		}
+		got := topo.NeighborAlltoallInt64(send, 1)
+		for i, nb := range nbrs {
+			want := int64(nb*1000 + c.Rank())
+			if got[i] != want {
+				t.Errorf("rank %d from %d: got %d want %d", c.Rank(), nb, got[i], want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeighborAlltoallvVariableSizes(t *testing.T) {
+	const p = 4
+	// Star topology: rank 0 in the middle.
+	_, err := Run(testCfg(p), func(c *Comm) error {
+		var nbrs []int
+		if c.Rank() == 0 {
+			nbrs = []int{1, 2, 3}
+		} else {
+			nbrs = []int{0}
+		}
+		topo := c.CreateGraphTopo(nbrs)
+		send := make([][]int64, topo.Degree())
+		for i, nb := range topo.Neighbors() {
+			// Rank r sends r copies of its rank to each neighbor.
+			for k := 0; k < c.Rank()+1; k++ {
+				send[i] = append(send[i], int64(c.Rank()))
+			}
+			_ = nb
+		}
+		got := topo.NeighborAlltoallvInt64(send)
+		for i, nb := range topo.Neighbors() {
+			if len(got[i]) != nb+1 {
+				t.Errorf("rank %d got %d words from %d, want %d", c.Rank(), len(got[i]), nb, nb+1)
+			}
+			for _, v := range got[i] {
+				if v != int64(nb) {
+					t.Errorf("rank %d corrupted payload from %d: %v", c.Rank(), nb, got[i])
+					break
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeighborAllgather(t *testing.T) {
+	const p = 4
+	_, err := Run(testCfg(p), func(c *Comm) error {
+		topo := c.CreateGraphTopo(ringNeighbors(c.Rank(), p))
+		got := topo.NeighborAllgatherInt64([]int64{int64(c.Rank()), int64(c.Rank())})
+		for i, nb := range topo.Neighbors() {
+			if len(got[i]) != 2 || got[i][0] != int64(nb) {
+				t.Errorf("rank %d allgather from %d = %v", c.Rank(), nb, got[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyNeighborhoodIsNonBlocking(t *testing.T) {
+	// Ranks 2,3 have no neighbors; they must not be required for 0<->1
+	// neighborhood collectives (unlike global collectives).
+	const p = 4
+	_, err := Run(testCfg(p), func(c *Comm) error {
+		var nbrs []int
+		switch c.Rank() {
+		case 0:
+			nbrs = []int{1}
+		case 1:
+			nbrs = []int{0}
+		}
+		topo := c.CreateGraphTopo(nbrs)
+		if c.Rank() <= 1 {
+			// Isolated ranks never call this; it must still complete.
+			got := topo.NeighborAlltoallInt64([]int64{int64(c.Rank())}, 1)
+			if got[0] != int64(1-c.Rank()) {
+				t.Errorf("rank %d got %v", c.Rank(), got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsymmetricTopologyPanics(t *testing.T) {
+	_, err := Run(testCfg(2), func(c *Comm) error {
+		var nbrs []int
+		if c.Rank() == 0 {
+			nbrs = []int{1} // rank 1 does not reciprocate
+		}
+		c.CreateGraphTopo(nbrs)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("asymmetric topology must be rejected")
+	}
+}
+
+func TestMultipleTopologiesAreIndependent(t *testing.T) {
+	const p = 3
+	_, err := Run(testCfg(p), func(c *Comm) error {
+		ring := c.CreateGraphTopo(ringNeighbors(c.Rank(), p))
+		full := c.CreateGraphTopo(func() []int {
+			var out []int
+			for r := 0; r < p; r++ {
+				if r != c.Rank() {
+					out = append(out, r)
+				}
+			}
+			return out
+		}())
+		// Interleave calls on both topologies; traffic must not cross.
+		a := ring.NeighborAllgatherInt64([]int64{int64(10 + c.Rank())})
+		b := full.NeighborAllgatherInt64([]int64{int64(20 + c.Rank())})
+		for i, nb := range ring.Neighbors() {
+			if a[i][0] != int64(10+nb) {
+				t.Errorf("ring traffic corrupted: %v", a[i])
+			}
+		}
+		for i, nb := range full.Neighbors() {
+			if b[i][0] != int64(20+nb) {
+				t.Errorf("full traffic corrupted: %v", b[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherTopoStats(t *testing.T) {
+	const p = 4
+	_, err := Run(testCfg(p), func(c *Comm) error {
+		// Star: center degree 3, leaves degree 1 -> |Ep| = 3.
+		var nbrs []int
+		if c.Rank() == 0 {
+			nbrs = []int{1, 2, 3}
+		} else {
+			nbrs = []int{0}
+		}
+		topo := c.CreateGraphTopo(nbrs)
+		st := topo.GatherTopoStats()
+		if st.Edges != 3 {
+			t.Errorf("edges = %d, want 3", st.Edges)
+		}
+		if st.DegMax != 3 || st.DegMin != 1 {
+			t.Errorf("deg range = [%d,%d], want [1,3]", st.DegMin, st.DegMax)
+		}
+		if math.Abs(st.DegAvg-1.5) > 1e-12 {
+			t.Errorf("avg = %g, want 1.5", st.DegAvg)
+		}
+		// Variance of {3,1,1,1} is (9+1+1+1)/4 - 2.25 = 0.75.
+		if math.Abs(st.DegSigma-math.Sqrt(0.75)) > 1e-12 {
+			t.Errorf("sigma = %g", st.DegSigma)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeighborCollectiveChargesDegree(t *testing.T) {
+	// A denser neighborhood must cost more virtual time per round than a
+	// sparse one — the mechanism behind the paper's NCL degradation on
+	// dense process graphs (Tables III/IV).
+	round := func(full bool) float64 {
+		const p = 8
+		rep, err := Run(testCfg(p), func(c *Comm) error {
+			var nbrs []int
+			if full {
+				for r := 0; r < p; r++ {
+					if r != c.Rank() {
+						nbrs = append(nbrs, r)
+					}
+				}
+			} else {
+				nbrs = ringNeighbors(c.Rank(), p)
+			}
+			topo := c.CreateGraphTopo(nbrs)
+			for i := 0; i < 50; i++ {
+				topo.NeighborAlltoallInt64(make([]int64, topo.Degree()), 1)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.MaxVirtualTime
+	}
+	sparse, dense := round(false), round(true)
+	if dense <= sparse {
+		t.Errorf("dense neighborhood rounds (%g) should cost more than sparse (%g)", dense, sparse)
+	}
+}
+
+func TestINeighborAlltoallvOverlap(t *testing.T) {
+	const p = 4
+	_, err := Run(testCfg(p), func(c *Comm) error {
+		topo := c.CreateGraphTopo(ringNeighbors(c.Rank(), p))
+		send := make([][]int64, topo.Degree())
+		for i, nb := range topo.Neighbors() {
+			send[i] = []int64{int64(c.Rank()*100 + nb)}
+		}
+		req := topo.INeighborAlltoallvInt64(send)
+		c.Compute(1000) // overlap with transfer
+		got := req.Wait()
+		for i, nb := range topo.Neighbors() {
+			if got[i][0] != int64(nb*100+c.Rank()) {
+				t.Errorf("rank %d: got %v from %d", c.Rank(), got[i], nb)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNbrRequestTest(t *testing.T) {
+	const p = 2
+	_, err := Run(testCfg(p), func(c *Comm) error {
+		topo := c.CreateGraphTopo(ringNeighbors(c.Rank(), p))
+		req := topo.INeighborAlltoallvInt64([][]int64{{int64(c.Rank())}})
+		// Poll until complete; must terminate since the peer also sends.
+		for {
+			if got, ok := req.Test(); ok {
+				if got[0][0] != int64(1-c.Rank()) {
+					t.Errorf("rank %d got %v", c.Rank(), got)
+				}
+				return nil
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNbrRequestDoubleWaitPanics(t *testing.T) {
+	_, err := Run(testCfg(2), func(c *Comm) error {
+		topo := c.CreateGraphTopo(ringNeighbors(c.Rank(), 2))
+		req := topo.INeighborAlltoallvInt64([][]int64{{1}})
+		req.Wait()
+		req.Wait() // must panic
+		return nil
+	})
+	if err == nil {
+		t.Fatal("double Wait must fail the run")
+	}
+}
+
+func TestOverlapSavesVirtualTime(t *testing.T) {
+	// The point of the nonblocking form: compute between start and wait
+	// should overlap the transfer, finishing earlier than the blocking
+	// sequence (exchange then compute).
+	const p, work = 2, 400
+	run := func(nonblocking bool) float64 {
+		rep, err := Run(testCfg(p), func(c *Comm) error {
+			topo := c.CreateGraphTopo(ringNeighbors(c.Rank(), p))
+			send := [][]int64{make([]int64, 4096)}
+			for k := 0; k < 20; k++ {
+				if nonblocking {
+					req := topo.INeighborAlltoallvInt64(send)
+					c.Compute(work)
+					req.Wait()
+				} else {
+					topo.NeighborAlltoallvInt64(send)
+					c.Compute(work)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.MaxVirtualTime
+	}
+	if nb, bl := run(true), run(false); nb >= bl {
+		t.Errorf("nonblocking (%g) should not be slower than blocking (%g)", nb, bl)
+	}
+}

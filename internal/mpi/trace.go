@@ -1,0 +1,86 @@
+package mpi
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Wait-span tracing. When Config.TraceWaits is set, every rank records
+// the virtual-time intervals it spends blocked waiting for remote
+// progress (message arrivals, collective synchronization). The resulting
+// per-rank timelines make load imbalance and serialization chains — the
+// phenomena behind the paper's NCL-degradation findings — directly
+// visible.
+
+// WaitSpan is one blocked interval on a rank's virtual timeline.
+type WaitSpan struct {
+	Start, End float64
+}
+
+// Duration returns the span length in seconds.
+func (s WaitSpan) Duration() float64 { return s.End - s.Start }
+
+// noteWait records a wait if tracing is on (called from waitUntil).
+func (c *Comm) noteWait(from, to float64) {
+	if c.ps.trace != nil && to > from {
+		*c.ps.trace = append(*c.ps.trace, WaitSpan{Start: from, End: to})
+	}
+}
+
+// WaitSpans returns rank r's recorded waits (nil unless Config.TraceWaits
+// was set). Safe to call after Run returns.
+func (r *Report) WaitSpans(rank int) []WaitSpan {
+	if r.waits == nil {
+		return nil
+	}
+	return r.waits[rank]
+}
+
+// RenderTimeline draws per-rank virtual-time utilization as text: each
+// row is one rank, each column a bucket of the run's duration; '#' marks
+// buckets dominated by waiting, ':' mixed, '.' busy. Requires a run with
+// Config.TraceWaits.
+func (r *Report) RenderTimeline(width int) []string {
+	if r.waits == nil || width < 1 || r.MaxVirtualTime <= 0 {
+		return nil
+	}
+	bucket := r.MaxVirtualTime / float64(width)
+	out := make([]string, r.Procs)
+	for rank := 0; rank < r.Procs; rank++ {
+		waitPerBucket := make([]float64, width)
+		for _, s := range r.waits[rank] {
+			for b := int(s.Start / bucket); b < width && float64(b)*bucket < s.End; b++ {
+				lo := max(float64(b)*bucket, s.Start)
+				hi := min(float64(b+1)*bucket, s.End)
+				if hi > lo {
+					waitPerBucket[b] += hi - lo
+				}
+			}
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "rank %3d |", rank)
+		for b := 0; b < width; b++ {
+			frac := waitPerBucket[b] / bucket
+			switch {
+			case frac > 0.66:
+				sb.WriteByte('#')
+			case frac > 0.15:
+				sb.WriteByte(':')
+			default:
+				sb.WriteByte('.')
+			}
+		}
+		sb.WriteByte('|')
+		out[rank] = sb.String()
+	}
+	return out
+}
+
+// TotalWaitTime sums rank r's recorded waits.
+func (r *Report) TotalWaitTime(rank int) float64 {
+	var t float64
+	for _, s := range r.WaitSpans(rank) {
+		t += s.Duration()
+	}
+	return t
+}

@@ -1,0 +1,67 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWaitSpansRecorded(t *testing.T) {
+	rep, err := Run(Config{Procs: 2, TraceWaits: true, Deadline: 30 * time.Second}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Compute(100000) // keep rank 1 waiting
+			c.Isend(1, 0, []int64{1})
+		} else {
+			c.Recv(0, 0)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := rep.TotalWaitTime(1); w <= 0 {
+		t.Fatalf("receiver recorded no wait (%g)", w)
+	}
+	if w := rep.TotalWaitTime(0); w != 0 {
+		t.Fatalf("busy sender recorded a wait (%g)", w)
+	}
+	spans := rep.WaitSpans(1)
+	if len(spans) == 0 || spans[0].Duration() <= 0 {
+		t.Fatalf("spans = %v", spans)
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	rep, err := Run(Config{Procs: 2, TraceWaits: true, Deadline: 30 * time.Second}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Compute(100000)
+			c.Isend(1, 0, []int64{1})
+		} else {
+			c.Recv(0, 0)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := rep.RenderTimeline(40)
+	if len(lines) != 2 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if !strings.Contains(lines[1], "#") {
+		t.Errorf("waiting rank shows no wait marks: %q", lines[1])
+	}
+	if strings.Contains(lines[0], "#") {
+		t.Errorf("busy rank shows wait marks: %q", lines[0])
+	}
+}
+
+func TestTimelineDisabledWithoutTrace(t *testing.T) {
+	rep, err := Run(Config{Procs: 1}, func(c *Comm) error { c.Compute(10); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RenderTimeline(10) != nil || rep.WaitSpans(0) != nil {
+		t.Error("tracing data present without TraceWaits")
+	}
+}

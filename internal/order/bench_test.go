@@ -1,0 +1,34 @@
+package order
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func BenchmarkRCMBandedMesh(b *testing.B) {
+	g, _ := gen.Scramble(gen.BandedMesh(30000, 24, 2.5, 0.002, 1), 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		perm := RCM(g)
+		if len(perm) != g.NumVertices() {
+			b.Fatal("bad permutation")
+		}
+	}
+}
+
+func BenchmarkRCMSocial(b *testing.B) {
+	g := gen.Social(20000, 10, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RCM(g)
+	}
+}
+
+func BenchmarkBFSLevels(b *testing.B) {
+	g := gen.Graph500(14, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BFSLevels(g, 0)
+	}
+}

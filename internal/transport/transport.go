@@ -1,0 +1,453 @@
+// Package transport provides the four MPI communication-model backends
+// shared by the owner-computes graph algorithms in this repository
+// (matching, coloring): point-to-point Send-Recv (eager or synchronous),
+// blocking neighborhood collectives, one-sided RMA with precomputed
+// displacements, and pipelined nonblocking neighborhood collectives.
+//
+// All backends move fixed-shape protocol records {ctx, x, y}: ctx is an
+// application-defined small positive integer (it travels as the message
+// tag on the point-to-point path, per the paper's §IV-B), x is the
+// target vertex (owned by the destination rank) and y the remote vertex.
+// Buffered backends are sized from the distribution's per-neighbor cross
+// arc counts times the application's per-edge message bound.
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/distgraph"
+	"repro/internal/mpi"
+)
+
+// recordWords is the wire size of one record for buffered backends.
+const recordWords = 3
+
+// Handler consumes one received protocol record.
+type Handler func(ctx, x, y int64)
+
+// Sender is the downcall surface applications use to emit records.
+type Sender interface {
+	// Send queues or transmits record {ctx, x, y} to rank dst. ctx must
+	// be a positive int that fits a message tag.
+	Send(dst int, ctx, x, y int64)
+}
+
+// Async is the point-to-point flavor: records are transmitted
+// immediately and the application polls for arrivals.
+type Async interface {
+	Sender
+	// Drain delivers every currently queued record to h; reports whether
+	// any was delivered.
+	Drain(h Handler) bool
+	// Block waits until at least one record is queued.
+	Block()
+	// Finish transmits anything still parked locally; must be called
+	// when the algorithm decides local termination, since peers may
+	// depend on buffered records.
+	Finish()
+}
+
+// Round is the bulk-synchronous flavor: records accumulate until
+// Exchange, which transmits, receives, and delivers.
+type Round interface {
+	Sender
+	// Exchange performs one communication round and delivers received
+	// records to h, returning how many were delivered.
+	Exchange(h Handler) int
+	// Finish releases any in-flight state after the algorithm's
+	// termination decision (needed by pipelined backends).
+	Finish()
+}
+
+// --- P2P: Send-Recv -------------------------------------------------------
+
+// P2P sends each record as one point-to-point message with the context
+// in the tag (the paper's NSR baseline); Synchronous selects
+// synchronous-mode sends (the MatchBox-P model).
+type P2P struct {
+	C           *mpi.Comm
+	Synchronous bool
+}
+
+// NewP2P returns a Send-Recv backend.
+func NewP2P(c *mpi.Comm, synchronous bool) *P2P {
+	return &P2P{C: c, Synchronous: synchronous}
+}
+
+// Send implements Sender.
+func (t *P2P) Send(dst int, ctx, x, y int64) {
+	payload := []int64{x, y}
+	if t.Synchronous {
+		t.C.Ssend(dst, int(ctx), payload)
+	} else {
+		t.C.Isend(dst, int(ctx), payload)
+	}
+}
+
+// Drain implements Async.
+func (t *P2P) Drain(h Handler) bool {
+	any := false
+	for {
+		ok, st := t.C.Iprobe(mpi.AnySource, mpi.AnyTag)
+		if !ok {
+			return any
+		}
+		data, st := t.C.Recv(st.Source, st.Tag)
+		h(int64(st.Tag), data[0], data[1])
+		any = true
+	}
+}
+
+// Block implements Async.
+func (t *P2P) Block() {
+	t.C.Probe(mpi.AnySource, mpi.AnyTag)
+}
+
+// Finish implements Async (every record was already transmitted).
+func (t *P2P) Finish() {}
+
+// --- NCL: blocking neighborhood collectives --------------------------------
+
+// NCL aggregates records per process-graph neighbor and exchanges them
+// once per round with a blocking count exchange plus payload alltoallv
+// (paper §IV-D(c)).
+type NCL struct {
+	c         *mpi.Comm
+	topo      *mpi.Topo
+	l         *distgraph.Local
+	out       [][]int64
+	accounted int64 // high-water of buffer bytes actually used
+}
+
+// NewNCL returns a blocking neighborhood-collective backend whose
+// buffers hold maxPerArc records per cross arc per direction.
+func NewNCL(c *mpi.Comm, topo *mpi.Topo, l *distgraph.Local, maxPerArc int64) *NCL {
+	t := &NCL{c: c, topo: topo, l: l, out: make([][]int64, len(l.NeighborRanks))}
+	for i, arcs := range l.CrossArcs {
+		t.out[i] = make([]int64, 0, arcs*maxPerArc*recordWords)
+	}
+	// Memory is accounted per round from actual usage (Exchange): real
+	// implementations size aggregation buffers to per-round volume, far
+	// below the lifetime protocol bound used here as an overflow guard.
+	return t
+}
+
+// Send implements Sender.
+func (t *NCL) Send(dst int, ctx, x, y int64) {
+	i := t.l.NeighborIndex(dst)
+	if i < 0 {
+		panic(fmt.Sprintf("transport: NCL send to non-neighbor rank %d", dst))
+	}
+	if len(t.out[i])+recordWords > cap(t.out[i]) {
+		panic(fmt.Sprintf("transport: NCL buffer overflow to rank %d (per-edge message bound violated)", dst))
+	}
+	t.c.AdvanceTime(t.c.Cost().PackOverhead)
+	t.out[i] = append(t.out[i], ctx, x, y)
+}
+
+// Exchange implements Round: counts via MPI_Neighbor_alltoall, payloads
+// via MPI_Neighbor_alltoallv, then delivery.
+func (t *NCL) Exchange(h Handler) int {
+	deg := len(t.out)
+	counts := make([]int64, deg)
+	for i := range t.out {
+		counts[i] = int64(len(t.out[i]))
+	}
+	incoming := t.topo.NeighborAlltoallInt64(counts, 1)
+	data := t.topo.NeighborAlltoallvInt64(t.out)
+	var usage int64
+	for i := range t.out {
+		usage += int64(len(t.out[i]))
+	}
+	for i := range data {
+		usage += int64(len(data[i]))
+	}
+	if usage *= 8; usage > t.accounted {
+		t.c.AccountAlloc(usage - t.accounted)
+		t.accounted = usage
+	}
+	// Reset before delivery: handlers queue next-round records into the
+	// same buffers (the runtime copied the payloads).
+	for i := range t.out {
+		t.out[i] = t.out[i][:0]
+	}
+	n := 0
+	for i := range data {
+		if int64(len(data[i])) != incoming[i] {
+			panic(fmt.Sprintf("transport: NCL count exchange disagrees with payload: %d vs %d", incoming[i], len(data[i])))
+		}
+		for k := 0; k+recordWords <= len(data[i]); k += recordWords {
+			t.c.AdvanceTime(t.c.Cost().PackOverhead)
+			h(data[i][k], data[i][k+1], data[i][k+2])
+			n++
+		}
+	}
+	return n
+}
+
+// Finish implements Round (no-op for the blocking backend).
+func (t *NCL) Finish() {}
+
+// --- RMA: one-sided puts ----------------------------------------------------
+
+// RMA implements the paper's §IV-D(b) scheme (Fig 1): every rank's
+// window is partitioned into per-neighbor regions sized from the ghost
+// counts; a prefix sum plus one neighborhood alltoall gives each origin
+// its base displacement in every target's window; each record is one
+// MPI_Put at base + cursor; a per-round flush plus count exchange tells
+// targets how much arrived.
+type RMA struct {
+	c    *mpi.Comm
+	topo *mpi.Topo
+	l    *distgraph.Local
+	win  mpi.WinHandle
+
+	maxPerArc   int64
+	regionStart []int64
+	writeBase   []int64
+	writeCursor []int64
+	roundMark   []int64
+	readCursor  []int64
+}
+
+// NewRMA collectively creates the window and exchanges displacement
+// bases within the process neighborhood.
+func NewRMA(c *mpi.Comm, topo *mpi.Topo, l *distgraph.Local, maxPerArc int64) *RMA {
+	deg := len(l.NeighborRanks)
+	t := &RMA{
+		c: c, topo: topo, l: l, maxPerArc: maxPerArc,
+		regionStart: make([]int64, deg),
+		writeCursor: make([]int64, deg),
+		roundMark:   make([]int64, deg),
+		readCursor:  make([]int64, deg),
+	}
+	var total int64
+	for i, arcs := range l.CrossArcs {
+		t.regionStart[i] = total
+		total += arcs * maxPerArc * recordWords
+	}
+	t.win = c.WinCreate(int(total))
+	t.writeBase = topo.NeighborAlltoallInt64(t.regionStart, 1)
+	c.AccountAlloc(int64(deg) * 4 * 8)
+	return t
+}
+
+// Send implements Sender with a one-sided put at the precomputed
+// displacement.
+func (t *RMA) Send(dst int, ctx, x, y int64) {
+	i := t.l.NeighborIndex(dst)
+	if i < 0 {
+		panic(fmt.Sprintf("transport: RMA send to non-neighbor rank %d", dst))
+	}
+	if t.writeCursor[i] >= t.l.CrossArcs[i]*t.maxPerArc {
+		panic(fmt.Sprintf("transport: RMA region overflow to rank %d (per-edge message bound violated)", dst))
+	}
+	disp := t.writeBase[i] + t.writeCursor[i]*recordWords
+	t.win.Put(dst, int(disp), []int64{ctx, x, y})
+	t.writeCursor[i]++
+}
+
+// Exchange implements Round: flush, neighborhood count exchange, then
+// read newly arrived records from the local window.
+func (t *RMA) Exchange(h Handler) int {
+	deg := len(t.writeCursor)
+	t.win.FlushAll()
+	delta := make([]int64, deg)
+	for i := range delta {
+		delta[i] = t.writeCursor[i] - t.roundMark[i]
+		t.roundMark[i] = t.writeCursor[i]
+	}
+	incoming := t.topo.NeighborAlltoallInt64(delta, 1)
+	local := t.win.Local()
+	n := 0
+	for i := range incoming {
+		for k := int64(0); k < incoming[i]; k++ {
+			base := t.regionStart[i] + (t.readCursor[i]+k)*recordWords
+			t.c.AdvanceTime(t.c.Cost().PackOverhead)
+			h(local[base], local[base+1], local[base+2])
+			n++
+		}
+		t.readCursor[i] += incoming[i]
+	}
+	return n
+}
+
+// Finish implements Round.
+func (t *RMA) Finish() {}
+
+// Free collectively releases the window.
+func (t *RMA) Free() { t.win.Free() }
+
+// --- NCLI: pipelined nonblocking neighborhood collectives -------------------
+
+// NCLI extends the study with MPI-3 nonblocking neighborhood collectives:
+// double-buffered rounds where round k's records travel while round
+// k-1's are processed. Receive buffers are implicitly preposted at the
+// per-edge bound, so no count exchange is needed.
+type NCLI struct {
+	c         *mpi.Comm
+	topo      *mpi.Topo
+	l         *distgraph.Local
+	out       [][]int64
+	spare     [][]int64
+	inflight  *mpi.NbrRequest
+	accounted int64 // high-water of buffer bytes actually used
+}
+
+// NewNCLI returns the pipelined nonblocking backend.
+func NewNCLI(c *mpi.Comm, topo *mpi.Topo, l *distgraph.Local, maxPerArc int64) *NCLI {
+	t := &NCLI{c: c, topo: topo, l: l,
+		out:   make([][]int64, len(l.NeighborRanks)),
+		spare: make([][]int64, len(l.NeighborRanks)),
+	}
+	for i, arcs := range l.CrossArcs {
+		cap := arcs * maxPerArc * recordWords
+		t.out[i] = make([]int64, 0, cap)
+		t.spare[i] = make([]int64, 0, cap)
+	}
+	// Accounted per round from actual usage, like NCL (double-buffered,
+	// so both the filling and in-flight sides count).
+	return t
+}
+
+// Send implements Sender.
+func (t *NCLI) Send(dst int, ctx, x, y int64) {
+	i := t.l.NeighborIndex(dst)
+	if i < 0 {
+		panic(fmt.Sprintf("transport: NCLI send to non-neighbor rank %d", dst))
+	}
+	if len(t.out[i])+recordWords > cap(t.out[i]) {
+		panic(fmt.Sprintf("transport: NCLI buffer overflow to rank %d (per-edge message bound violated)", dst))
+	}
+	t.c.AdvanceTime(t.c.Cost().PackOverhead)
+	t.out[i] = append(t.out[i], ctx, x, y)
+}
+
+// Exchange implements Round: start the nonblocking send of the current
+// buffers, then complete and deliver the previous round's exchange.
+func (t *NCLI) Exchange(h Handler) int {
+	var usage int64
+	for i := range t.out {
+		usage += 2 * int64(len(t.out[i])) // filling + in-flight copies
+	}
+	req := t.topo.INeighborAlltoallvInt64(t.out)
+	t.out, t.spare = t.spare, t.out
+	for i := range t.out {
+		t.out[i] = t.out[i][:0]
+	}
+	n := 0
+	if t.inflight != nil {
+		for _, data := range t.inflight.Wait() {
+			usage += int64(len(data))
+			for k := 0; k+recordWords <= len(data); k += recordWords {
+				t.c.AdvanceTime(t.c.Cost().PackOverhead)
+				h(data[k], data[k+1], data[k+2])
+				n++
+			}
+		}
+	}
+	if usage *= 8; usage > t.accounted {
+		t.c.AccountAlloc(usage - t.accounted)
+		t.accounted = usage
+	}
+	t.inflight = req
+	return n
+}
+
+// Finish drains the final in-flight exchange; anything it carries is
+// stale once the algorithm's global termination condition held.
+func (t *NCLI) Finish() {
+	if t.inflight != nil {
+		t.inflight.Wait()
+		t.inflight = nil
+	}
+}
+
+// --- P2PAgg: Send-Recv with sender-side aggregation -------------------------
+
+// aggTag is the reserved tag carrying coalesced record batches;
+// application contexts must stay below it.
+const aggTag = 1 << 20
+
+// P2PAgg is Send-Recv with sender-side message coalescing: records for
+// one destination accumulate in a small buffer and travel as one message
+// when the buffer fills or the sender goes idle. The paper remarks that
+// "while it is possible to make the Send-Recv version optimal, handling
+// message aggregation in irregular applications is challenging" (§V-D);
+// this backend is that optimization, kept correct by flushing before
+// every blocking wait so no rank stalls on records parked in a peer's
+// buffer.
+type P2PAgg struct {
+	c         *mpi.Comm
+	batch     int
+	out       map[int][]int64
+	accounted int64
+}
+
+// NewP2PAgg returns an aggregating Send-Recv backend batching up to
+// batch records per destination (batch >= 1).
+func NewP2PAgg(c *mpi.Comm, batch int) *P2PAgg {
+	if batch < 1 {
+		panic(fmt.Sprintf("transport: P2PAgg batch = %d", batch))
+	}
+	return &P2PAgg{c: c, batch: batch, out: make(map[int][]int64)}
+}
+
+// Send implements Sender: append to the destination's batch, flushing
+// when full.
+func (t *P2PAgg) Send(dst int, ctx, x, y int64) {
+	t.c.AdvanceTime(t.c.Cost().PackOverhead)
+	buf := append(t.out[dst], ctx, x, y)
+	if len(buf) >= t.batch*recordWords {
+		t.c.Isend(dst, aggTag, buf)
+		buf = buf[:0]
+	}
+	t.out[dst] = buf
+	if usage := int64(8 * t.batch * recordWords * len(t.out)); usage > t.accounted {
+		t.c.AccountAlloc(usage - t.accounted)
+		t.accounted = usage
+	}
+}
+
+// flushAll transmits every partial batch.
+func (t *P2PAgg) flushAll() {
+	for dst, buf := range t.out {
+		if len(buf) > 0 {
+			t.c.Isend(dst, aggTag, buf)
+			t.out[dst] = buf[:0]
+		}
+	}
+}
+
+// Drain implements Async, unpacking coalesced batches.
+func (t *P2PAgg) Drain(h Handler) bool {
+	any := false
+	for {
+		ok, st := t.c.Iprobe(mpi.AnySource, mpi.AnyTag)
+		if !ok {
+			return any
+		}
+		data, st := t.c.Recv(st.Source, st.Tag)
+		if st.Tag != aggTag {
+			panic(fmt.Sprintf("transport: P2PAgg received non-batch tag %d", st.Tag))
+		}
+		for k := 0; k+recordWords <= len(data); k += recordWords {
+			t.c.AdvanceTime(t.c.Cost().PackOverhead)
+			h(data[k], data[k+1], data[k+2])
+		}
+		any = true
+	}
+}
+
+// Block implements Async: partial batches are flushed first — a rank
+// about to wait must not sit on records its peers need for progress.
+func (t *P2PAgg) Block() {
+	t.flushAll()
+	t.c.Probe(mpi.AnySource, mpi.AnyTag)
+}
+
+// Finish implements Async: a locally-terminated rank still owes its
+// peers whatever sits in partial batches.
+func (t *P2PAgg) Finish() {
+	t.flushAll()
+}

@@ -1,0 +1,209 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/distgraph"
+	"repro/internal/gen"
+	"repro/internal/mpi"
+)
+
+// Compile-time interface conformance.
+var (
+	_ Async = (*P2P)(nil)
+	_ Async = (*P2PAgg)(nil)
+	_ Round = (*NCL)(nil)
+	_ Round = (*RMA)(nil)
+	_ Round = (*NCLI)(nil)
+)
+
+func cfg(p int) mpi.Config {
+	return mpi.Config{Procs: p, Deadline: 30 * time.Second}
+}
+
+type rec struct{ ctx, x, y int64 }
+
+func TestP2PRoundTrip(t *testing.T) {
+	_, err := mpi.Run(cfg(2), func(c *mpi.Comm) error {
+		tr := NewP2P(c, false)
+		if c.Rank() == 0 {
+			tr.Send(1, 3, 10, 20)
+			tr.Send(1, 4, 11, 21)
+		}
+		c.Barrier()
+		if c.Rank() == 1 {
+			var got []rec
+			tr.Drain(func(ctx, x, y int64) { got = append(got, rec{ctx, x, y}) })
+			if len(got) != 2 || got[0] != (rec{3, 10, 20}) || got[1] != (rec{4, 11, 21}) {
+				t.Errorf("got %v", got)
+			}
+		}
+		tr.Finish()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestP2PAggBatchingAndFlush(t *testing.T) {
+	rep, err := mpi.Run(cfg(2), func(c *mpi.Comm) error {
+		tr := NewP2PAgg(c, 4) // 4 records per batch
+		if c.Rank() == 0 {
+			for k := int64(0); k < 10; k++ {
+				tr.Send(1, 1, k, k)
+			}
+			// 10 records = 2 full batches sent + 2 parked; Finish flushes.
+			tr.Finish()
+		}
+		c.Barrier()
+		if c.Rank() == 1 {
+			var got []rec
+			tr.Drain(func(ctx, x, y int64) { got = append(got, rec{ctx, x, y}) })
+			if len(got) != 10 {
+				t.Errorf("received %d records, want 10", len(got))
+			}
+			for k, r := range got {
+				if r.x != int64(k) {
+					t.Errorf("record %d out of order: %+v", k, r)
+					break
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 records in batches of 4 -> 3 messages, not 10.
+	if n := rep.Stats[0].SendCount; n != 3 {
+		t.Errorf("aggregated into %d messages, want 3", n)
+	}
+}
+
+func TestP2PAggFewerMessagesThanP2P(t *testing.T) {
+	const records = 200
+	run := func(agg bool) int64 {
+		rep, err := mpi.Run(cfg(2), func(c *mpi.Comm) error {
+			var tr Async = NewP2P(c, false)
+			if agg {
+				tr = NewP2PAgg(c, 32)
+			}
+			if c.Rank() == 0 {
+				for k := int64(0); k < records; k++ {
+					tr.Send(1, 1, k, k)
+				}
+				tr.Finish()
+			}
+			c.Barrier()
+			if c.Rank() == 1 {
+				n := 0
+				tr.Drain(func(ctx, x, y int64) { n++ })
+				if n != records {
+					t.Errorf("agg=%v delivered %d records", agg, n)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Stats[0].SendCount
+	}
+	plain, agg := run(false), run(true)
+	if agg*10 > plain {
+		t.Errorf("aggregation sent %d messages vs %d plain — no coalescing", agg, plain)
+	}
+}
+
+func TestRoundBackendsDeliverIdentically(t *testing.T) {
+	// Same record stream through NCL, RMA and NCLI on a ring topology;
+	// all must deliver exactly the sent multiset.
+	g := gen.Path(40)
+	const p = 4
+	d := distgraph.NewBlockDist(g, p)
+	for _, kind := range []string{"ncl", "rma", "ncli"} {
+		_, err := mpi.Run(cfg(p), func(c *mpi.Comm) error {
+			l := d.BuildLocal(c.Rank())
+			topo := c.CreateGraphTopo(l.NeighborRanks)
+			var tr Round
+			switch kind {
+			case "ncl":
+				tr = NewNCL(c, topo, l, 2)
+			case "rma":
+				tr = NewRMA(c, topo, l, 2)
+			case "ncli":
+				tr = NewNCLI(c, topo, l, 2)
+			}
+			// Send one record per cross arc per round, two rounds.
+			total := 0
+			for round := 0; round < 2; round++ {
+				for _, q := range l.NeighborRanks {
+					// The path's cross arc endpoints: boundary vertices.
+					var x int64
+					if q < c.Rank() {
+						x = int64(l.Lo - 1)
+					} else {
+						x = int64(l.Hi)
+					}
+					tr.Send(q, 1, x, int64(c.Rank()))
+				}
+				n := tr.Exchange(func(ctx, x, y int64) {
+					if ctx != 1 {
+						t.Errorf("%s: bad ctx %d", kind, ctx)
+					}
+					total++
+				})
+				_ = n
+			}
+			// Drain the pipelined backend's tail.
+			tr.Exchange(func(ctx, x, y int64) { total++ })
+			tr.Finish()
+			if total != 2*len(l.NeighborRanks) {
+				t.Errorf("%s: rank %d delivered %d records, want %d", kind, c.Rank(), total, 2*len(l.NeighborRanks))
+			}
+			if r, ok := tr.(*RMA); ok {
+				r.Free()
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+	}
+}
+
+func TestNCLOverflowPanics(t *testing.T) {
+	g := gen.Path(8)
+	d := distgraph.NewBlockDist(g, 2)
+	_, err := mpi.Run(cfg(2), func(c *mpi.Comm) error {
+		l := d.BuildLocal(c.Rank())
+		topo := c.CreateGraphTopo(l.NeighborRanks)
+		tr := NewNCL(c, topo, l, 1) // 1 record per cross arc
+		q := l.NeighborRanks[0]
+		tr.Send(q, 1, 0, 0)
+		tr.Send(q, 1, 0, 0) // exceeds the bound
+		return nil
+	})
+	if err == nil {
+		t.Fatal("buffer overflow must fail the run")
+	}
+}
+
+func TestSendToNonNeighborPanics(t *testing.T) {
+	g := gen.Path(12)
+	d := distgraph.NewBlockDist(g, 3)
+	_, err := mpi.Run(cfg(3), func(c *mpi.Comm) error {
+		l := d.BuildLocal(c.Rank())
+		topo := c.CreateGraphTopo(l.NeighborRanks)
+		tr := NewNCL(c, topo, l, 2)
+		if c.Rank() == 0 {
+			tr.Send(2, 1, 0, 0) // rank 2 is not a path neighbor of rank 0
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("send to non-neighbor must fail")
+	}
+}
