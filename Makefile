@@ -1,0 +1,36 @@
+# Developer entry points. The repo is pure Go with no external
+# dependencies; everything below is a thin wrapper over the go tool.
+
+GO ?= go
+
+.PHONY: tier1 build test vet race bench bench-p2p clean
+
+# tier1 is the gate every change must keep green: full build + vet +
+# full test suite.
+tier1: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the suite under the race detector (slower; the simulated-MPI
+# runtime is heavily concurrent, so this is the second gate).
+race:
+	$(GO) test -race ./...
+
+# bench runs every benchmark once with allocation stats.
+bench:
+	$(GO) test -run xxx -bench . -benchmem ./...
+
+# bench-p2p reproduces the point-to-point hot-path numbers recorded in
+# BENCH_p2p.json.
+bench-p2p:
+	$(GO) test -run xxx -bench 'PingPong|MailboxBacklog|IprobeBacklogMiss|AnySourceFanIn64' -benchmem ./internal/mpi/
+
+clean:
+	$(GO) clean ./...

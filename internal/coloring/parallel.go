@@ -267,7 +267,7 @@ func Run(g *graph.CSR, opt Options) (*ParallelResult, error) {
 			for {
 				t.Exchange(e.handleMessage)
 				e.drainWork()
-				total := c.AllreduceInt64(mpi.OpSum, []int64{e.uncolored() + e.pendingArcs})[0]
+				total := c.AllreduceScalarInt64(mpi.OpSum, e.uncolored()+e.pendingArcs)
 				e.rounds++
 				if total == 0 {
 					t.Finish()

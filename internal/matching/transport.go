@@ -48,7 +48,7 @@ func runRounds(e *engine, t transport.Round) {
 	for {
 		t.Exchange(e.handleMessage)
 		e.drainWork()
-		total := e.c.AllreduceInt64(mpi.OpSum, []int64{e.pending})[0]
+		total := e.c.AllreduceScalarInt64(mpi.OpSum, e.pending)
 		e.rounds++
 		if total == 0 {
 			t.Finish()

@@ -83,6 +83,76 @@ func BenchmarkNeighborAlltoallv(b *testing.B) {
 	})
 }
 
+// BenchmarkMailboxBacklog drains a 1024-message backlog with tag-specific
+// receives. Under the seed's flat linear-scan mailbox every Recv scanned
+// the whole queue and compacted it with an O(n) shift-delete, so the
+// drain was O(n^2); the bucketed index resolves each (src, tag) lookup
+// from a FIFO ring front in O(1).
+func BenchmarkMailboxBacklog(b *testing.B) {
+	const n, tags = 1024, 8
+	benchRun(b, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			for k := 0; k < n; k++ {
+				c.Isend(1, k%tags, []int64{int64(k), 0, 0})
+			}
+			c.Barrier()
+		} else {
+			c.Barrier() // let the full backlog queue up first
+			for tag := 0; tag < tags; tag++ {
+				for k := 0; k < n/tags; k++ {
+					c.Recv(0, tag)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// BenchmarkIprobeBacklogMiss polls for a tag that is not present while a
+// large backlog of other-tag messages is queued — the worst case for a
+// linear-scan mailbox (every miss walks the whole queue) and the common
+// case for the NSR driver's polling loop under load.
+func BenchmarkIprobeBacklogMiss(b *testing.B) {
+	const n = 1024
+	benchRun(b, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			for k := 0; k < n; k++ {
+				c.Isend(1, 1, []int64{int64(k)})
+			}
+			c.Barrier()
+		} else {
+			c.Barrier()
+			for k := 0; k < n; k++ {
+				if ok, _ := c.Iprobe(0, 2); ok {
+					b.Error("unexpected hit")
+				}
+			}
+			for k := 0; k < n; k++ {
+				c.Recv(0, 1)
+			}
+		}
+		return nil
+	})
+}
+
+// BenchmarkAnySourceFanIn64 receives with AnySource from 64 senders, the
+// wildcard pattern of the Send-Recv matching driver.
+func BenchmarkAnySourceFanIn64(b *testing.B) {
+	const procs, msgs = 65, 8
+	benchRun(b, procs, func(c *Comm) error {
+		if c.Rank() != 0 {
+			for k := 0; k < msgs; k++ {
+				c.Isend(0, 3, []int64{int64(c.Rank()), int64(k)})
+			}
+			return nil
+		}
+		for k := 0; k < msgs*(procs-1); k++ {
+			c.Recv(AnySource, 3)
+		}
+		return nil
+	})
+}
+
 func BenchmarkRMAPutFlush(b *testing.B) {
 	benchRun(b, 2, func(c *Comm) error {
 		win := c.WinCreate(1 << 12)

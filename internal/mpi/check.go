@@ -1,0 +1,90 @@
+package mpi
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// Post-run invariant checks shared by the runtime's own tests and by the
+// application-level test suites (DESIGN §7 item iv): a completed run must
+// not leak rank goroutines, and its traffic ledgers must balance. These
+// were previously asserted ad hoc per test; the helpers centralize them.
+
+// CheckBalanced verifies conservation of user-level point-to-point
+// traffic across a completed run's ledgers: every message and byte sent
+// was either received or is still sitting in a mailbox (UnreceivedMsgs).
+// It returns a descriptive error on imbalance, which would indicate
+// runtime message loss or duplication.
+func CheckBalanced(rep *Report) error {
+	var sent, recvd, unrecv, sentBytes, recvBytes int64
+	for _, rs := range rep.Stats {
+		sent += rs.SendCount
+		recvd += rs.RecvCount
+		unrecv += rs.UnreceivedMsgs
+		sentBytes += rs.SendBytes
+		recvBytes += rs.RecvBytes
+	}
+	if sent != recvd+unrecv {
+		return fmt.Errorf("mpi: unbalanced run: %d messages sent but %d received + %d unreceived", sent, recvd, unrecv)
+	}
+	if unrecv == 0 && sentBytes != recvBytes {
+		return fmt.Errorf("mpi: unbalanced run: %d bytes sent but %d received", sentBytes, recvBytes)
+	}
+	return nil
+}
+
+// CheckDrained is CheckBalanced plus the stronger requirement that no
+// message was left unreceived — the expected end state for workloads
+// whose protocols receive everything they send (blocking collectives,
+// round-based transports, echo tests). Protocols that legally terminate
+// with stale in-flight messages (the Send-Recv matching driver) should
+// use CheckBalanced instead.
+func CheckDrained(rep *Report) error {
+	if err := CheckBalanced(rep); err != nil {
+		return err
+	}
+	for _, rs := range rep.Stats {
+		if rs.UnreceivedMsgs != 0 {
+			return fmt.Errorf("mpi: rank %d finished with %d unreceived message(s)", rs.Rank, rs.UnreceivedMsgs)
+		}
+	}
+	return nil
+}
+
+// CheckGoroutines verifies that the process's goroutine count has
+// returned to at most baseline (a runtime.NumGoroutine snapshot taken
+// before Run), waiting briefly for rank goroutines that are still
+// unwinding. A persistent excess means a run leaked its ranks.
+func CheckGoroutines(baseline int) error {
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("mpi: goroutine leak: %d running, %d at baseline", n, baseline)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// RunChecked wraps Run with the standard post-run hygiene checks: on a
+// successful run it additionally verifies that no goroutines leaked and
+// that the send/receive ledgers balance, folding any violation into the
+// returned error. Tests should prefer it over Run.
+func RunChecked(cfg Config, body func(c *Comm) error) (*Report, error) {
+	baseline := runtime.NumGoroutine()
+	rep, err := Run(cfg, body)
+	if err != nil {
+		return rep, err
+	}
+	if err := CheckGoroutines(baseline); err != nil {
+		return rep, err
+	}
+	if err := CheckBalanced(rep); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}

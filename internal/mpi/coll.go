@@ -214,6 +214,28 @@ func (c *Comm) AllreduceInt64(op ReduceOp, in []int64) []int64 {
 	return out
 }
 
+// AllreduceScalarInt64 combines a single int64 across all ranks with op
+// and returns the combined value on every rank. It is equivalent to
+// AllreduceInt64 on a one-element vector but allocation-free: the deposit
+// travels through a per-process scratch cell and the fold happens in
+// registers. The matching and coloring drivers call this once per round
+// for termination detection, which makes it part of the steady-state hot
+// path.
+func (c *Comm) AllreduceScalarInt64(op ReduceOp, v int64) int64 {
+	c.ps.collScratch[0] = v
+	h := c.enterColl(func(h *collHub) {
+		h.mu.Lock()
+		h.ideps[c.rank] = c.ps.collScratch[:]
+		h.mu.Unlock()
+	})
+	out := h.ideps[0][0]
+	for r := 1; r < c.size(); r++ {
+		out = op.foldInt64(out, h.ideps[r][0])
+	}
+	c.exitColl(h, 8)
+	return out
+}
+
 // AllreduceFloat64 is AllreduceInt64 for float64 vectors. The fold is
 // performed in rank order on every rank, so the result is deterministic
 // and identical everywhere.

@@ -1,0 +1,410 @@
+package mpi
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the runtime's receive-side message store. Every
+// rank owns one mailbox; senders push under the mailbox lock and the
+// owning rank matches, probes and dequeues.
+//
+// The store is organized the way real MPI implementations index their
+// posted-receive and unexpected-message queues (cf. MPICH's queue-search
+// optimizations): messages are bucketed by source, and each bucket keeps
+// small FIFO indexes so the common lookups are O(1) instead of a linear
+// scan over everything queued:
+//
+//   - per (source, communicator) FIFO of user-level messages, in virtual
+//     arrival order — resolves (src, AnyTag) and feeds AnySource scans;
+//   - per (source, communicator, tag) FIFO — resolves exact (src, tag);
+//   - per (source, itag) FIFO for runtime-internal traffic (neighborhood
+//     collective chunks, RMA control), which is matched exactly.
+//
+// A user-level message is indexed by both the arrival FIFO and its tag
+// FIFO. Dequeuing through one index bumps the message's generation; the
+// other index skips dead entries lazily when it next reaches them, so
+// removal is O(1) amortized with no shift-deletes. Because message
+// structs are pooled, a stale index entry can outlive its message's
+// recycling — and the recycled struct may by then live in a different
+// mailbox, under a different lock. Every entry therefore records the
+// generation at push time and compares it with one atomic load: take and
+// release each bump the counter, so equality proves the entry still
+// refers to the live, untaken incarnation owned by this mailbox.
+//
+// Within one (source, communicator) the sender's virtual clock is
+// monotone, so FIFO order is arrival order and the front of a queue is
+// its earliest message. This makes per-source FIFO delivery (MPI's
+// non-overtaking guarantee) structural rather than incidental. AnySource
+// wildcards take the minimum virtual-arrival front across the buckets
+// that currently hold user traffic — O(#sources-with-pending), not
+// O(#messages) — which preserves the earliest-virtual-arrival selection
+// the timing model depends on (see the comment on matchUserLocked).
+//
+// Messages themselves are pooled: see message.release. Payloads of up to
+// inlineWords words (covering the 3-word protocol records that dominate
+// matching traffic) live inline in the struct; larger payloads use a
+// spill buffer that is recycled with the struct.
+
+// inlineWords is the payload capacity stored directly inside a pooled
+// message struct. Four words cover the {ctx, x, y} protocol records and
+// the one-word control messages that dominate the runtime's traffic.
+const inlineWords = 4
+
+// message is an in-flight payload. itag != 0 marks runtime-internal
+// traffic (neighborhood collectives, RMA control) which is invisible to
+// user-level Recv/Probe.
+type message struct {
+	src    int   // sender's rank within the sending communicator
+	tag    int
+	itag   int64
+	mctx   int32 // communicator id (user-level traffic only)
+	// gen is bumped on take and on release. Index entries snapshot it at
+	// push time; a mismatch means the entry is dead (taken through the
+	// other index, or recycled entirely). Atomic because a stale entry
+	// may be examined under one mailbox's lock while the recycled
+	// struct's current owner bumps it under another's.
+	gen    atomic.Uint64
+	data   []int64
+	bytes  int64
+	arrive float64 // virtual arrival time at the receiver
+	inline [inlineWords]int64
+	spill  []int64 // reusable storage for payloads > inlineWords
+}
+
+// msgPool recycles message structs (with their spill buffers) across the
+// whole process. Senders allocate from it in newMessage; receivers return
+// structs via release once the payload has been copied out.
+var msgPool = sync.Pool{New: func() any { return new(message) }}
+
+// newMessage obtains a pooled message and copies data into it. The caller
+// may reuse data immediately (MPI eager-buffering semantics).
+func newMessage(src, tag int, itag int64, mctx int32, data []int64) *message {
+	m := msgPool.Get().(*message)
+	m.src, m.tag, m.itag, m.mctx = src, tag, itag, mctx
+	n := len(data)
+	if n <= inlineWords {
+		m.data = m.inline[:n:inlineWords]
+	} else {
+		if cap(m.spill) < n {
+			m.spill = make([]int64, n)
+		}
+		m.data = m.spill[:n]
+	}
+	copy(m.data, data)
+	m.bytes = int64(8 * n)
+	return m
+}
+
+// release returns a message to the pool. The caller must have copied out
+// everything it needs: after release, m.data may be overwritten by an
+// unrelated send at any time. Bumping gen invalidates any index entry
+// still pointing at the struct (lazy deletion leaves those behind).
+func (m *message) release() {
+	m.gen.Add(1)
+	m.data = nil
+	msgPool.Put(m)
+}
+
+// qent is one ring slot: the message plus its generation at push time. A
+// mismatch against the struct's current generation means the message was
+// dequeued through the other index (or already recycled) — the slot is
+// dead even though the reused struct may look live again.
+type qent struct {
+	m   *message
+	gen uint64
+}
+
+// msgq is a FIFO ring of messages. Capacity grows by doubling and is
+// retained for the life of the mailbox, so steady-state operation does
+// not allocate. front and pop skip entries already taken through another
+// index.
+type msgq struct {
+	buf  []qent
+	head int // index of the front element (valid when n > 0)
+	n    int // live slots, including taken entries not yet skipped
+}
+
+func (q *msgq) push(m *message) {
+	if q.n == len(q.buf) {
+		grown := make([]qent, max(8, 2*len(q.buf)))
+		for i := 0; i < q.n; i++ {
+			grown[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+		}
+		q.buf, q.head = grown, 0
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = qent{m, m.gen.Load()}
+	q.n++
+}
+
+// front returns the earliest live message, discarding taken and recycled
+// entries.
+func (q *msgq) front() *message {
+	for q.n > 0 {
+		e := q.buf[q.head]
+		if e.m.gen.Load() == e.gen {
+			return e.m
+		}
+		q.buf[q.head] = qent{}
+		q.head = (q.head + 1) & (len(q.buf) - 1)
+		q.n--
+	}
+	return nil
+}
+
+// popFront removes the message returned by front. Callers must have just
+// called front (so the head entry is live).
+func (q *msgq) popFront() {
+	q.buf[q.head] = qent{}
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+}
+
+// tagKey indexes a user-level (communicator, tag) FIFO within a bucket.
+type tagKey struct {
+	mctx int32
+	tag  int
+}
+
+// srcBucket holds everything queued from one source rank. For a fixed
+// communicator a source rank maps to exactly one sending goroutine, so
+// each FIFO below has a single producer with a monotone clock.
+type srcBucket struct {
+	user  map[int32]*msgq  // mctx -> user messages in arrival order
+	tags  map[tagKey]*msgq // (mctx, tag) -> user messages with that tag
+	intl  map[int64]*msgq  // itag -> internal messages
+	nUser int              // live user-level messages in this bucket
+	alive int              // position in mailbox.activeSrcs, or -1
+}
+
+// mailbox is one rank's receive queue. Senders push under mu; the single
+// owning rank matches and dequeues. Exactly one goroutine ever waits on
+// cv, so pushes use a Signal-based wakeup gated on parked instead of
+// broadcasting to nobody.
+type mailbox struct {
+	mu       sync.Mutex
+	cv       *sync.Cond
+	buckets  []srcBucket
+	active   []int32 // source ranks with nUser > 0, unordered
+	nUser    int     // live user-level messages across all buckets
+	qfree    []*msgq // recycled internal queues (itags are sequence-numbered)
+	parked   bool    // the owner is blocked in cv.Wait
+	queued   int64   // bytes currently queued (eager-buffer occupancy)
+	hw       int64   // high-water of queued
+	poisoned bool
+}
+
+// newMailbox returns a mailbox accepting traffic from up to n sources
+// (communicator ranks are always < the world size n).
+func newMailbox(n int) *mailbox {
+	mb := &mailbox{buckets: make([]srcBucket, n)}
+	for i := range mb.buckets {
+		mb.buckets[i].alive = -1
+	}
+	mb.cv = sync.NewCond(&mb.mu)
+	return mb
+}
+
+// push enqueues m, indexing it by source and tag, and wakes the owner if
+// it is parked. On a poisoned mailbox push is a no-op (the run is already
+// failing and the owner may have unwound), so queued/hw stay frozen at
+// their poison-time snapshot for the memory reports.
+func (mb *mailbox) push(m *message) {
+	mb.mu.Lock()
+	if mb.poisoned {
+		mb.mu.Unlock()
+		m.release()
+		return
+	}
+	b := &mb.buckets[m.src]
+	if m.itag != 0 {
+		if b.intl == nil {
+			b.intl = make(map[int64]*msgq)
+		}
+		q := b.intl[m.itag]
+		if q == nil {
+			// Internal tags embed a per-topology sequence number, so every
+			// collective round arrives under a fresh key; recycling drained
+			// queues (rings included) keeps the steady state allocation-free.
+			if n := len(mb.qfree); n > 0 {
+				q, mb.qfree = mb.qfree[n-1], mb.qfree[:n-1]
+			} else {
+				q = new(msgq)
+			}
+			b.intl[m.itag] = q
+		}
+		q.push(m)
+	} else {
+		if b.user == nil {
+			b.user = make(map[int32]*msgq)
+			b.tags = make(map[tagKey]*msgq)
+		}
+		q := b.user[m.mctx]
+		if q == nil {
+			q = new(msgq)
+			b.user[m.mctx] = q
+		}
+		q.push(m)
+		k := tagKey{m.mctx, m.tag}
+		tq := b.tags[k]
+		if tq == nil {
+			tq = new(msgq)
+			b.tags[k] = tq
+		}
+		tq.push(m)
+		b.nUser++
+		mb.nUser++
+		if b.alive < 0 {
+			b.alive = len(mb.active)
+			mb.active = append(mb.active, int32(m.src))
+		}
+	}
+	mb.queued += m.bytes
+	if mb.queued > mb.hw {
+		mb.hw = mb.queued
+	}
+	wake := mb.parked
+	mb.parked = false
+	mb.mu.Unlock()
+	if wake {
+		mb.cv.Signal()
+	}
+}
+
+// take finalizes the dequeue of a user-level message found by
+// matchUserLocked: the generation bump kills the entry in the index it
+// was not popped from, and the byte/liveness accounting is updated.
+func (mb *mailbox) take(m *message) {
+	m.gen.Add(1)
+	mb.queued -= m.bytes
+	b := &mb.buckets[m.src]
+	b.nUser--
+	mb.nUser--
+	if b.nUser == 0 && b.alive >= 0 {
+		last := len(mb.active) - 1
+		moved := mb.active[last]
+		mb.active[b.alive] = moved
+		mb.buckets[moved].alive = b.alive
+		mb.active = mb.active[:last]
+		b.alive = -1
+	}
+}
+
+// userFront returns the earliest live user-level message from bucket b
+// matching (tag, mctx), consulting the tag index for exact tags and the
+// arrival FIFO for AnyTag. Returns the queue it came from so the caller
+// can pop it.
+func (b *srcBucket) userFront(tag int, mctx int32) (*message, *msgq) {
+	var q *msgq
+	if tag == AnyTag {
+		q = b.user[mctx]
+	} else {
+		q = b.tags[tagKey{mctx, tag}]
+	}
+	if q == nil {
+		return nil, nil
+	}
+	m := q.front()
+	return m, q
+}
+
+// matchUserLocked finds the queued user-level message matching (src, tag)
+// in communicator mctx with the earliest virtual arrival time and, if
+// remove is set, dequeues it. Returns nil when nothing matches. The
+// caller holds mb.mu.
+//
+// Selecting by virtual arrival rather than physical enqueue position
+// matters for timing fidelity: goroutine scheduling (especially on few
+// cores) can enqueue a late-stamped message ahead of an early-stamped
+// one, and processing the late one first would ratchet the receiver's
+// clock and contaminate every subsequent reply with artificial delay.
+// Per-source stamps are monotone, so each bucket FIFO is already in
+// arrival order and an AnySource wildcard only has to compare bucket
+// fronts; ties across sources break toward the lower source rank, and
+// messages from one source retain FIFO order, preserving MPI's
+// non-overtaking guarantee.
+func (mb *mailbox) matchUserLocked(src, tag int, mctx int32, remove bool) *message {
+	var (
+		best  *message
+		bestq *msgq
+	)
+	if src != AnySource {
+		b := &mb.buckets[src]
+		if b.user == nil {
+			return nil
+		}
+		best, bestq = b.userFront(tag, mctx)
+	} else {
+		for _, s := range mb.active {
+			b := &mb.buckets[s]
+			m, q := b.userFront(tag, mctx)
+			if m == nil {
+				continue
+			}
+			if best == nil || m.arrive < best.arrive ||
+				(m.arrive == best.arrive && m.src < best.src) {
+				best, bestq = m, q
+			}
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	if remove {
+		bestq.popFront()
+		mb.take(best)
+	}
+	return best
+}
+
+// matchInternalLocked finds (and, if remove is set, dequeues) the oldest
+// internal message from src with the exact itag. The caller holds mb.mu.
+func (mb *mailbox) matchInternalLocked(src int, itag int64, remove bool) *message {
+	b := &mb.buckets[src]
+	if b.intl == nil {
+		return nil
+	}
+	q := b.intl[itag]
+	if q == nil {
+		return nil
+	}
+	m := q.front()
+	if m == nil {
+		return nil
+	}
+	if remove {
+		q.popFront()
+		mb.queued -= m.bytes
+		// Internal messages are single-indexed, so n == 0 means truly
+		// empty: retire the queue for reuse under the next fresh itag.
+		if q.n == 0 {
+			delete(b.intl, itag)
+			mb.qfree = append(mb.qfree, q)
+		}
+	}
+	return m
+}
+
+// pendingUser returns the number of live user-level messages queued.
+func (mb *mailbox) pendingUser() int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.nUser
+}
+
+func (mb *mailbox) poison() {
+	mb.mu.Lock()
+	mb.poisoned = true
+	mb.parked = false
+	mb.mu.Unlock()
+	mb.cv.Broadcast()
+}
+
+// highWater snapshots the eager-buffer high-water mark. After poisoning
+// the value is stable: push is a no-op on a poisoned mailbox, so a late
+// sender racing a failed run cannot move it.
+func (mb *mailbox) highWater() int64 {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.hw
+}

@@ -1,0 +1,203 @@
+package mpi
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// White-box tests for the bucketed mailbox: arrival-order selection,
+// per-source FIFO, dual-index lazy deletion under struct pooling, and
+// post-poison stability. These pin down the invariants the rewrite must
+// preserve (DESIGN §7): matching selects the earliest virtual arrival
+// regardless of physical enqueue order, and messages from one source
+// never overtake each other.
+
+// pushAt fabricates a user-level world message with an explicit virtual
+// arrival time and pushes it, bypassing a Comm (payload = seq for
+// identification).
+func pushAt(mb *mailbox, src, tag int, arrive float64, seq int64) {
+	m := newMessage(src, tag, 0, 0, []int64{seq})
+	m.arrive = arrive
+	mb.push(m)
+}
+
+// drainAll dequeues every user message via AnySource/AnyTag wildcards in
+// match order.
+func drainAll(mb *mailbox) []*message {
+	var out []*message
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		m := mb.matchUserLocked(AnySource, AnyTag, 0, true)
+		if m == nil {
+			return out
+		}
+		out = append(out, m)
+	}
+}
+
+// TestMailboxEarliestArrivalOutOfOrderEnqueue is the regression the old
+// flat-slice mailbox solved by linear scan: goroutine scheduling pushes a
+// late-stamped message physically before an early-stamped one, and the
+// receiver must still see them in virtual-arrival order.
+func TestMailboxEarliestArrivalOutOfOrderEnqueue(t *testing.T) {
+	mb := newMailbox(4)
+	// Physical push order deliberately scrambles virtual arrivals across
+	// two sources; per-source stamps stay monotone (senders' clocks are).
+	pushAt(mb, 1, 7, 50, 0) // src 1: 50, 60
+	pushAt(mb, 0, 7, 10, 1) // src 0: 10, 55
+	pushAt(mb, 1, 7, 60, 2)
+	pushAt(mb, 0, 7, 55, 3)
+
+	wantArrive := []float64{10, 50, 55, 60}
+	wantSrc := []int{0, 1, 0, 1}
+	got := drainAll(mb)
+	if len(got) != 4 {
+		t.Fatalf("drained %d messages, want 4", len(got))
+	}
+	for i, m := range got {
+		if m.arrive != wantArrive[i] || m.src != wantSrc[i] {
+			t.Errorf("match %d: (src %d, arrive %g), want (src %d, arrive %g)",
+				i, m.src, m.arrive, wantSrc[i], wantArrive[i])
+		}
+		m.release()
+	}
+}
+
+// TestMailboxOrderProperty drives the mailbox with randomized interleaved
+// pushes (per-source monotone stamps, as the runtime guarantees) and
+// checks the two delivery invariants on the wildcard drain: globally
+// nondecreasing (arrive, src) order, and per-source FIFO.
+func TestMailboxOrderProperty(t *testing.T) {
+	const nSrc = 4
+	prop := func(deltas []uint8, srcs []uint8) bool {
+		mb := newMailbox(nSrc)
+		clock := [nSrc]float64{}
+		count := [nSrc]int64{}
+		n := min(len(deltas), len(srcs))
+		for i := 0; i < n; i++ {
+			s := int(srcs[i]) % nSrc
+			clock[s] += float64(deltas[i]) // monotone per source (may tie)
+			pushAt(mb, s, 3, clock[s], count[s])
+			count[s]++
+		}
+		got := drainAll(mb)
+		if len(got) != n {
+			return false
+		}
+		var next [nSrc]int64
+		for i, m := range got {
+			if i > 0 {
+				p := got[i-1]
+				if m.arrive < p.arrive {
+					return false // later match with earlier arrival
+				}
+			}
+			if m.data[0] != next[m.src] {
+				return false // per-source FIFO violated
+			}
+			next[m.src]++
+			m.release()
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMailboxStaleTagEntrySurvivesReuse pins the interaction of lazy
+// dual-index deletion with struct pooling: a message dequeued through the
+// arrival FIFO leaves a stale pointer in its tag FIFO, and once the
+// struct is recycled for an unrelated send the stale entry must stay
+// dead — matching it would steal a message queued elsewhere and deadlock
+// the rightful receiver. The generation check in qent is what enforces
+// this.
+func TestMailboxStaleTagEntrySurvivesReuse(t *testing.T) {
+	a, b := newMailbox(2), newMailbox(2)
+	pushAt(a, 0, 1, 10, 100)
+	pushAt(a, 0, 2, 20, 200) // keeps bucket 0 of a live after the take
+
+	// Dequeue the tag-1 message through the wildcard (arrival-FIFO) path;
+	// its tags[{0,1}] queue now holds a stale entry.
+	a.mu.Lock()
+	m := a.matchUserLocked(AnySource, AnyTag, 0, true)
+	a.mu.Unlock()
+	if m == nil || m.tag != 1 {
+		t.Fatalf("wildcard match = %+v, want the tag-1 message", m)
+	}
+
+	// Recycle the struct the way release+newMessage would when the pool
+	// hands the same struct back, and enqueue it on a different mailbox
+	// with the same source and tag.
+	m.release()
+	m2 := newMessage(0, 1, 0, 0, []int64{300})
+	m2.arrive = 5
+	b.push(m2)
+
+	// The stale entry in a must not resurrect, even if the recycled
+	// struct is the one it points at and looks live again.
+	a.mu.Lock()
+	stale := a.matchUserLocked(0, 1, 0, true)
+	a.mu.Unlock()
+	if stale != nil {
+		t.Fatalf("mailbox a matched a recycled message: src %d tag %d data %v", stale.src, stale.tag, stale.data)
+	}
+	b.mu.Lock()
+	got := b.matchUserLocked(0, 1, 0, true)
+	b.mu.Unlock()
+	if got == nil || got.data[0] != 300 {
+		t.Fatalf("mailbox b lost its message: %+v", got)
+	}
+}
+
+// TestMailboxExactTagMatchesWildcardView: Iprobe(AnySource) reports a
+// message's (src, tag); the follow-up exact Recv must find the same
+// message. This is the transport Drain pattern, and it exercises the tag
+// index against the arrival index.
+func TestMailboxExactTagMatchesWildcardView(t *testing.T) {
+	mb := newMailbox(3)
+	pushAt(mb, 2, 9, 30, 0)
+	pushAt(mb, 1, 4, 40, 1)
+	for i := 0; i < 2; i++ {
+		mb.mu.Lock()
+		probe := mb.matchUserLocked(AnySource, AnyTag, 0, false)
+		if probe == nil {
+			mb.mu.Unlock()
+			t.Fatalf("probe %d found nothing", i)
+		}
+		got := mb.matchUserLocked(probe.src, probe.tag, 0, true)
+		mb.mu.Unlock()
+		if got != probe {
+			t.Fatalf("probe %d saw %p (src %d tag %d) but exact match returned %p", i, probe, probe.src, probe.tag, got)
+		}
+		got.release()
+	}
+}
+
+// TestMailboxPoisonedPushNoOp: after poison, push must drop the message
+// without touching the queues or the eager-buffer accounting, so the
+// high-water snapshot a failed run reports is stable no matter how late
+// the surviving senders race.
+func TestMailboxPoisonedPushNoOp(t *testing.T) {
+	mb := newMailbox(2)
+	pushAt(mb, 0, 1, 1, 0) // 8 bytes queued
+	if hw := mb.highWater(); hw != 8 {
+		t.Fatalf("high-water before poison = %d, want 8", hw)
+	}
+	mb.poison()
+	pushAt(mb, 1, 1, 2, 1)
+	pushAt(mb, 1, 1, 3, 2)
+	if hw := mb.highWater(); hw != 8 {
+		t.Errorf("high-water moved after poison: %d, want 8", hw)
+	}
+	if n := mb.pendingUser(); n != 1 {
+		t.Errorf("pending after poisoned pushes = %d, want 1", n)
+	}
+	mb.mu.Lock()
+	m := mb.matchUserLocked(AnySource, AnyTag, 0, true)
+	mb.mu.Unlock()
+	if m == nil || m.data[0] != 0 {
+		t.Errorf("pre-poison message lost: %+v", m)
+	}
+}

@@ -108,6 +108,11 @@ type procState struct {
 	now   float64
 	rs    *RankStats
 	trace *[]WaitSpan
+	// collScratch is the deposit slot for scalar collectives
+	// (AllreduceScalarInt64): reusing one heap cell per process keeps the
+	// per-round termination reduction in the matching drivers
+	// allocation-free.
+	collScratch [1]int64
 }
 
 // Comm is a rank's handle to a communicator. Exactly one goroutine (the
@@ -180,7 +185,7 @@ func Run(cfg Config, body func(c *Comm) error) (*Report, error) {
 		stats:     make([]*RankStats, cfg.Procs),
 	}
 	for i := range w.mailboxes {
-		w.mailboxes[i] = newMailbox()
+		w.mailboxes[i] = newMailbox(cfg.Procs)
 		w.stats[i] = newRankStats(i, cfg.Procs, cfg.TrackMatrices)
 	}
 
@@ -240,6 +245,7 @@ func Run(cfg Config, body func(c *Comm) error) (*Report, error) {
 
 	for i, mb := range w.mailboxes {
 		w.stats[i].QueueHighWater = mb.highWater()
+		w.stats[i].UnreceivedMsgs = int64(mb.pendingUser())
 	}
 	rep := &Report{Procs: cfg.Procs, Wall: time.Since(start), Stats: w.stats, waits: waits}
 	for _, c := range comms {

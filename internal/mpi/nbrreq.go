@@ -45,16 +45,29 @@ func (t *Topo) INeighborAlltoallvInt64(send [][]int64) *NbrRequest {
 // the latest arrival — time spent computing since the start overlaps the
 // transfer, which is the point of the nonblocking form.
 func (r *NbrRequest) Wait() [][]int64 {
+	return r.WaitInto(nil)
+}
+
+// WaitInto is Wait receiving into a caller-supplied slice of per-neighbor
+// buffers (allocated when nil). Each recv[i] is reset to length zero and
+// appended to, reusing its capacity; the possibly-regrown recv is
+// returned. The pipelined transport keeps one receive set across rounds
+// so steady-state completion allocates nothing.
+func (r *NbrRequest) WaitInto(recv [][]int64) [][]int64 {
 	if r.finished {
 		panic("mpi: NbrRequest.Wait called twice")
 	}
 	r.finished = true
 	c := r.t.c
-	out := make([][]int64, len(r.t.neighbors))
-	for i, nb := range r.t.neighbors {
-		out[i] = c.internalRecv(nb, r.t.itag(r.seq))
+	if recv == nil {
+		recv = make([][]int64, len(r.t.neighbors))
+	} else if len(recv) != len(r.t.neighbors) {
+		panic(fmt.Sprintf("mpi: NbrRequest.WaitInto: len(recv)=%d, want degree %d", len(recv), len(r.t.neighbors)))
 	}
-	return out
+	for i, nb := range r.t.neighbors {
+		recv[i] = c.internalRecvAppend(nb, r.t.itag(r.seq), recv[i])
+	}
+	return recv
 }
 
 // Test reports whether the exchange has completed without blocking; when
@@ -70,7 +83,7 @@ func (r *NbrRequest) Test() ([][]int64, bool) {
 	mb := c.mbox()
 	mb.mu.Lock()
 	for _, nb := range r.t.neighbors {
-		if mb.match(nb, 0, r.t.itag(r.seq), 0, false) == nil {
+		if mb.matchInternalLocked(nb, r.t.itag(r.seq), false) == nil {
 			mb.mu.Unlock()
 			return nil, false
 		}

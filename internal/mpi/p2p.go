@@ -1,115 +1,12 @@
 package mpi
 
-import (
-	"fmt"
-	"sync"
-)
+import "fmt"
 
 // Status describes a received or probed message, like MPI_Status.
 type Status struct {
 	Source int
 	Tag    int
 	Count  int // number of int64 words in the payload
-}
-
-// message is an in-flight payload. itag != 0 marks runtime-internal
-// traffic (neighborhood collectives, RMA control) which is invisible to
-// user-level Recv/Probe.
-type message struct {
-	src    int // sender's rank within the sending communicator
-	tag    int
-	itag   int64
-	mctx   int32 // communicator id (user-level traffic only)
-	data   []int64
-	bytes  int64
-	arrive float64 // virtual arrival time at the receiver
-}
-
-// mailbox is one rank's receive queue. Senders push under mu; the owner
-// scans for matches. FIFO order per (src,tag) gives MPI's non-overtaking
-// guarantee.
-type mailbox struct {
-	mu       sync.Mutex
-	cv       *sync.Cond
-	q        []*message
-	queued   int64 // bytes currently queued (eager-buffer occupancy)
-	hw       int64 // high-water of queued
-	poisoned bool
-}
-
-func newMailbox() *mailbox {
-	mb := &mailbox{}
-	mb.cv = sync.NewCond(&mb.mu)
-	return mb
-}
-
-func (mb *mailbox) push(m *message) {
-	mb.mu.Lock()
-	mb.q = append(mb.q, m)
-	mb.queued += m.bytes
-	if mb.queued > mb.hw {
-		mb.hw = mb.queued
-	}
-	mb.mu.Unlock()
-	mb.cv.Broadcast()
-}
-
-// match finds the queued message matching (src, tag, itag) with the
-// earliest virtual arrival time and, if remove is set, dequeues it.
-// Returns nil when nothing matches.
-//
-// Selecting by virtual arrival rather than physical queue position
-// matters for timing fidelity: goroutine scheduling (especially on few
-// cores) can enqueue a late-stamped message ahead of an early-stamped
-// one, and processing the late one first would ratchet the receiver's
-// clock and contaminate every subsequent reply with artificial delay.
-// Ties (and messages from one source, whose stamps are monotone) retain
-// FIFO order, preserving MPI's non-overtaking guarantee.
-func (mb *mailbox) match(src, tag int, itag int64, mctx int32, remove bool) *message {
-	best := -1
-	for i, m := range mb.q {
-		if m.itag != itag {
-			continue
-		}
-		if itag == 0 {
-			if m.mctx != mctx {
-				continue
-			}
-			if src != AnySource && m.src != src {
-				continue
-			}
-			if tag != AnyTag && m.tag != tag {
-				continue
-			}
-		} else if m.src != src {
-			continue
-		}
-		if best < 0 || m.arrive < mb.q[best].arrive {
-			best = i
-		}
-	}
-	if best < 0 {
-		return nil
-	}
-	m := mb.q[best]
-	if remove {
-		mb.q = append(mb.q[:best], mb.q[best+1:]...)
-		mb.queued -= m.bytes
-	}
-	return m
-}
-
-func (mb *mailbox) poison() {
-	mb.mu.Lock()
-	mb.poisoned = true
-	mb.mu.Unlock()
-	mb.cv.Broadcast()
-}
-
-func (mb *mailbox) highWater() int64 {
-	mb.mu.Lock()
-	defer mb.mu.Unlock()
-	return mb.hw
 }
 
 // poison unblocks every rank in the world after a failure so the run can
@@ -149,8 +46,7 @@ func (c *Comm) send(dst, tag int, data []int64, sync bool) {
 	if tag < 0 {
 		panic(fmt.Sprintf("mpi: send with negative tag %d (tags < 0 are reserved)", tag))
 	}
-	m := &message{src: c.rank, tag: tag, mctx: c.ctx, data: append([]int64(nil), data...)}
-	m.bytes = int64(8 * len(m.data))
+	m := newMessage(c.rank, tag, 0, c.ctx, data)
 	cost := c.w.cost
 	c.chargeComm(cost.SendOverhead)
 	if sync {
@@ -162,29 +58,67 @@ func (c *Comm) send(dst, tag int, data []int64, sync bool) {
 	c.w.mailboxes[c.worldRank(dst)].push(m)
 }
 
-// Recv blocks until a message matching (src, tag) is available and returns
-// its payload. src may be AnySource and tag may be AnyTag. The receiver's
-// clock advances to at least the message's arrival time.
-func (c *Comm) Recv(src, tag int) ([]int64, Status) {
+// recvMsg blocks until a user-level message matching (src, tag) is
+// queued, dequeues it and applies receive-side timing. The returned
+// message is owned by the caller, which must release it after copying
+// the payload out.
+func (c *Comm) recvMsg(src, tag int, what string) *message {
 	if src != AnySource {
-		c.checkRank(src, "recv")
+		c.checkRank(src, what)
 	}
 	mb := c.mbox()
 	mb.mu.Lock()
 	var m *message
 	for {
-		if m = mb.match(src, tag, 0, c.ctx, true); m != nil {
+		if m = mb.matchUserLocked(src, tag, c.ctx, true); m != nil {
 			break
 		}
 		if mb.poisoned {
 			mb.mu.Unlock()
-			panic("mpi: Recv aborted: a peer rank failed")
+			panic("mpi: " + what + " aborted: a peer rank failed")
 		}
+		mb.parked = true
 		mb.cv.Wait()
 	}
 	mb.mu.Unlock()
 	c.completeRecv(m)
-	return m.data, Status{Source: m.src, Tag: m.tag, Count: len(m.data)}
+	return m
+}
+
+// Recv blocks until a message matching (src, tag) is available and returns
+// its payload. src may be AnySource and tag may be AnyTag. The receiver's
+// clock advances to at least the message's arrival time.
+//
+// Ownership: the returned slice is freshly allocated and owned by the
+// caller indefinitely — it never aliases runtime-internal (pooled)
+// storage. Hot paths that cannot afford the allocation should use
+// RecvInto instead.
+func (c *Comm) Recv(src, tag int) ([]int64, Status) {
+	m := c.recvMsg(src, tag, "recv")
+	out := append([]int64(nil), m.data...)
+	st := Status{Source: m.src, Tag: m.tag, Count: len(out)}
+	m.release()
+	return out, st
+}
+
+// RecvInto is Recv receiving into a caller-supplied buffer, the analogue
+// of MPI_Recv's preposted buffer: the payload is copied into buf and the
+// word count returned. It is the allocation-free receive path — the
+// runtime recycles its internal message storage immediately.
+//
+// Like MPI_Recv with a too-small buffer (MPI_ERR_TRUNCATE under
+// MPI_ERRORS_ARE_FATAL), RecvInto panics if buf cannot hold the matched
+// message; probe first when sizes are unknown.
+func (c *Comm) RecvInto(src, tag int, buf []int64) (int, Status) {
+	m := c.recvMsg(src, tag, "recv")
+	if len(m.data) > len(buf) {
+		defer m.release()
+		panic(fmt.Sprintf("mpi: RecvInto: message of %d words truncated by %d-word buffer", len(m.data), len(buf)))
+	}
+	n := copy(buf, m.data)
+	st := Status{Source: m.src, Tag: m.tag, Count: n}
+	m.release()
+	return n, st
 }
 
 // Iprobe checks, without blocking, whether a message matching (src, tag)
@@ -198,7 +132,7 @@ func (c *Comm) Iprobe(src, tag int) (bool, Status) {
 	c.ps.rs.ProbeCount++
 	mb := c.mbox()
 	mb.mu.Lock()
-	m := mb.match(src, tag, 0, c.ctx, false)
+	m := mb.matchUserLocked(src, tag, c.ctx, false)
 	mb.mu.Unlock()
 	if m == nil {
 		return false, Status{}
@@ -219,13 +153,14 @@ func (c *Comm) Probe(src, tag int) Status {
 	mb.mu.Lock()
 	var m *message
 	for {
-		if m = mb.match(src, tag, 0, c.ctx, false); m != nil {
+		if m = mb.matchUserLocked(src, tag, c.ctx, false); m != nil {
 			break
 		}
 		if mb.poisoned {
 			mb.mu.Unlock()
 			panic("mpi: Probe aborted: a peer rank failed")
 		}
+		mb.parked = true
 		mb.cv.Wait()
 	}
 	mb.mu.Unlock()
@@ -254,8 +189,7 @@ func (c *Comm) completeRecv(m *message) {
 // chunks, RMA control messages) outside the user tag space. alpha/beta
 // select the cost category; note attributes the traffic in the ledger.
 func (c *Comm) internalSend(dst int, itag int64, data []int64, alpha, beta float64, note func(rs *RankStats, dst int, bytes int64)) {
-	m := &message{src: c.rank, itag: itag, data: append([]int64(nil), data...)}
-	m.bytes = int64(8 * len(m.data))
+	m := newMessage(c.rank, 0, itag, 0, data)
 	m.arrive = c.ps.now + alpha + beta*float64(m.bytes)
 	if note != nil {
 		note(c.ps.rs, c.worldRank(dst), m.bytes)
@@ -263,37 +197,41 @@ func (c *Comm) internalSend(dst int, itag int64, data []int64, alpha, beta float
 	c.w.mailboxes[c.worldRank(dst)].push(m)
 }
 
-// internalRecv blocks for an internal message from src with the exact itag.
-func (c *Comm) internalRecv(src int, itag int64) []int64 {
+// internalRecvMsg blocks for an internal message from src with the exact
+// itag, advances the clock to its arrival and returns it. The caller owns
+// the message and must release it after copying the payload out.
+func (c *Comm) internalRecvMsg(src int, itag int64) *message {
 	mb := c.mbox()
 	mb.mu.Lock()
 	var m *message
 	for {
-		if m = mb.match(src, 0, itag, 0, true); m != nil {
+		if m = mb.matchInternalLocked(src, itag, true); m != nil {
 			break
 		}
 		if mb.poisoned {
 			mb.mu.Unlock()
 			panic("mpi: internal recv aborted: a peer rank failed")
 		}
+		mb.parked = true
 		mb.cv.Wait()
 	}
 	mb.mu.Unlock()
 	c.waitUntil(m.arrive)
-	return m.data
+	return m
+}
+
+// internalRecvAppend receives an internal message from src with the exact
+// itag and appends its payload to buf[:0], reusing buf's capacity. The
+// returned slice is caller-owned.
+func (c *Comm) internalRecvAppend(src int, itag int64, buf []int64) []int64 {
+	m := c.internalRecvMsg(src, itag)
+	buf = append(buf[:0], m.data...)
+	m.release()
+	return buf
 }
 
 // PendingMessages returns how many user-level messages are queued for this
 // rank (diagnostic; used by tests to verify clean shutdown).
 func (c *Comm) PendingMessages() int {
-	mb := c.mbox()
-	mb.mu.Lock()
-	defer mb.mu.Unlock()
-	n := 0
-	for _, m := range mb.q {
-		if m.itag == 0 {
-			n++
-		}
-	}
-	return n
+	return c.mbox().pendingUser()
 }

@@ -10,7 +10,7 @@ func testCfg(p int) Config {
 }
 
 func TestSendRecvBasic(t *testing.T) {
-	rep, err := Run(testCfg(2), func(c *Comm) error {
+	rep, err := RunChecked(testCfg(2), func(c *Comm) error {
 		if c.Rank() == 0 {
 			c.Isend(1, 7, []int64{1, 2, 3})
 		} else {
@@ -33,10 +33,13 @@ func TestSendRecvBasic(t *testing.T) {
 	if rep.Stats[1].RecvCount != 1 || rep.Stats[1].RecvBytes != 24 {
 		t.Errorf("receiver stats = %+v", rep.Stats[1])
 	}
+	if err := CheckDrained(rep); err != nil {
+		t.Error(err)
+	}
 }
 
 func TestSendBufferReusable(t *testing.T) {
-	_, err := Run(testCfg(2), func(c *Comm) error {
+	_, err := RunChecked(testCfg(2), func(c *Comm) error {
 		if c.Rank() == 0 {
 			buf := []int64{42}
 			c.Isend(1, 0, buf)
@@ -55,7 +58,7 @@ func TestSendBufferReusable(t *testing.T) {
 }
 
 func TestRecvAnySourceAnyTag(t *testing.T) {
-	_, err := Run(testCfg(4), func(c *Comm) error {
+	_, err := RunChecked(testCfg(4), func(c *Comm) error {
 		if c.Rank() != 0 {
 			c.Isend(0, 10+c.Rank(), []int64{int64(c.Rank())})
 			return nil
@@ -84,7 +87,7 @@ func TestRecvAnySourceAnyTag(t *testing.T) {
 func TestNonOvertakingOrder(t *testing.T) {
 	// Messages from one sender with one tag must arrive in send order.
 	const k = 50
-	_, err := Run(testCfg(2), func(c *Comm) error {
+	_, err := RunChecked(testCfg(2), func(c *Comm) error {
 		if c.Rank() == 0 {
 			for i := int64(0); i < k; i++ {
 				c.Isend(1, 3, []int64{i})
@@ -106,7 +109,7 @@ func TestNonOvertakingOrder(t *testing.T) {
 }
 
 func TestTagSelectivity(t *testing.T) {
-	_, err := Run(testCfg(2), func(c *Comm) error {
+	_, err := RunChecked(testCfg(2), func(c *Comm) error {
 		if c.Rank() == 0 {
 			c.Isend(1, 1, []int64{1})
 			c.Isend(1, 2, []int64{2})
@@ -126,7 +129,7 @@ func TestTagSelectivity(t *testing.T) {
 }
 
 func TestIprobe(t *testing.T) {
-	_, err := Run(testCfg(2), func(c *Comm) error {
+	_, err := RunChecked(testCfg(2), func(c *Comm) error {
 		if c.Rank() == 0 {
 			c.Isend(1, 5, []int64{11, 22})
 			return nil
@@ -159,7 +162,7 @@ func TestIprobe(t *testing.T) {
 func TestSsendCharges(t *testing.T) {
 	var tSync, tEager float64
 	for _, sync := range []bool{false, true} {
-		rep, err := Run(testCfg(2), func(c *Comm) error {
+		rep, err := RunChecked(testCfg(2), func(c *Comm) error {
 			if c.Rank() == 0 {
 				for i := 0; i < 10; i++ {
 					if sync {
@@ -195,7 +198,7 @@ func TestSsendCharges(t *testing.T) {
 func TestVirtualTimeCausality(t *testing.T) {
 	// A receiver that posts Recv "early" must still observe an arrival
 	// time no earlier than the sender's send time plus latency.
-	rep, err := Run(testCfg(2), func(c *Comm) error {
+	rep, err := RunChecked(testCfg(2), func(c *Comm) error {
 		if c.Rank() == 0 {
 			c.Compute(1e6) // sender is busy for a long virtual while
 			c.Isend(1, 0, []int64{1})
@@ -219,7 +222,7 @@ func TestVirtualTimeCausality(t *testing.T) {
 }
 
 func TestMessageMatrix(t *testing.T) {
-	rep, err := Run(testCfg(3), func(c *Comm) error {
+	rep, err := RunChecked(testCfg(3), func(c *Comm) error {
 		next := (c.Rank() + 1) % 3
 		c.Isend(next, 0, []int64{0, 0}) // 16 bytes
 		c.Recv((c.Rank()+2)%3, 0)
@@ -244,7 +247,7 @@ func TestMessageMatrix(t *testing.T) {
 }
 
 func TestQueueHighWater(t *testing.T) {
-	rep, err := Run(testCfg(2), func(c *Comm) error {
+	rep, err := RunChecked(testCfg(2), func(c *Comm) error {
 		if c.Rank() == 0 {
 			for i := 0; i < 4; i++ {
 				c.Isend(1, 0, []int64{1, 2, 3, 4}) // 32 bytes each
@@ -270,7 +273,7 @@ func TestQueueHighWater(t *testing.T) {
 }
 
 func TestRankFailurePropagates(t *testing.T) {
-	_, err := Run(testCfg(2), func(c *Comm) error {
+	_, err := RunChecked(testCfg(2), func(c *Comm) error {
 		if c.Rank() == 0 {
 			panic("deliberate test failure")
 		}
@@ -283,7 +286,7 @@ func TestRankFailurePropagates(t *testing.T) {
 }
 
 func TestSelfSend(t *testing.T) {
-	_, err := Run(testCfg(1), func(c *Comm) error {
+	_, err := RunChecked(testCfg(1), func(c *Comm) error {
 		c.Isend(0, 9, []int64{5})
 		data, st := c.Recv(0, 9)
 		if data[0] != 5 || st.Source != 0 {
@@ -297,7 +300,7 @@ func TestSelfSend(t *testing.T) {
 }
 
 func TestPendingMessagesDiagnostic(t *testing.T) {
-	_, err := Run(testCfg(2), func(c *Comm) error {
+	_, err := RunChecked(testCfg(2), func(c *Comm) error {
 		if c.Rank() == 0 {
 			c.Isend(1, 0, []int64{1})
 		}

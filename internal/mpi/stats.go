@@ -40,6 +40,13 @@ type RankStats struct {
 	// mailbox (unreceived eager messages) — the analogue of MPI internal
 	// eager-buffer memory. It is folded in from the mailbox by Finalize.
 	QueueHighWater int64
+	// UnreceivedMsgs is the number of user-level messages still queued in
+	// this rank's mailbox when the run ended (folded in like
+	// QueueHighWater). Nonzero values are legal for protocols whose
+	// termination tolerates stale in-flight messages (the Send-Recv
+	// matching driver); CheckDrained asserts zero for workloads that
+	// receive everything they send.
+	UnreceivedMsgs int64
 	// PeerBufBytes models the per-connection eager/rendezvous pools an
 	// MPI implementation allocates for every peer a rank exchanges
 	// point-to-point traffic with (the reason the paper's Send-Recv

@@ -100,8 +100,21 @@ func (t *Topo) itag(seq int64) int64 { return 1 + t.id<<32 + seq }
 // returns immediately — neighborhood collectives synchronize only within
 // the neighborhood, never globally.
 func (t *Topo) NeighborAlltoallInt64(send []int64, chunk int) []int64 {
+	return t.NeighborAlltoallInt64Into(send, chunk, nil)
+}
+
+// NeighborAlltoallInt64Into is NeighborAlltoallInt64 receiving into a
+// caller-supplied buffer of Degree()*chunk words (allocated when nil),
+// which it returns. Transports reuse one buffer across rounds to keep the
+// per-round count exchange allocation-free.
+func (t *Topo) NeighborAlltoallInt64Into(send []int64, chunk int, recv []int64) []int64 {
 	if len(send) != len(t.neighbors)*chunk {
 		panic(fmt.Sprintf("mpi: NeighborAlltoallInt64: len(send)=%d, want %d*%d", len(send), len(t.neighbors), chunk))
+	}
+	if recv == nil {
+		recv = make([]int64, len(t.neighbors)*chunk)
+	} else if len(recv) != len(t.neighbors)*chunk {
+		panic(fmt.Sprintf("mpi: NeighborAlltoallInt64Into: len(recv)=%d, want %d*%d", len(recv), len(t.neighbors), chunk))
 	}
 	c := t.c
 	cost := c.w.cost
@@ -115,15 +128,15 @@ func (t *Topo) NeighborAlltoallInt64(send []int64, chunk int) []int64 {
 		c.chargeComm(cost.AlphaNbr + cost.BetaNbr*float64(bytes))
 		c.internalSend(nb, t.itag(seq), part, cost.AlphaNbr, cost.BetaNbr, (*RankStats).noteNbrChunk)
 	}
-	out := make([]int64, len(t.neighbors)*chunk)
 	for i, nb := range t.neighbors {
-		part := c.internalRecv(nb, t.itag(seq))
-		if len(part) != chunk {
-			panic(fmt.Sprintf("mpi: NeighborAlltoallInt64: rank %d received %d words from %d, want chunk %d", c.rank, len(part), nb, chunk))
+		m := c.internalRecvMsg(nb, t.itag(seq))
+		if len(m.data) != chunk {
+			panic(fmt.Sprintf("mpi: NeighborAlltoallInt64: rank %d received %d words from %d, want chunk %d", c.rank, len(m.data), nb, chunk))
 		}
-		copy(out[i*chunk:(i+1)*chunk], part)
+		copy(recv[i*chunk:(i+1)*chunk], m.data)
+		m.release()
 	}
-	return out
+	return recv
 }
 
 // NeighborAlltoallvInt64 is MPI_Neighbor_alltoallv: send[i] is delivered
@@ -133,8 +146,22 @@ func (t *Topo) NeighborAlltoallInt64(send []int64, chunk int) []int64 {
 // does; this API nevertheless sizes receive buffers from the actual
 // messages and the caller may cross-check.
 func (t *Topo) NeighborAlltoallvInt64(send [][]int64) [][]int64 {
+	return t.NeighborAlltoallvInt64Into(send, nil)
+}
+
+// NeighborAlltoallvInt64Into is NeighborAlltoallvInt64 receiving into a
+// caller-supplied slice of per-neighbor buffers (allocated when nil).
+// Each recv[i] is reset to length zero and appended to, so its capacity
+// is reused; the possibly-regrown recv is returned. Transports keep one
+// receive set across rounds so a steady-state exchange allocates nothing.
+func (t *Topo) NeighborAlltoallvInt64Into(send, recv [][]int64) [][]int64 {
 	if len(send) != len(t.neighbors) {
 		panic(fmt.Sprintf("mpi: NeighborAlltoallvInt64: len(send)=%d, want degree %d", len(send), len(t.neighbors)))
+	}
+	if recv == nil {
+		recv = make([][]int64, len(t.neighbors))
+	} else if len(recv) != len(t.neighbors) {
+		panic(fmt.Sprintf("mpi: NeighborAlltoallvInt64Into: len(recv)=%d, want degree %d", len(recv), len(t.neighbors)))
 	}
 	c := t.c
 	cost := c.w.cost
@@ -147,11 +174,10 @@ func (t *Topo) NeighborAlltoallvInt64(send [][]int64) [][]int64 {
 		c.chargeComm(cost.AlphaNbr + cost.BetaNbr*float64(bytes))
 		c.internalSend(nb, t.itag(seq), send[i], cost.AlphaNbr, cost.BetaNbr, (*RankStats).noteNbrChunk)
 	}
-	out := make([][]int64, len(t.neighbors))
 	for i, nb := range t.neighbors {
-		out[i] = c.internalRecv(nb, t.itag(seq))
+		recv[i] = c.internalRecvAppend(nb, t.itag(seq), recv[i])
 	}
-	return out
+	return recv
 }
 
 // NeighborAllgatherInt64 is MPI_Neighbor_allgather: every rank sends the

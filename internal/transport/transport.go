@@ -67,6 +67,8 @@ type Round interface {
 type P2P struct {
 	C           *mpi.Comm
 	Synchronous bool
+	sbuf        [2]int64 // send scratch (the runtime copies payloads)
+	rbuf        [2]int64 // receive scratch for RecvInto
 }
 
 // NewP2P returns a Send-Recv backend.
@@ -76,11 +78,11 @@ func NewP2P(c *mpi.Comm, synchronous bool) *P2P {
 
 // Send implements Sender.
 func (t *P2P) Send(dst int, ctx, x, y int64) {
-	payload := []int64{x, y}
+	t.sbuf[0], t.sbuf[1] = x, y
 	if t.Synchronous {
-		t.C.Ssend(dst, int(ctx), payload)
+		t.C.Ssend(dst, int(ctx), t.sbuf[:])
 	} else {
-		t.C.Isend(dst, int(ctx), payload)
+		t.C.Isend(dst, int(ctx), t.sbuf[:])
 	}
 }
 
@@ -92,8 +94,8 @@ func (t *P2P) Drain(h Handler) bool {
 		if !ok {
 			return any
 		}
-		data, st := t.C.Recv(st.Source, st.Tag)
-		h(int64(st.Tag), data[0], data[1])
+		_, st = t.C.RecvInto(st.Source, st.Tag, t.rbuf[:])
+		h(int64(st.Tag), t.rbuf[0], t.rbuf[1])
 		any = true
 	}
 }
@@ -117,12 +119,25 @@ type NCL struct {
 	l         *distgraph.Local
 	out       [][]int64
 	accounted int64 // high-water of buffer bytes actually used
+
+	// Per-round scratch, reused so a steady-state Exchange allocates
+	// nothing: outgoing/incoming counts and the receive buffers.
+	counts   []int64
+	incoming []int64
+	in       [][]int64
 }
 
 // NewNCL returns a blocking neighborhood-collective backend whose
 // buffers hold maxPerArc records per cross arc per direction.
 func NewNCL(c *mpi.Comm, topo *mpi.Topo, l *distgraph.Local, maxPerArc int64) *NCL {
-	t := &NCL{c: c, topo: topo, l: l, out: make([][]int64, len(l.NeighborRanks))}
+	deg := len(l.NeighborRanks)
+	t := &NCL{
+		c: c, topo: topo, l: l,
+		out:      make([][]int64, deg),
+		counts:   make([]int64, deg),
+		incoming: make([]int64, deg),
+		in:       make([][]int64, deg),
+	}
 	for i, arcs := range l.CrossArcs {
 		t.out[i] = make([]int64, 0, arcs*maxPerArc*recordWords)
 	}
@@ -148,13 +163,12 @@ func (t *NCL) Send(dst int, ctx, x, y int64) {
 // Exchange implements Round: counts via MPI_Neighbor_alltoall, payloads
 // via MPI_Neighbor_alltoallv, then delivery.
 func (t *NCL) Exchange(h Handler) int {
-	deg := len(t.out)
-	counts := make([]int64, deg)
 	for i := range t.out {
-		counts[i] = int64(len(t.out[i]))
+		t.counts[i] = int64(len(t.out[i]))
 	}
-	incoming := t.topo.NeighborAlltoallInt64(counts, 1)
-	data := t.topo.NeighborAlltoallvInt64(t.out)
+	incoming := t.topo.NeighborAlltoallInt64Into(t.counts, 1, t.incoming)
+	t.in = t.topo.NeighborAlltoallvInt64Into(t.out, t.in)
+	data := t.in
 	var usage int64
 	for i := range t.out {
 		usage += int64(len(t.out[i]))
@@ -208,6 +222,12 @@ type RMA struct {
 	writeCursor []int64
 	roundMark   []int64
 	readCursor  []int64
+
+	// Per-round scratch, reused so a steady-state Exchange (and each
+	// Send's 3-word put record) allocates nothing.
+	rec      [recordWords]int64
+	delta    []int64
+	incoming []int64
 }
 
 // NewRMA collectively creates the window and exchanges displacement
@@ -220,6 +240,8 @@ func NewRMA(c *mpi.Comm, topo *mpi.Topo, l *distgraph.Local, maxPerArc int64) *R
 		writeCursor: make([]int64, deg),
 		roundMark:   make([]int64, deg),
 		readCursor:  make([]int64, deg),
+		delta:       make([]int64, deg),
+		incoming:    make([]int64, deg),
 	}
 	var total int64
 	for i, arcs := range l.CrossArcs {
@@ -243,21 +265,20 @@ func (t *RMA) Send(dst int, ctx, x, y int64) {
 		panic(fmt.Sprintf("transport: RMA region overflow to rank %d (per-edge message bound violated)", dst))
 	}
 	disp := t.writeBase[i] + t.writeCursor[i]*recordWords
-	t.win.Put(dst, int(disp), []int64{ctx, x, y})
+	t.rec[0], t.rec[1], t.rec[2] = ctx, x, y
+	t.win.Put(dst, int(disp), t.rec[:])
 	t.writeCursor[i]++
 }
 
 // Exchange implements Round: flush, neighborhood count exchange, then
 // read newly arrived records from the local window.
 func (t *RMA) Exchange(h Handler) int {
-	deg := len(t.writeCursor)
 	t.win.FlushAll()
-	delta := make([]int64, deg)
-	for i := range delta {
-		delta[i] = t.writeCursor[i] - t.roundMark[i]
+	for i := range t.delta {
+		t.delta[i] = t.writeCursor[i] - t.roundMark[i]
 		t.roundMark[i] = t.writeCursor[i]
 	}
-	incoming := t.topo.NeighborAlltoallInt64(delta, 1)
+	incoming := t.topo.NeighborAlltoallInt64Into(t.delta, 1, t.incoming)
 	local := t.win.Local()
 	n := 0
 	for i := range incoming {
@@ -290,6 +311,7 @@ type NCLI struct {
 	l         *distgraph.Local
 	out       [][]int64
 	spare     [][]int64
+	in        [][]int64 // receive scratch reused across rounds
 	inflight  *mpi.NbrRequest
 	accounted int64 // high-water of buffer bytes actually used
 }
@@ -299,6 +321,7 @@ func NewNCLI(c *mpi.Comm, topo *mpi.Topo, l *distgraph.Local, maxPerArc int64) *
 	t := &NCLI{c: c, topo: topo, l: l,
 		out:   make([][]int64, len(l.NeighborRanks)),
 		spare: make([][]int64, len(l.NeighborRanks)),
+		in:    make([][]int64, len(l.NeighborRanks)),
 	}
 	for i, arcs := range l.CrossArcs {
 		cap := arcs * maxPerArc * recordWords
@@ -337,7 +360,8 @@ func (t *NCLI) Exchange(h Handler) int {
 	}
 	n := 0
 	if t.inflight != nil {
-		for _, data := range t.inflight.Wait() {
+		t.in = t.inflight.WaitInto(t.in)
+		for _, data := range t.in {
 			usage += int64(len(data))
 			for k := 0; k+recordWords <= len(data); k += recordWords {
 				t.c.AdvanceTime(t.c.Cost().PackOverhead)
@@ -358,7 +382,7 @@ func (t *NCLI) Exchange(h Handler) int {
 // stale once the algorithm's global termination condition held.
 func (t *NCLI) Finish() {
 	if t.inflight != nil {
-		t.inflight.Wait()
+		t.in = t.inflight.WaitInto(t.in)
 		t.inflight = nil
 	}
 }
@@ -381,6 +405,7 @@ type P2PAgg struct {
 	c         *mpi.Comm
 	batch     int
 	out       map[int][]int64
+	rbuf      []int64 // receive scratch, grown to the largest batch seen
 	accounted int64
 }
 
@@ -427,10 +452,14 @@ func (t *P2PAgg) Drain(h Handler) bool {
 		if !ok {
 			return any
 		}
-		data, st := t.c.Recv(st.Source, st.Tag)
 		if st.Tag != aggTag {
 			panic(fmt.Sprintf("transport: P2PAgg received non-batch tag %d", st.Tag))
 		}
+		if cap(t.rbuf) < st.Count {
+			t.rbuf = make([]int64, st.Count)
+		}
+		n, _ := t.c.RecvInto(st.Source, st.Tag, t.rbuf[:cap(t.rbuf)])
+		data := t.rbuf[:n]
 		for k := 0; k+recordWords <= len(data); k += recordWords {
 			t.c.AdvanceTime(t.c.Cost().PackOverhead)
 			h(data[k], data[k+1], data[k+2])

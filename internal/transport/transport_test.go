@@ -207,3 +207,51 @@ func TestSendToNonNeighborPanics(t *testing.T) {
 		t.Fatal("send to non-neighbor must fail")
 	}
 }
+
+// TestNCLRoundZeroAlloc asserts the steady-state allocation contract of
+// one full NCL aggregation round — queue a record, exchange counts and
+// payloads, deliver, and run the termination reduction — exercising the
+// pooled internal messages, the Into receive variants and the scalar
+// allreduce scratch together. AllocsPerRun executes its body runs+1
+// times on rank 0; rank 1 runs the same count so the collective stays in
+// lockstep.
+func TestNCLRoundZeroAlloc(t *testing.T) {
+	const runs = 50
+	g := gen.Path(8)
+	d := distgraph.NewBlockDist(g, 2)
+	_, err := mpi.Run(cfg(2), func(c *mpi.Comm) error {
+		l := d.BuildLocal(c.Rank())
+		topo := c.CreateGraphTopo(l.NeighborRanks)
+		tr := NewNCL(c, topo, l, 8)
+		peer := 1 - c.Rank()
+		// The single cross edge of the path is {3,4}; x must be owned by
+		// the destination rank.
+		x, y := int64(3), int64(4)
+		if c.Rank() == 0 {
+			x, y = 4, 3
+		}
+		round := func() {
+			tr.Send(peer, 1, x, y)
+			if n := tr.Exchange(func(ctx, rx, ry int64) {}); n != 1 {
+				t.Errorf("exchange delivered %d records, want 1", n)
+			}
+			c.AllreduceScalarInt64(mpi.OpSum, 1)
+		}
+		for i := 0; i < 8; i++ {
+			round() // warm buffers, rings and pools
+		}
+		if c.Rank() == 0 {
+			if avg := testing.AllocsPerRun(runs, round); avg != 0 {
+				t.Errorf("NCL aggregation round: %.2f allocs/op, want 0", avg)
+			}
+		} else {
+			for i := 0; i < runs+1; i++ {
+				round()
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
