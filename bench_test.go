@@ -123,7 +123,7 @@ func BenchmarkAblationRMACounter(b *testing.B) {
 		records = 2000 // records each rank pushes to its right neighbor
 	)
 	run := func(useCounter bool) float64 {
-		rep, err := mpi.Run(mpi.Config{Procs: procs, Deadline: time.Minute}, func(c *mpi.Comm) error {
+		rep, err := mpi.Run(procs, func(c *mpi.Comm) error {
 			right := (c.Rank() + 1) % procs
 			win := c.WinCreate(records*3 + 1)
 			win.LockAll()
@@ -141,7 +141,7 @@ func BenchmarkAblationRMACounter(b *testing.B) {
 			win.UnlockAll()
 			win.Free()
 			return nil
-		})
+		}, mpi.WithDeadline(time.Minute))
 		if err != nil {
 			b.Fatal(err)
 		}

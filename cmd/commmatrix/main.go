@@ -21,6 +21,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/matching"
 	"repro/internal/mpi"
+	"repro/internal/transport"
 )
 
 func main() {
@@ -61,22 +62,9 @@ func main() {
 	fmt.Println("graph:", g.Summary())
 
 	if *app == "matching" || *app == "both" {
-		var m matching.Model
-		switch strings.ToLower(*model) {
-		case "nsr":
-			m = matching.NSR
-		case "rma":
-			m = matching.RMA
-		case "ncl":
-			m = matching.NCL
-		case "mbp":
-			m = matching.MBP
-		case "ncli":
-			m = matching.NCLI
-		case "nsra":
-			m = matching.NSRA
-		default:
-			fatal(fmt.Errorf("unknown -model %q", *model))
+		m, err := transport.ParseModel(*model)
+		if err != nil {
+			fatal(err)
 		}
 		res, err := matching.Run(g, matching.Options{Procs: *p, Model: m, TrackMatrices: true, TraceWaits: *timeline, Deadline: 10 * time.Minute})
 		if err != nil {
@@ -84,7 +72,7 @@ func main() {
 		}
 		fmt.Printf("matching (%v): weight=%.1f cardinality=%d time=%.3fms\n",
 			m, res.Weight, res.Cardinality, res.Report.MaxVirtualTime*1e3)
-		dump(res.Report.Stats, *bytes, *csv)
+		dump(res.Report, *bytes, *csv)
 		if *timeline {
 			fmt.Println("wait timeline (virtual time left to right; '#' blocked, ':' mixed, '.' busy):")
 			for _, line := range res.Report.RenderTimeline(72) {
@@ -98,14 +86,14 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("bfs: visited=%d levels=%d time=%.3fms\n", res.Visited, res.Levels, res.Report.MaxVirtualTime*1e3)
-		dump(res.Report.Stats, *bytes, *csv)
+		dump(res.Report, *bytes, *csv)
 	}
 }
 
-func dump(stats []*mpi.RankStats, bytes, csv bool) {
-	m := mpi.MsgMatrix(stats)
+func dump(rep *mpi.Report, bytes, csv bool) {
+	m := rep.MsgMatrix()
 	if bytes {
-		m = mpi.ByteMatrix(stats)
+		m = rep.ByteMatrix()
 	}
 	if csv {
 		for _, row := range m {

@@ -2,14 +2,19 @@
 //
 // Usage:
 //
-//	matchbench -exp fig4a            # one experiment
-//	matchbench -exp all              # everything (minutes)
-//	matchbench -list                 # show the experiment index
-//	matchbench -exp fig8 -scale 0.5  # smaller, faster workloads
+//	matchbench -exp fig4a                     # one experiment
+//	matchbench -exp all                       # everything (minutes)
+//	matchbench -list                          # show the experiment index
+//	matchbench -exp fig8 -scale 0.5           # smaller, faster workloads
+//	matchbench -exp fig4c -models nsr,ncl     # restrict the model set
+//	matchbench -exp fig4c -trace fig4c.json   # Chrome trace of every run
+//	matchbench -exp tab8 -profile             # phase-profile table (§V-D)
 //
 // Each experiment prints the table or series corresponding to one figure
 // or table of Ghosh et al., IPDPS 2019, annotated with the shape the
-// paper reported.
+// paper reported. A -trace file loads in chrome://tracing or Perfetto:
+// one process per run, one thread track per rank, slices on the modeled
+// virtual timeline.
 package main
 
 import (
@@ -19,15 +24,21 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/mpi"
+	"repro/internal/transport"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (fig2, fig4a..c, tab3, fig5, fig6, tab4, fig7, tab5, tab6, fig8, fig9, tab7, fig10, tab8, fig11) or 'all'")
-		scale   = flag.Float64("scale", 1.0, "workload scale factor")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		verbose = flag.Bool("v", false, "log progress")
-		timeout = flag.Duration("timeout", 10*time.Minute, "per-run deadline")
+		exp      = flag.String("exp", "", "experiment id (fig2, fig4a..c, tab3, fig5, fig6, tab4, fig7, tab5, tab6, fig8, fig9, tab7, fig10, tab8, fig11) or 'all'")
+		scale    = flag.Float64("scale", 1.0, "workload scale factor")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		verbose  = flag.Bool("v", false, "log progress")
+		timeout  = flag.Duration("timeout", 10*time.Minute, "per-run deadline")
+		models   = flag.String("models", "", "comma-separated model filter (nsr,rma,ncl,mbp,ncli,nsra); empty = experiment defaults")
+		trace    = flag.String("trace", "", "write every run as a Chrome trace_event JSON file (chrome://tracing, Perfetto)")
+		traceCap = flag.Int("trace-events", 1<<16, "per-rank event ring capacity when tracing")
+		profile  = flag.Bool("profile", false, "append a per-experiment phase-profile table (compute/pack/exchange/unpack/wait)")
 	)
 	flag.Parse()
 
@@ -46,8 +57,23 @@ func main() {
 	cfg := harness.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.Deadline = *timeout
+	cfg.Profile = *profile
 	if *verbose {
 		cfg.Out = os.Stderr
+	}
+	if *models != "" {
+		ms, err := transport.ParseModels(*models)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "matchbench:", err)
+			os.Exit(2)
+		}
+		cfg.Models = ms
+	}
+	var collector *mpi.ChromeTrace
+	if *trace != "" {
+		collector = mpi.NewChromeTrace()
+		cfg.TraceEvents = *traceCap
+		cfg.OnRun = func(label string, rep *mpi.Report) { collector.Add(label, rep) }
 	}
 
 	start := time.Now()
@@ -60,6 +86,20 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "matchbench:", err)
 		os.Exit(1)
+	}
+	if collector != nil {
+		f, err := os.Create(*trace)
+		if err == nil {
+			err = collector.Write(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "matchbench: trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# wrote %d traced runs to %s\n", collector.Len(), *trace)
 	}
 	fmt.Printf("# completed in %v\n", time.Since(start).Round(time.Millisecond))
 }

@@ -36,11 +36,11 @@ func haloP2P(c *mpi.Comm, left, right int64) (newLeft, newRight int64) {
 }
 
 func run(name string, body func(c *mpi.Comm) error) {
-	rep, err := mpi.Run(mpi.Config{Procs: procs, Deadline: time.Minute}, body)
+	rep, err := mpi.Run(procs, body, mpi.WithDeadline(time.Minute))
 	if err != nil {
 		log.Fatal(err)
 	}
-	tot := mpi.Aggregate(rep.Stats)
+	tot := rep.Totals()
 	fmt.Printf("%-12s modeled time %8.3fms  p2p msgs %6d  puts %5d  nbr ops %5d\n",
 		name, rep.MaxVirtualTime*1e3, tot.P2PMsgs, tot.PutMsgs, tot.NbrOps)
 }

@@ -25,6 +25,9 @@ type Options struct {
 	// TraceWaits records per-rank blocked intervals for
 	// Report.RenderTimeline.
 	TraceWaits bool
+	// TraceEvents, when > 0, enables structured event tracing with a
+	// per-rank ring of this capacity (Report.Events, WriteChromeTrace).
+	TraceEvents int
 	// UseNeighborhood switches the per-level frontier exchange from
 	// per-edge point-to-point sends to aggregated neighborhood
 	// collectives over the distributed graph topology — the approach
@@ -65,13 +68,23 @@ func Run(g *graph.CSR, root int, opt Options) (*Result, error) {
 	parentGlobal := make([]int64, g.NumVertices())
 	levelGlobal := make([]int64, g.NumVertices())
 
-	rep, err := mpi.Run(mpi.Config{
-		Procs:         opt.Procs,
-		Cost:          opt.Cost,
-		TrackMatrices: opt.TrackMatrices,
-		Deadline:      opt.Deadline,
-		TraceWaits:    opt.TraceWaits,
-	}, func(c *mpi.Comm) error {
+	opts := make([]mpi.Option, 0, 5)
+	if opt.Cost != nil {
+		opts = append(opts, mpi.WithCost(opt.Cost))
+	}
+	if opt.TrackMatrices {
+		opts = append(opts, mpi.WithMatrices())
+	}
+	if opt.Deadline > 0 {
+		opts = append(opts, mpi.WithDeadline(opt.Deadline))
+	}
+	if opt.TraceWaits {
+		opts = append(opts, mpi.WithWaitTrace())
+	}
+	if opt.TraceEvents > 0 {
+		opts = append(opts, mpi.WithEventTrace(opt.TraceEvents))
+	}
+	rep, err := mpi.Run(opt.Procs, func(c *mpi.Comm) error {
 		l := d.BuildLocal(c.Rank())
 		var topo *mpi.Topo
 		if opt.UseNeighborhood {
@@ -160,7 +173,7 @@ func Run(g *graph.CSR, root int, opt Options) (*Result, error) {
 		copy(parentGlobal[l.Lo:l.Hi], parent)
 		copy(levelGlobal[l.Lo:l.Hi], level)
 		return nil
-	})
+	}, opts...)
 	if err != nil {
 		return nil, err
 	}

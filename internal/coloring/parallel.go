@@ -27,6 +27,9 @@ type Options struct {
 	// TraceWaits records per-rank blocked intervals for
 	// Report.RenderTimeline.
 	TraceWaits bool
+	// TraceEvents, when > 0, enables structured event tracing with a
+	// per-rank ring of this capacity (Report.Events, WriteChromeTrace).
+	TraceEvents int
 }
 
 // ParallelResult is the outcome of a distributed coloring.
@@ -219,13 +222,23 @@ func Run(g *graph.CSR, opt Options) (*ParallelResult, error) {
 	rounds := make([]int, opt.Procs)
 	sent := make([]int64, opt.Procs)
 
-	rep, err := mpi.Run(mpi.Config{
-		Procs:         opt.Procs,
-		Cost:          opt.Cost,
-		TrackMatrices: opt.TrackMatrices,
-		Deadline:      opt.Deadline,
-		TraceWaits:    opt.TraceWaits,
-	}, func(c *mpi.Comm) error {
+	opts := make([]mpi.Option, 0, 5)
+	if opt.Cost != nil {
+		opts = append(opts, mpi.WithCost(opt.Cost))
+	}
+	if opt.TrackMatrices {
+		opts = append(opts, mpi.WithMatrices())
+	}
+	if opt.Deadline > 0 {
+		opts = append(opts, mpi.WithDeadline(opt.Deadline))
+	}
+	if opt.TraceWaits {
+		opts = append(opts, mpi.WithWaitTrace())
+	}
+	if opt.TraceEvents > 0 {
+		opts = append(opts, mpi.WithEventTrace(opt.TraceEvents))
+	}
+	rep, err := mpi.Run(opt.Procs, func(c *mpi.Comm) error {
 		l := d.BuildLocal(c.Rank())
 		var e *jpEngine
 		switch opt.Model {
@@ -286,7 +299,7 @@ func Run(g *graph.CSR, opt Options) (*ParallelResult, error) {
 		rounds[c.Rank()] = e.rounds
 		sent[c.Rank()] = e.sent
 		return nil
-	})
+	}, opts...)
 	if err != nil {
 		return nil, err
 	}

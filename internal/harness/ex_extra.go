@@ -101,10 +101,12 @@ func init() {
 					for i, m := range scalingModels {
 						res, err := coloring.Run(in.g, coloring.Options{
 							Procs: p, Model: m, Cost: cfg.Cost, Deadline: cfg.Deadline,
+							TraceEvents: cfg.TraceEvents,
 						})
 						if err != nil {
 							return nil, fmt.Errorf("%s/%v: %w", in.name, m, err)
 						}
+						cfg.observe(fmt.Sprintf("coloring %v p=%d |V|=%d", m, p, in.g.NumVertices()), res.Report)
 						times[i] = res.Report.MaxVirtualTime
 						colors = res.Colors
 					}

@@ -6,7 +6,6 @@ import (
 	"repro/internal/distgraph"
 	"repro/internal/graph"
 	"repro/internal/matching"
-	"repro/internal/mpi"
 	"repro/internal/order"
 )
 
@@ -195,7 +194,7 @@ func init() {
 		Title: "All four implementations on original vs RCM inputs",
 		Paper: "NCL gains 2-5x over NSR on RCM inputs; NSR slows 1.2-1.7x on reordered graphs; NSR 1.2-2x over MBP; NCL/RMA 2.5-7x over MBP",
 		Run: func(cfg Config) ([]*Table, error) {
-			models := []matching.Model{matching.NSR, matching.RMA, matching.NCL, matching.MBP}
+			models := cfg.models([]matching.Model{matching.NSR, matching.RMA, matching.NCL, matching.MBP})
 			var tables []*Table
 			for _, p := range []int{cfg.scaledProcs(32), cfg.scaledProcs(64)} {
 				t := &Table{ID: "fig8", Title: fmt.Sprintf("original vs RCM on %d processes", p)}
@@ -259,7 +258,7 @@ func init() {
 				if err != nil {
 					return nil, err
 				}
-				grids[i] = matrixDensity(mpi.ByteMatrix(res.Report.Stats), min(24, p))
+				grids[i] = matrixDensity(res.Report.ByteMatrix(), min(24, p))
 			}
 			t := &Table{ID: "fig9", Title: fmt.Sprintf("byte volume matrices on %d processes (sender rows, receiver cols)", p),
 				Headers: []string{"original", "RCM"}}

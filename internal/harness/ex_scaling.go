@@ -9,27 +9,34 @@ import (
 )
 
 // match runs one distributed matching configuration and returns the
-// result (with virtual time in Report.MaxVirtualTime).
+// result (with virtual time in Report.MaxVirtualTime). Successful runs
+// are reported to Config.OnRun for trace/profile collection.
 func (c Config) match(g *graph.CSR, p int, m matching.Model, trackMatrices bool) (*matching.ParallelResult, error) {
-	return matching.Run(g, matching.Options{
+	res, err := matching.Run(g, matching.Options{
 		Procs:         p,
 		Model:         m,
 		Cost:          c.Cost,
 		Deadline:      c.Deadline,
 		TrackMatrices: trackMatrices,
+		TraceEvents:   c.TraceEvents,
 	})
+	if err == nil {
+		c.observe(fmt.Sprintf("%v p=%d |V|=%d", m, p, g.NumVertices()), res.Report)
+	}
+	return res, err
 }
 
 // scalingTable runs the given models over (graph(p), p) pairs and emits
 // one row per p: |E|, per-model virtual time, and speedups over NSR.
 func (c Config) scalingTable(id, title string, procs []int, input func(p int) *graph.CSR, models []matching.Model) (*Table, error) {
+	models = c.models(models)
 	t := &Table{ID: id, Title: title}
 	t.Headers = []string{"procs", "|V|", "|E|"}
 	for _, m := range models {
 		t.Headers = append(t.Headers, m.String())
 	}
 	for _, m := range models[1:] {
-		t.Headers = append(t.Headers, m.String()+"/NSR")
+		t.Headers = append(t.Headers, m.String()+"/"+models[0].String())
 	}
 	for _, p := range procs {
 		g := input(p)

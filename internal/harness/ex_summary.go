@@ -41,7 +41,7 @@ func init() {
 				for _, p := range in.procs {
 					cfg.logf("tab7: %s p=%d", in.name, p)
 					var nsr float64
-					for _, m := range scalingModels {
+					for _, m := range cfg.models(scalingModels) {
 						res, err := cfg.match(in.g, p, m, false)
 						if err != nil {
 							return nil, fmt.Errorf("%s/%v: %w", in.name, m, err)
@@ -68,12 +68,16 @@ func init() {
 		Title: "Performance profiles of NSR/RMA/NCL over the input suite",
 		Paper: "RMA consistently best, NCL close behind, NSR up to 6x slower yet competitive on ~10% of inputs",
 		Run: func(cfg Config) ([]*Table, error) {
-			times := map[string][]float64{"NSR": nil, "RMA": nil, "NCL": nil}
+			models := cfg.models(scalingModels)
+			times := map[string][]float64{}
+			for _, m := range models {
+				times[m.String()] = nil
+			}
 			count := 0
 			for _, in := range cfg.profileInputs() {
 				for _, p := range []int{cfg.scaledProcs(8), cfg.scaledProcs(16), cfg.scaledProcs(32)} {
 					cfg.logf("fig10: %s p=%d", in.Name, p)
-					for _, m := range scalingModels {
+					for _, m := range models {
 						res, err := cfg.match(in.G, p, m, false)
 						if err != nil {
 							return nil, fmt.Errorf("%s/p=%d/%v: %w", in.Name, p, m, err)
@@ -122,7 +126,7 @@ func init() {
 				for r := 0; r < p; r++ {
 					extra[r] = d.BuildLocal(r).MemoryModelBytes()
 				}
-				for _, m := range scalingModels {
+				for _, m := range cfg.models(scalingModels) {
 					cfg.logf("tab8: %s %v", in.name, m)
 					res, err := cfg.match(in.g, p, m, false)
 					if err != nil {
@@ -174,24 +178,25 @@ func commMatrixTables(cfg Config, id string, bytes bool) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	bres, err := bfs.Run(g, 0, bfs.Options{Procs: p, Cost: cfg.Cost, TrackMatrices: true, Deadline: cfg.Deadline})
+	bres, err := bfs.Run(g, 0, bfs.Options{Procs: p, Cost: cfg.Cost, TrackMatrices: true, Deadline: cfg.Deadline, TraceEvents: cfg.TraceEvents})
 	if err != nil {
 		return nil, err
 	}
-	pick := mpi.MsgMatrix
+	cfg.observe(fmt.Sprintf("BFS p=%d |V|=%d", p, g.NumVertices()), bres.Report)
+	pick := (*mpi.Report).MsgMatrix
 	unit := "messages"
 	if bytes {
-		pick = mpi.ByteMatrix
+		pick = (*mpi.Report).ByteMatrix
 		unit = "bytes"
 	}
-	a := matrixDensity(pick(mres.Report.Stats), min(24, p))
-	b := matrixDensity(pick(bres.Report.Stats), min(24, p))
+	a := matrixDensity(pick(mres.Report), min(24, p))
+	b := matrixDensity(pick(bres.Report), min(24, p))
 	t := &Table{ID: id, Title: fmt.Sprintf("%s exchanged on %d processes, matching |E|=%d vs BFS |E|=%d (left: matching, right: BFS)", unit, p, mg.NumEdges(), g.NumEdges()),
 		Headers: []string{"half-approx matching", "Graph500 BFS"}}
 	for i := range a {
 		t.AddRow(a[i], b[i])
 	}
-	mt, bt := mpi.Aggregate(mres.Report.Stats), mpi.Aggregate(bres.Report.Stats)
+	mt, bt := mres.Report.Totals(), bres.Report.Totals()
 	t.AddRow(fmt.Sprintf("msgs=%d bytes=%d", mt.Msgs, mt.Bytes), fmt.Sprintf("msgs=%d bytes=%d", bt.Msgs, bt.Bytes))
 	t.Notes = append(t.Notes, "expected shape: both dense for R-MAT, but matching's mass is distributed irregularly while BFS concentrates along frontier waves")
 	return []*Table{t}, nil

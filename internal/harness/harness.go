@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/matching"
 	"repro/internal/mpi"
 )
 
@@ -28,6 +29,22 @@ type Config struct {
 	Deadline time.Duration
 	// Out receives progress and tables; nil discards progress output.
 	Out io.Writer
+	// Models restricts which communication models the model-comparison
+	// experiments exercise (nil = each experiment's default set). The
+	// filter preserves the experiment's ordering; an empty intersection
+	// falls back to the defaults so fixed-column experiments stay valid.
+	Models []matching.Model
+	// TraceEvents, when > 0, enables structured event tracing on every
+	// launched run with the given per-rank ring capacity.
+	TraceEvents int
+	// Profile appends a per-experiment phase-profile table (the §V-D
+	// compute/pack/exchange/unpack/wait breakdown) covering every run
+	// the experiment launched.
+	Profile bool
+	// OnRun, if set, observes every successful runtime launch: label
+	// describes the configuration ("NCL p=16 |V|=4096"), rep is the
+	// completed run's report. Used to collect Chrome traces.
+	OnRun func(label string, rep *mpi.Report)
 }
 
 // DefaultConfig returns the standard full-scale configuration.
@@ -54,6 +71,34 @@ func (c Config) scaledProcs(p int) int {
 		v = 2
 	}
 	return v
+}
+
+// models applies the Config.Models filter to an experiment's default
+// model list, keeping the defaults' order.
+func (c Config) models(defaults []matching.Model) []matching.Model {
+	if len(c.Models) == 0 {
+		return defaults
+	}
+	out := make([]matching.Model, 0, len(defaults))
+	for _, m := range defaults {
+		for _, want := range c.Models {
+			if m == want {
+				out = append(out, m)
+				break
+			}
+		}
+	}
+	if len(out) == 0 {
+		return defaults
+	}
+	return out
+}
+
+// observe reports a finished run to Config.OnRun, if registered.
+func (c Config) observe(label string, rep *mpi.Report) {
+	if c.OnRun != nil {
+		c.OnRun(label, rep)
+	}
 }
 
 func (c Config) logf(format string, args ...any) {
@@ -160,19 +205,37 @@ func IDs() []string {
 }
 
 // RunOne executes the experiment with the given id under cfg and renders
-// its tables to w.
+// its tables to w. With cfg.Profile set, a phase-profile table covering
+// every run the experiment launched is appended.
 func RunOne(id string, cfg Config, w io.Writer) error {
 	e := Find(id)
 	if e == nil {
 		return fmt.Errorf("harness: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
 	}
 	fmt.Fprintf(w, "# %s — %s\n# paper: %s\n\n", e.ID, e.Title, e.Paper)
+	var prof *Table
+	if cfg.Profile {
+		prof = &Table{ID: id, Title: "phase profile (virtual seconds summed over ranks; §V-D breakdown)",
+			Headers: []string{"run", "compute", "pack", "exchange", "unpack", "wait", "mpi%", "wait%"}}
+		inner := cfg.OnRun
+		cfg.OnRun = func(label string, rep *mpi.Report) {
+			p := rep.Profile()
+			prof.AddRow(label, fsec(p.Compute), fsec(p.Pack), fsec(p.Exchange), fsec(p.Unpack), fsec(p.Wait),
+				f2(100*p.MPIFrac()), f2(100*p.WaitFrac()))
+			if inner != nil {
+				inner(label, rep)
+			}
+		}
+	}
 	tables, err := e.Run(cfg)
 	if err != nil {
 		return fmt.Errorf("harness: %s: %w", id, err)
 	}
 	for _, t := range tables {
 		t.Render(w)
+	}
+	if prof != nil && len(prof.Rows) > 0 {
+		prof.Render(w)
 	}
 	return nil
 }
@@ -190,6 +253,9 @@ func RunAll(cfg Config, w io.Writer) error {
 // f2 formats a float with 2 decimals; f3 with 3; fx chooses compactly.
 func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
 func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// fsec formats virtual seconds compactly (profiles span ms to minutes).
+func fsec(v float64) string { return fmt.Sprintf("%.4g", v) }
 
 // ms formats seconds of virtual time as milliseconds.
 func ms(sec float64) string { return fmt.Sprintf("%.3fms", sec*1e3) }

@@ -10,51 +10,24 @@ import (
 	"repro/internal/transport"
 )
 
-// Model selects the communication model for the distributed matcher,
-// using the paper's descriptors (§V-A).
-type Model int
+// Model aliases transport.Model, where the communication-model
+// vocabulary now lives alongside the backends it selects; the constants
+// are re-exported so existing matching.NSR-style references keep
+// working.
+type Model = transport.Model
 
+// The paper's communication models plus the two extensions (§V-A).
 const (
-	// NSR is the baseline: nonblocking MPI Send-Recv with Iprobe polling.
-	NSR Model = iota
-	// RMA uses MPI-3 passive-target one-sided puts with precomputed
-	// displacements plus neighborhood count exchanges.
-	RMA
-	// NCL uses blocking MPI-3 neighborhood collectives over the
-	// distributed graph topology with per-neighbor aggregation.
-	NCL
-	// MBP models MatchBox-P: Send-Recv with synchronous-mode sends.
-	MBP
-	// NCLI extends the study with nonblocking neighborhood collectives
-	// (pipelined rounds with double buffering) — the direction the
-	// paper's related work (Kandalla et al.) explores for BFS.
-	NCLI
-	// NSRA extends the study with sender-side message aggregation for
-	// Send-Recv — the optimization the paper calls "challenging" for
-	// irregular applications (§V-D).
-	NSRA
+	NSR  = transport.ModelNSR
+	RMA  = transport.ModelRMA
+	NCL  = transport.ModelNCL
+	MBP  = transport.ModelMBP
+	NCLI = transport.ModelNCLI
+	NSRA = transport.ModelNSRA
 )
 
 // Models lists all communication models in presentation order.
-var Models = []Model{NSR, RMA, NCL, MBP, NCLI, NSRA}
-
-func (m Model) String() string {
-	switch m {
-	case NSR:
-		return "NSR"
-	case RMA:
-		return "RMA"
-	case NCL:
-		return "NCL"
-	case MBP:
-		return "MBP"
-	case NCLI:
-		return "NCLI"
-	case NSRA:
-		return "NSRA"
-	}
-	return fmt.Sprintf("Model(%d)", int(m))
-}
+var Models = transport.Models
 
 // Options configures a distributed matching run.
 type Options struct {
@@ -75,6 +48,30 @@ type Options struct {
 	// TraceWaits records per-rank blocked intervals for
 	// Report.RenderTimeline.
 	TraceWaits bool
+	// TraceEvents, when > 0, enables structured event tracing with a
+	// per-rank ring of this capacity (Report.Events, WriteChromeTrace).
+	TraceEvents int
+}
+
+// mpiOptions translates the shared runtime knobs to mpi.Run options.
+func mpiOptions(cost *mpi.CostModel, matrices bool, deadline time.Duration, waits bool, events int) []mpi.Option {
+	opts := make([]mpi.Option, 0, 5)
+	if cost != nil {
+		opts = append(opts, mpi.WithCost(cost))
+	}
+	if matrices {
+		opts = append(opts, mpi.WithMatrices())
+	}
+	if deadline > 0 {
+		opts = append(opts, mpi.WithDeadline(deadline))
+	}
+	if waits {
+		opts = append(opts, mpi.WithWaitTrace())
+	}
+	if events > 0 {
+		opts = append(opts, mpi.WithEventTrace(events))
+	}
+	return opts
 }
 
 // ParallelResult is the outcome of a distributed run.
@@ -104,13 +101,7 @@ func Run(g *graph.CSR, opt Options) (*ParallelResult, error) {
 	rounds := make([]int, opt.Procs)
 	sent := make([]int64, opt.Procs)
 
-	rep, err := mpi.Run(mpi.Config{
-		Procs:         opt.Procs,
-		Cost:          opt.Cost,
-		TrackMatrices: opt.TrackMatrices,
-		Deadline:      opt.Deadline,
-		TraceWaits:    opt.TraceWaits,
-	}, func(c *mpi.Comm) error {
+	rep, err := mpi.Run(opt.Procs, func(c *mpi.Comm) error {
 		l := d.BuildLocal(c.Rank())
 		var e *engine
 		switch opt.Model {
@@ -145,7 +136,7 @@ func Run(g *graph.CSR, opt Options) (*ParallelResult, error) {
 		rounds[c.Rank()] = e.rounds
 		sent[c.Rank()] = e.sent
 		return nil
-	})
+	}, mpiOptions(opt.Cost, opt.TrackMatrices, opt.Deadline, opt.TraceWaits, opt.TraceEvents)...)
 	if err != nil {
 		return nil, err
 	}

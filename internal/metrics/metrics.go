@@ -63,7 +63,7 @@ func (r Report) String() string {
 func (m *EnergyModel) Evaluate(rep *mpi.Report, extraMemPerRank []int64) Report {
 	nodes := (rep.Procs + m.CoresPerNode - 1) / m.CoresPerNode
 	t := rep.MaxVirtualTime
-	tot := mpi.Aggregate(rep.Stats)
+	tot := rep.Totals()
 
 	var busy, comp float64
 	var memBytes float64

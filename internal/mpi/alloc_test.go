@@ -14,7 +14,7 @@ import (
 
 func TestRoundTripZeroAlloc(t *testing.T) {
 	const runs = 100
-	_, err := RunChecked(Config{Procs: 2, Deadline: 30 * time.Second}, func(c *Comm) error {
+	_, err := RunChecked(2, func(c *Comm) error {
 		sbuf := [3]int64{1, 2, 3}
 		var rbuf [3]int64
 		peer := 1 - c.Rank()
@@ -36,7 +36,7 @@ func TestRoundTripZeroAlloc(t *testing.T) {
 			}
 		}
 		return nil
-	})
+	}, WithDeadline(30*time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func TestRoundTripZeroAlloc(t *testing.T) {
 
 func TestAllreduceScalarZeroAlloc(t *testing.T) {
 	const runs = 100
-	_, err := RunChecked(Config{Procs: 2, Deadline: 30 * time.Second}, func(c *Comm) error {
+	_, err := RunChecked(2, func(c *Comm) error {
 		reduce := func() {
 			if got := c.AllreduceScalarInt64(OpSum, int64(c.Rank()+1)); got != 3 {
 				t.Errorf("scalar allreduce = %d, want 3", got)
@@ -63,7 +63,7 @@ func TestAllreduceScalarZeroAlloc(t *testing.T) {
 			}
 		}
 		return nil
-	})
+	}, WithDeadline(30*time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,7 +12,7 @@ import (
 func benchRun(b *testing.B, procs int, body func(c *Comm) error) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		if _, err := Run(Config{Procs: procs, Deadline: time.Minute}, body); err != nil {
+		if _, err := Run(procs, body, WithDeadline(time.Minute)); err != nil {
 			b.Fatal(err)
 		}
 	}

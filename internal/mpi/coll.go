@@ -165,6 +165,7 @@ func (h *collHub) maxTime() float64 {
 
 // enter deposits this rank's clock and runs the deposit barrier.
 func (c *Comm) enterColl(dep func(h *collHub)) *collHub {
+	c.ps.collStart = c.ps.now
 	h := c.hub
 	h.mu.Lock()
 	h.times[c.rank] = c.ps.now
@@ -184,6 +185,7 @@ func (c *Comm) exitColl(h *collHub, bytes int64) {
 	c.waitUntil(end)
 	c.ps.rs.CollCount++
 	c.ps.rs.CollBytes += bytes
+	c.event(EvColl, -1, -1, bytes, c.ps.collStart)
 }
 
 // Barrier blocks until all ranks have entered it.

@@ -8,7 +8,7 @@ import (
 )
 
 func TestBarrierSynchronizesClocks(t *testing.T) {
-	rep, err := RunChecked(testCfg(4), func(c *Comm) error {
+	rep, err := runChecked(4, func(c *Comm) error {
 		c.Compute(float64(c.Rank()) * 1000) // skew clocks
 		c.Barrier()
 		// After a barrier, all clocks are (at least) the maximum pre-barrier
@@ -27,7 +27,7 @@ func TestBarrierSynchronizesClocks(t *testing.T) {
 
 func TestAllreduceInt64Ops(t *testing.T) {
 	const p = 5
-	_, err := RunChecked(testCfg(p), func(c *Comm) error {
+	_, err := runChecked(p, func(c *Comm) error {
 		r := int64(c.Rank())
 		in := []int64{r + 1, r + 1}
 		sum := c.AllreduceInt64(OpSum, in)
@@ -59,7 +59,7 @@ func TestAllreduceInt64Ops(t *testing.T) {
 }
 
 func TestAllreduceFloat64(t *testing.T) {
-	_, err := RunChecked(testCfg(4), func(c *Comm) error {
+	_, err := runChecked(4, func(c *Comm) error {
 		v := []float64{float64(c.Rank()) + 0.5}
 		sum := c.AllreduceFloat64(OpSum, v)
 		if sum[0] != 8.0 { // 0.5+1.5+2.5+3.5
@@ -78,7 +78,7 @@ func TestAllreduceFloat64(t *testing.T) {
 
 func TestAlltoallInt64(t *testing.T) {
 	const p, chunk = 4, 2
-	_, err := RunChecked(testCfg(p), func(c *Comm) error {
+	_, err := runChecked(p, func(c *Comm) error {
 		send := make([]int64, p*chunk)
 		for j := 0; j < p; j++ {
 			send[j*chunk] = int64(c.Rank()*100 + j)
@@ -102,7 +102,7 @@ func TestAlltoallvInt64RoundTrip(t *testing.T) {
 	// Property: alltoallv followed by alltoallv of the received data (sent
 	// back to the source) returns the original vectors.
 	const p = 4
-	_, err := RunChecked(testCfg(p), func(c *Comm) error {
+	_, err := runChecked(p, func(c *Comm) error {
 		rng := rand.New(rand.NewSource(int64(c.Rank()) + 1))
 		send := make([][]int64, p)
 		for j := range send {
@@ -133,7 +133,7 @@ func TestAlltoallvInt64RoundTrip(t *testing.T) {
 
 func TestAllgatherBcastGatherReduce(t *testing.T) {
 	const p = 4
-	_, err := RunChecked(testCfg(p), func(c *Comm) error {
+	_, err := runChecked(p, func(c *Comm) error {
 		all := c.AllgatherInt64([]int64{int64(c.Rank() * 2)})
 		for r := 0; r < p; r++ {
 			if all[r][0] != int64(r*2) {
@@ -192,7 +192,7 @@ func TestAllreduceMatchesLocalFoldQuick(t *testing.T) {
 			}
 		}
 		ok := true
-		_, err := RunChecked(testCfg(p), func(c *Comm) error {
+		_, err := runChecked(p, func(c *Comm) error {
 			got := c.AllreduceInt64(OpSum, inputs[c.Rank()])
 			for i := range want {
 				if got[i] != want[i] {
@@ -212,7 +212,7 @@ func TestCollectiveDeterministicAcrossRanks(t *testing.T) {
 	// Float reductions fold in rank order everywhere, so all ranks get
 	// bit-identical results.
 	const p = 6
-	_, err := RunChecked(testCfg(p), func(c *Comm) error {
+	_, err := runChecked(p, func(c *Comm) error {
 		in := []float64{0.1 * float64(c.Rank()+1)}
 		out := c.AllreduceFloat64(OpSum, in)
 		all := c.AllgatherInt64([]int64{int64(floatBits(out[0]))})

@@ -51,7 +51,7 @@ func TestCollCostMonotone(t *testing.T) {
 }
 
 func TestComputeAdvancesClock(t *testing.T) {
-	_, err := Run(testCfg(1), func(c *Comm) error {
+	_, err := testRun(1, func(c *Comm) error {
 		t0 := c.Now()
 		c.Compute(1000)
 		want := t0 + 1000*c.Cost().ComputePerUnit
@@ -73,7 +73,7 @@ func TestMoreMessagesCostMoreVirtualTime(t *testing.T) {
 	// message carrying the same bytes — the root cause of NSR's
 	// disadvantage versus aggregated NCL in the paper.
 	run := func(msgs, words int) float64 {
-		rep, err := Run(testCfg(2), func(c *Comm) error {
+		rep, err := testRun(2, func(c *Comm) error {
 			if c.Rank() == 0 {
 				for i := 0; i < msgs; i++ {
 					c.Isend(1, 0, make([]int64, words))
@@ -99,7 +99,7 @@ func TestMoreMessagesCostMoreVirtualTime(t *testing.T) {
 
 func TestVirtualTimeNonNegativeQuick(t *testing.T) {
 	f := func(units uint16) bool {
-		rep, err := Run(Config{Procs: 2}, func(c *Comm) error {
+		rep, err := Run(2, func(c *Comm) error {
 			c.Compute(float64(units))
 			c.Barrier()
 			return nil
@@ -112,7 +112,7 @@ func TestVirtualTimeNonNegativeQuick(t *testing.T) {
 }
 
 func TestAggregateTotals(t *testing.T) {
-	rep, err := Run(testCfg(3), func(c *Comm) error {
+	rep, err := testRun(3, func(c *Comm) error {
 		if c.Rank() == 0 {
 			c.Isend(1, 0, []int64{1, 2}) // 16 bytes
 		}

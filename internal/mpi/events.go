@@ -1,0 +1,169 @@
+package mpi
+
+import "fmt"
+
+// Structured event tracing. When Config.TraceEvents > 0 every rank
+// records one Event per runtime primitive — sends, receives, probes,
+// blocked waits, collectives, neighborhood rounds, one-sided operations
+// — into a preallocated per-rank ring of that capacity. Recording is a
+// single bounds-checked store; when the ring fills, further events are
+// counted in a drop counter instead of evicting older ones, so a
+// truncated trace is always the prefix of the run and stays sorted by
+// virtual time. With tracing off the only cost on any primitive is one
+// nil check, which keeps the pinned AllocsPerRun contracts intact.
+//
+// Snapshots are exposed through Report.Events / Report.EventDrops and
+// the exporters in export.go (Chrome trace_event JSON) and profile.go
+// (phase breakdown).
+
+// EventKind classifies a traced runtime primitive.
+type EventKind uint8
+
+// Event kinds, one per traced primitive family.
+const (
+	// EvSend is an Isend/Send/Ssend completing at the sender.
+	EvSend EventKind = iota
+	// EvRecv is a Recv/RecvInto completing (including its blocked time).
+	EvRecv
+	// EvProbe is an Iprobe/Probe poll; Peer is -1 on a miss.
+	EvProbe
+	// EvWait is a blocked interval: the clock jumping forward to a
+	// remote arrival or synchronization point.
+	EvWait
+	// EvColl is a global collective (Barrier, Allreduce, Alltoall, ...).
+	EvColl
+	// EvNbrColl is a blocking neighborhood collective; Tag is the
+	// topology-local call sequence number (the round, for round-based
+	// transports).
+	EvNbrColl
+	// EvNbrStart is the injection half of a nonblocking neighborhood
+	// collective (INeighborAlltoallvInt64); Tag is the call sequence.
+	EvNbrStart
+	// EvNbrWait is the completion half (NbrRequest.Wait); Tag matches
+	// the EvNbrStart it completes.
+	EvNbrWait
+	// EvPut is a one-sided put issue (origin side).
+	EvPut
+	// EvGet is a one-sided get (full round trip at the origin).
+	EvGet
+	// EvAtomic is a remote atomic: Accumulate, FetchAndAdd, CompareAndSwap.
+	EvAtomic
+	// EvFlush is an RMA flush draining pending puts; Bytes is the drained
+	// volume and Tag the number of distinct targets completed.
+	EvFlush
+
+	numEventKinds
+)
+
+var eventKindNames = [numEventKinds]string{
+	EvSend:     "send",
+	EvRecv:     "recv",
+	EvProbe:    "probe",
+	EvWait:     "wait",
+	EvColl:     "coll",
+	EvNbrColl:  "nbr_coll",
+	EvNbrStart: "nbr_start",
+	EvNbrWait:  "nbr_wait",
+	EvPut:      "put",
+	EvGet:      "get",
+	EvAtomic:   "atomic",
+	EvFlush:    "flush",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Category returns the Chrome-trace category grouping for the kind:
+// "p2p", "coll", "nbr", "rma" or "wait".
+func (k EventKind) Category() string {
+	switch k {
+	case EvSend, EvRecv, EvProbe:
+		return "p2p"
+	case EvColl:
+		return "coll"
+	case EvNbrColl, EvNbrStart, EvNbrWait:
+		return "nbr"
+	case EvPut, EvGet, EvAtomic, EvFlush:
+		return "rma"
+	case EvWait:
+		return "wait"
+	}
+	return "other"
+}
+
+// Event is one traced primitive on a rank's virtual timeline.
+type Event struct {
+	Kind EventKind
+	// Peer is the world rank of the remote party (destination of a send
+	// or put, source of a receive or probe hit), or -1 when there is no
+	// single peer (collectives, waits, probe misses, flushes).
+	Peer int
+	// Tag is the user tag for point-to-point events, the call sequence
+	// number for neighborhood events, the target count for flushes, and
+	// -1 otherwise.
+	Tag int
+	// Bytes is the payload volume the event moved (0 for barriers,
+	// waits and probe misses).
+	Bytes int64
+	// Start and End delimit the event on the rank's virtual clock, in
+	// seconds. End is the clock when the primitive completed; events are
+	// recorded at completion, so rings are sorted by End.
+	Start, End float64
+}
+
+// Duration returns the event's virtual-time extent in seconds.
+func (e Event) Duration() float64 { return e.End - e.Start }
+
+// eventRing is one rank's fixed-capacity event log. It is written only
+// by the owning rank goroutine during the run and read only after Run
+// returns, so it needs no synchronization.
+type eventRing struct {
+	buf     []Event
+	n       int
+	dropped int64
+}
+
+func newEventRing(capacity int) *eventRing {
+	return &eventRing{buf: make([]Event, capacity)}
+}
+
+// event records one primitive if tracing is enabled. The End timestamp
+// is the rank's current clock, so callers capture Start before charging
+// costs and call event after. Kept small enough to inline: the traced-off
+// path must cost one predictable branch.
+func (c *Comm) event(kind EventKind, peer, tag int, bytes int64, start float64) {
+	r := c.ps.ev
+	if r == nil {
+		return
+	}
+	if r.n == len(r.buf) {
+		r.dropped++
+		return
+	}
+	r.buf[r.n] = Event{Kind: kind, Peer: peer, Tag: tag, Bytes: bytes, Start: start, End: c.ps.now}
+	r.n++
+}
+
+// Events returns rank r's recorded events in completion order (nil
+// unless the run enabled event tracing). The slice aliases the ring;
+// callers must not modify it.
+func (r *Report) Events(rank int) []Event {
+	if r.events == nil || r.events[rank] == nil {
+		return nil
+	}
+	ring := r.events[rank]
+	return ring.buf[:ring.n]
+}
+
+// EventDrops returns how many events rank r's ring discarded after
+// filling (0 when tracing was off or the ring sufficed).
+func (r *Report) EventDrops(rank int) int64 {
+	if r.events == nil || r.events[rank] == nil {
+		return 0
+	}
+	return r.events[rank].dropped
+}

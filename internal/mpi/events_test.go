@@ -1,0 +1,243 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+)
+
+// eventRun runs body with event tracing at the given ring capacity.
+func eventRun(p, capacity int, body func(c *Comm) error) (*Report, error) {
+	return Run(p, body, WithEventTrace(capacity), WithDeadline(30*time.Second))
+}
+
+// checkEventOrdering asserts the per-rank trace invariants: nonnegative
+// spans, Start <= End, and completion (End) times nondecreasing in
+// recorded order — the ring records events as they complete.
+func checkEventOrdering(t *testing.T, rep *Report) {
+	t.Helper()
+	for rank := 0; rank < rep.Procs; rank++ {
+		prev := 0.0
+		for i, e := range rep.Events(rank) {
+			if e.Start < 0 || e.End < e.Start {
+				t.Errorf("rank %d event %d (%v): span [%g, %g] invalid", rank, i, e.Kind, e.Start, e.End)
+			}
+			if e.End < prev {
+				t.Errorf("rank %d event %d (%v): End %g before previous %g", rank, i, e.Kind, e.End, prev)
+			}
+			prev = e.End
+		}
+	}
+}
+
+func TestEventsDisabledByDefault(t *testing.T) {
+	rep, err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Isend(1, 0, []int64{1})
+		} else {
+			c.Recv(0, 0)
+		}
+		return nil
+	}, WithDeadline(30*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank := 0; rank < 2; rank++ {
+		if ev := rep.Events(rank); ev != nil {
+			t.Errorf("rank %d has %d events without WithEventTrace", rank, len(ev))
+		}
+		if d := rep.EventDrops(rank); d != 0 {
+			t.Errorf("rank %d reports %d drops without WithEventTrace", rank, d)
+		}
+	}
+}
+
+// TestEventOrderingProperty drives an all-to-all exchange plus
+// collectives at several rank counts and checks the trace invariants:
+// per-rank nondecreasing completion times, and byte agreement between
+// every matched send/recv pair.
+func TestEventOrderingProperty(t *testing.T) {
+	for _, p := range []int{2, 3, 5} {
+		rep, err := eventRun(p, 4096, func(c *Comm) error {
+			// Stagger compute so ranks hit the exchange at different
+			// virtual times (forces genuine waits).
+			c.Compute(float64(1000 * c.Rank()))
+			for d := 0; d < p; d++ {
+				if d != c.Rank() {
+					// Payload size encodes the sender so byte matching is
+					// nontrivial.
+					c.Isend(d, 5, make([]int64, c.Rank()+1))
+				}
+			}
+			for i := 0; i < p-1; i++ {
+				c.Recv(AnySource, 5)
+			}
+			c.Barrier()
+			c.AllreduceScalarInt64(OpSum, int64(c.Rank()))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		checkEventOrdering(t, rep)
+
+		// Matched pairs agree on bytes: for every ordered (sender,
+		// receiver) pair the multiset of sent sizes equals the multiset
+		// of received sizes.
+		type pair struct{ s, r int }
+		sent := map[pair][]int64{}
+		recvd := map[pair][]int64{}
+		var sends, recvs, colls int
+		for rank := 0; rank < p; rank++ {
+			for _, e := range rep.Events(rank) {
+				switch e.Kind {
+				case EvSend:
+					sent[pair{rank, e.Peer}] = append(sent[pair{rank, e.Peer}], e.Bytes)
+					sends++
+				case EvRecv:
+					recvd[pair{e.Peer, rank}] = append(recvd[pair{e.Peer, rank}], e.Bytes)
+					recvs++
+				case EvColl:
+					colls++
+				}
+			}
+			if d := rep.EventDrops(rank); d != 0 {
+				t.Errorf("p=%d rank %d dropped %d events with ample capacity", p, rank, d)
+			}
+		}
+		if want := p * (p - 1); sends != want || recvs != want {
+			t.Errorf("p=%d: %d sends / %d recvs traced, want %d each", p, sends, recvs, want)
+		}
+		if want := 2 * p; colls != want {
+			t.Errorf("p=%d: %d collective events, want %d (barrier + allreduce per rank)", p, colls, want)
+		}
+		for pr, s := range sent {
+			r := recvd[pr]
+			sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+			sort.Slice(r, func(i, j int) bool { return r[i] < r[j] })
+			if fmt.Sprint(s) != fmt.Sprint(r) {
+				t.Errorf("p=%d pair %v: sent bytes %v != received bytes %v", p, pr, s, r)
+			}
+		}
+	}
+}
+
+// TestEventRingBounded checks the overflow contract: a full ring drops
+// new events (the trace is a prefix of the run) and counts them.
+func TestEventRingBounded(t *testing.T) {
+	const capacity, msgs = 4, 20
+	rep, err := eventRun(2, capacity, func(c *Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < msgs; i++ {
+				c.Isend(1, 0, []int64{int64(i)})
+			}
+		} else {
+			for i := 0; i < msgs; i++ {
+				c.Recv(0, 0)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEventOrdering(t, rep)
+	for rank := 0; rank < 2; rank++ {
+		n, d := len(rep.Events(rank)), rep.EventDrops(rank)
+		if n != capacity {
+			t.Errorf("rank %d retained %d events, want ring capacity %d", rank, n, capacity)
+		}
+		if d <= 0 {
+			t.Errorf("rank %d drop counter = %d, want > 0", rank, d)
+		}
+		if int64(n)+d < msgs {
+			t.Errorf("rank %d: retained %d + dropped %d < %d primitives", rank, n, d, msgs)
+		}
+	}
+}
+
+// TestRMAAndNeighborhoodEvents checks the one-sided and neighborhood
+// primitives land in the trace with their categories and byte counts.
+func TestRMAAndNeighborhoodEvents(t *testing.T) {
+	rep, err := eventRun(2, 256, func(c *Comm) error {
+		win := c.WinCreate(64)
+		win.LockAll()
+		if c.Rank() == 0 {
+			win.Put(1, 0, []int64{1, 2, 3, 4}) // 32 bytes
+		}
+		win.FlushAll()
+		c.Barrier()
+		win.UnlockAll()
+		win.Free()
+
+		topo := c.CreateGraphTopo([]int{1 - c.Rank()})
+		topo.NeighborAlltoallvInt64([][]int64{{int64(c.Rank()), 7}}) // 16 bytes out
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEventOrdering(t, rep)
+	var put, flush, nbr *Event
+	for _, e := range rep.Events(0) {
+		e := e
+		switch e.Kind {
+		case EvPut:
+			put = &e
+		case EvFlush:
+			if flush == nil { // UnlockAll flushes again, with nothing pending
+				flush = &e
+			}
+		case EvNbrColl:
+			nbr = &e
+		}
+	}
+	if put == nil || put.Bytes != 32 || put.Peer != 1 {
+		t.Errorf("put event = %+v, want 32 bytes to peer 1", put)
+	}
+	if put != nil && put.Kind.Category() != "rma" {
+		t.Errorf("put category = %q, want rma", put.Kind.Category())
+	}
+	if flush == nil || flush.Bytes != 32 {
+		t.Errorf("flush event = %+v, want 32 drained bytes", flush)
+	}
+	if nbr == nil || nbr.Bytes != 16 {
+		t.Errorf("neighborhood event = %+v, want 16 sent bytes", nbr)
+	}
+	if nbr != nil && nbr.Kind.Category() != "nbr" {
+		t.Errorf("neighborhood category = %q, want nbr", nbr.Kind.Category())
+	}
+}
+
+// TestTracedRoundTripZeroAlloc extends the steady-state allocation
+// contract to tracing-enabled runs: the preallocated ring makes event
+// recording — including the saturated drop path — heap-free.
+func TestTracedRoundTripZeroAlloc(t *testing.T) {
+	const runs = 100
+	_, err := eventRun(2, 64, func(c *Comm) error {
+		sbuf := [3]int64{1, 2, 3}
+		var rbuf [3]int64
+		peer := 1 - c.Rank()
+		roundTrip := func() {
+			c.Isend(peer, 0, sbuf[:])
+			c.RecvInto(peer, 0, rbuf[:])
+		}
+		for i := 0; i < 16; i++ {
+			roundTrip()
+		}
+		if c.Rank() == 0 {
+			if avg := testing.AllocsPerRun(runs, roundTrip); avg != 0 {
+				t.Errorf("traced round trip: %.2f allocs/op, want 0", avg)
+			}
+		} else {
+			for i := 0; i < runs+1; i++ {
+				roundTrip()
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

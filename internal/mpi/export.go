@@ -1,0 +1,100 @@
+package mpi
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Chrome trace_event export. A traced Report (Config.TraceEvents > 0)
+// can be rendered as the JSON object format understood by
+// chrome://tracing and Perfetto: each run becomes one "process", each
+// rank one "thread" track, and each recorded Event one complete ("X")
+// slice on the rank's virtual timeline. Timestamps are virtual seconds
+// converted to microseconds, the unit the viewers expect, so a trace of
+// a modeled run reads exactly like a TAU/Chrome profile of a real one.
+//
+// The writer is hand-formatted (not encoding/json) so the output is
+// deterministic byte-for-byte — the golden-file test depends on that —
+// and streams without building the whole document in memory.
+
+// ChromeTrace accumulates one or more completed runs for export into a
+// single trace file, e.g. the same experiment under every communication
+// model side by side.
+type ChromeTrace struct {
+	labels  []string
+	reports []*Report
+}
+
+// NewChromeTrace returns an empty trace accumulator.
+func NewChromeTrace() *ChromeTrace { return &ChromeTrace{} }
+
+// Add appends a completed run under the given process label. Reports
+// without event tracing enabled still get their track skeleton (useful
+// to spot them missing) but contribute no slices.
+func (t *ChromeTrace) Add(label string, rep *Report) {
+	t.labels = append(t.labels, label)
+	t.reports = append(t.reports, rep)
+}
+
+// Len returns the number of runs accumulated.
+func (t *ChromeTrace) Len() int { return len(t.reports) }
+
+// Write writes the accumulated runs as one trace_event JSON document.
+func (t *ChromeTrace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprint(bw, "{\"traceEvents\":[")
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		bw.WriteByte('\n')
+		fmt.Fprintf(bw, format, args...)
+	}
+	for pid, rep := range t.reports {
+		emit(`{"ph":"M","pid":%d,"name":"process_name","args":{"name":%s}}`,
+			pid, jsonString(t.labels[pid]))
+		for rank := 0; rank < rep.Procs; rank++ {
+			if d := rep.EventDrops(rank); d > 0 {
+				emit(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"rank %d (dropped %d)"}}`,
+					pid, rank, rank, d)
+			} else {
+				emit(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"rank %d"}}`,
+					pid, rank, rank)
+			}
+			for _, e := range rep.Events(rank) {
+				emit(`{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"name":"%s","cat":"%s","args":{"peer":%d,"tag":%d,"bytes":%d}}`,
+					pid, rank, usec(e.Start), usec(e.Duration()),
+					e.Kind.String(), e.Kind.Category(), e.Peer, e.Tag, e.Bytes)
+			}
+		}
+	}
+	fmt.Fprint(bw, "\n],\"displayTimeUnit\":\"ms\"}\n")
+	return bw.Flush()
+}
+
+// WriteChromeTrace writes this run alone as a Chrome trace_event JSON
+// document. Requires a run with Config.TraceEvents (the document is
+// valid but empty of slices otherwise).
+func (r *Report) WriteChromeTrace(w io.Writer) error {
+	t := NewChromeTrace()
+	t.Add("mpi run", r)
+	return t.Write(w)
+}
+
+// usec formats a duration in virtual seconds as microseconds with
+// nanosecond resolution, trimming trailing zeros for compactness.
+func usec(sec float64) string {
+	s := strconv.FormatFloat(sec*1e6, 'f', 3, 64)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// jsonString quotes a label as a JSON string. Go's %q escaping is a
+// superset of JSON for ASCII; control characters and quotes are the
+// only bytes our labels could trip on and strconv.Quote handles both.
+func jsonString(s string) string { return strconv.Quote(s) }

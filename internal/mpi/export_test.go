@@ -1,0 +1,141 @@
+package mpi
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTraceRun is a fully deterministic traced scenario: no probes
+// (whose hit/miss outcomes depend on real scheduling), only blocking
+// operations whose virtual timestamps follow from the cost model alone.
+func goldenTraceRun(t *testing.T) *Report {
+	t.Helper()
+	rep, err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Compute(100)
+			c.Isend(1, 7, []int64{1, 2, 3})
+		} else {
+			c.Recv(0, 7)
+		}
+		c.Barrier()
+		return nil
+	}, WithEventTrace(64), WithDeadline(30*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTraceRun(t).WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("exporter emitted invalid JSON:\n%s", buf.String())
+	}
+
+	golden := filepath.Join("testdata", "chrome_trace.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace differs from golden file (run with -update to regenerate)\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestChromeTraceDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := goldenTraceRun(t).WriteChromeTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := goldenTraceRun(t).WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("two identical runs exported different traces:\n%s\nvs:\n%s", a.String(), b.String())
+	}
+}
+
+// TestChromeTraceStructure decodes the export and checks the document
+// shape the viewers rely on: metadata rows naming process and threads,
+// complete ("X") slices with microsecond timestamps and args.
+func TestChromeTraceStructure(t *testing.T) {
+	tr := NewChromeTrace()
+	tr.Add("run A", goldenTraceRun(t))
+	tr.Add("run B", goldenTraceRun(t))
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	meta, slices := 0, 0
+	pids := map[int]bool{}
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+		case "X":
+			slices++
+			if e.Ts < 0 || e.Dur < 0 {
+				t.Errorf("slice %q has negative ts/dur: %+v", e.Name, e)
+			}
+			if _, ok := e.Args["bytes"]; !ok {
+				t.Errorf("slice %q missing bytes arg", e.Name)
+			}
+			if e.Cat == "" {
+				t.Errorf("slice %q missing category", e.Name)
+			}
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+		pids[e.Pid] = true
+	}
+	// 2 runs x (1 process_name + 2 thread_name) metadata rows.
+	if meta != 6 {
+		t.Errorf("metadata rows = %d, want 6", meta)
+	}
+	if slices == 0 {
+		t.Error("no slices exported")
+	}
+	if len(pids) != 2 {
+		t.Errorf("distinct pids = %d, want one per run", len(pids))
+	}
+}

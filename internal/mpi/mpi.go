@@ -26,7 +26,7 @@
 //
 // Usage:
 //
-//	rep, err := mpi.Run(cfg, func(c *mpi.Comm) error {
+//	rep, err := mpi.Run(2, func(c *mpi.Comm) error {
 //	    if c.Rank() == 0 {
 //	        c.Isend(1, 7, []int64{42})
 //	    } else if c.Rank() == 1 {
@@ -35,7 +35,7 @@
 //	    }
 //	    c.Barrier()
 //	    return nil
-//	})
+//	}, mpi.WithMatrices())
 //
 // API errors that correspond to MPI usage errors (bad rank, negative tag)
 // panic, mirroring the default MPI_ERRORS_ARE_FATAL behavior; errors
@@ -79,6 +79,12 @@ type Config struct {
 	// TraceWaits records every rank's blocked intervals for
 	// Report.WaitSpans / Report.RenderTimeline.
 	TraceWaits bool
+
+	// TraceEvents, when > 0, enables structured event tracing with a
+	// per-rank ring of this capacity (see events.go). Events beyond the
+	// capacity are dropped and counted, never reallocated, so a traced
+	// run's memory is bounded up front.
+	TraceEvents int
 }
 
 // World holds the shared state of one runtime instance. A World is created
@@ -108,6 +114,12 @@ type procState struct {
 	now   float64
 	rs    *RankStats
 	trace *[]WaitSpan
+	// ev is the structured event ring, nil when tracing is off; the nil
+	// check is the entire cost of a disabled instrumentation point.
+	ev *eventRing
+	// collStart snapshots the clock at enterColl so exitColl can record
+	// the collective as one event spanning the whole synchronization.
+	collStart float64
 	// collScratch is the deposit slot for scalar collectives
 	// (AllreduceScalarInt64): reusing one heap cell per process keeps the
 	// per-round termination reduction in the matching drivers
@@ -157,18 +169,53 @@ type Report struct {
 	TotalVirtualTime float64
 	// Wall is the real elapsed time of the run.
 	Wall time.Duration
-	// Stats holds the per-rank statistics ledgers.
+	// Stats holds the per-rank statistics ledgers. Prefer the accessor
+	// methods (Totals, MsgMatrix, ByteMatrix, Events, Profile) in new
+	// code; the field remains exported for direct inspection.
 	Stats []*RankStats
 
-	waits [][]WaitSpan
+	waits  [][]WaitSpan
+	events []*eventRing
 }
 
-// Run launches cfg.Procs rank goroutines executing body and waits for all
-// of them. It returns a Report with traffic statistics and the modeled
-// virtual time. If any rank body returns an error or panics, Run returns
-// an error describing the first few failures (the Report is still valid
+// Totals aggregates all per-rank ledgers (Aggregate over Stats).
+func (r *Report) Totals() Totals { return Aggregate(r.Stats) }
+
+// MsgMatrix returns the per-pair message-count matrix (row = sender),
+// or nil if the run did not track matrices.
+func (r *Report) MsgMatrix() [][]int64 { return MsgMatrix(r.Stats) }
+
+// ByteMatrix returns the per-pair byte-volume matrix (row = sender),
+// or nil if the run did not track matrices.
+func (r *Report) ByteMatrix() [][]int64 { return ByteMatrix(r.Stats) }
+
+// Run launches procs rank goroutines executing body and waits for all
+// of them, with the run configured by functional options:
+//
+//	rep, err := mpi.Run(16, body,
+//	    mpi.WithCost(m), mpi.WithMatrices(), mpi.WithEventTrace(1<<16))
+//
+// It returns a Report with traffic statistics and the modeled virtual
+// time. If any rank body returns an error or panics, Run returns an
+// error describing the first few failures (the Report is still valid
 // for whatever completed).
-func Run(cfg Config, body func(c *Comm) error) (*Report, error) {
+func Run(procs int, body func(c *Comm) error, opts ...Option) (*Report, error) {
+	cfg := Config{Procs: procs}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return runConfig(cfg, body)
+}
+
+// RunConfig is Run taking a fully populated Config value.
+//
+// Deprecated: use Run with functional options; RunConfig remains as a
+// shim for code that builds Config structs programmatically.
+func RunConfig(cfg Config, body func(c *Comm) error) (*Report, error) {
+	return runConfig(cfg, body)
+}
+
+func runConfig(cfg Config, body func(c *Comm) error) (*Report, error) {
 	if cfg.Procs < 1 {
 		panic(fmt.Sprintf("mpi: Config.Procs must be >= 1, got %d", cfg.Procs))
 	}
@@ -201,10 +248,20 @@ func Run(cfg Config, body func(c *Comm) error) (*Report, error) {
 	if cfg.TraceWaits {
 		waits = make([][]WaitSpan, cfg.Procs)
 	}
+	var events []*eventRing
+	if cfg.TraceEvents > 0 {
+		events = make([]*eventRing, cfg.Procs)
+		for i := range events {
+			events[i] = newEventRing(cfg.TraceEvents)
+		}
+	}
 	for r := 0; r < cfg.Procs; r++ {
 		ps := &procState{rs: w.stats[r]}
 		if waits != nil {
 			ps.trace = &waits[r]
+		}
+		if events != nil {
+			ps.ev = events[r]
 		}
 		c := &Comm{w: w, wrank: r, rank: r, hub: w.hub, ps: ps}
 		comms[r] = c
@@ -247,7 +304,7 @@ func Run(cfg Config, body func(c *Comm) error) (*Report, error) {
 		w.stats[i].QueueHighWater = mb.highWater()
 		w.stats[i].UnreceivedMsgs = int64(mb.pendingUser())
 	}
-	rep := &Report{Procs: cfg.Procs, Wall: time.Since(start), Stats: w.stats, waits: waits}
+	rep := &Report{Procs: cfg.Procs, Wall: time.Since(start), Stats: w.stats, waits: waits, events: events}
 	for _, c := range comms {
 		rep.MaxVirtualTime = math.Max(rep.MaxVirtualTime, c.ps.now)
 		rep.TotalVirtualTime += c.ps.now
@@ -304,6 +361,23 @@ func (c *Comm) AdvanceTime(dt float64) {
 	c.ps.now += dt
 }
 
+// Pack charges the CPU cost of appending n records to an aggregation
+// buffer (n times CostModel.PackOverhead), booked as pack time in the
+// phase profile. Aggregating transports call it per queued record.
+func (c *Comm) Pack(n int) {
+	dt := float64(n) * c.w.cost.PackOverhead
+	c.ps.now += dt
+	c.ps.rs.PackTime += dt
+}
+
+// Unpack charges the CPU cost of parsing n records out of a received
+// coalesced buffer, booked as unpack time in the phase profile.
+func (c *Comm) Unpack(n int) {
+	dt := float64(n) * c.w.cost.PackOverhead
+	c.ps.now += dt
+	c.ps.rs.UnpackTime += dt
+}
+
 // AccountAlloc records bytes of application communication-buffer memory
 // against this rank (window memory, aggregation buffers). Use a negative
 // value to record a release. The high-water mark feeds the Table VIII
@@ -320,9 +394,12 @@ func (c *Comm) chargeComm(dt float64) {
 // communication (wait) time.
 func (c *Comm) waitUntil(t float64) {
 	if t > c.ps.now {
-		c.ps.rs.CommTime += t - c.ps.now
-		c.noteWait(c.ps.now, t)
+		from := c.ps.now
+		c.ps.rs.CommTime += t - from
+		c.ps.rs.WaitTime += t - from
+		c.noteWait(from, t)
 		c.ps.now = t
+		c.event(EvWait, -1, -1, 0, from)
 	}
 }
 

@@ -30,13 +30,17 @@ func (t *Topo) INeighborAlltoallvInt64(send [][]int64) *NbrRequest {
 	cost := c.w.cost
 	seq := t.seq
 	t.seq++
+	start := c.ps.now
 	c.ps.rs.NbrCollCount++
 	c.chargeComm(cost.AlphaNbrCall)
+	var sent int64
 	for i, nb := range t.neighbors {
 		bytes := int64(8 * len(send[i]))
+		sent += bytes
 		c.chargeComm(cost.AlphaNbr + cost.BetaNbr*float64(bytes))
 		c.internalSend(nb, t.itag(seq), send[i], cost.AlphaNbr, cost.BetaNbr, (*RankStats).noteNbrChunk)
 	}
+	c.event(EvNbrStart, -1, int(seq), sent, start)
 	return &NbrRequest{t: t, seq: seq}
 }
 
@@ -64,9 +68,13 @@ func (r *NbrRequest) WaitInto(recv [][]int64) [][]int64 {
 	} else if len(recv) != len(r.t.neighbors) {
 		panic(fmt.Sprintf("mpi: NbrRequest.WaitInto: len(recv)=%d, want degree %d", len(recv), len(r.t.neighbors)))
 	}
+	start := c.ps.now
+	var got int64
 	for i, nb := range r.t.neighbors {
 		recv[i] = c.internalRecvAppend(nb, r.t.itag(r.seq), recv[i])
+		got += int64(8 * len(recv[i]))
 	}
+	c.event(EvNbrWait, -1, int(r.seq), got, start)
 	return recv
 }
 
@@ -79,12 +87,14 @@ func (r *NbrRequest) Test() ([][]int64, bool) {
 		panic("mpi: NbrRequest.Test called after completion")
 	}
 	c := r.t.c
+	start := c.ps.now
 	c.chargeComm(c.w.cost.ProbeOverhead)
 	mb := c.mbox()
 	mb.mu.Lock()
 	for _, nb := range r.t.neighbors {
 		if mb.matchInternalLocked(nb, r.t.itag(r.seq), false) == nil {
 			mb.mu.Unlock()
+			c.event(EvProbe, -1, int(r.seq), 0, start)
 			return nil, false
 		}
 	}

@@ -1,0 +1,38 @@
+package mpi
+
+import "time"
+
+// Option configures a run. Options are applied in order to a zero
+// Config whose Procs is set by Run, so later options win. The
+// functional-options form is the primary run API; RunConfig remains for
+// code that already holds a Config value.
+type Option func(*Config)
+
+// WithCost selects the virtual-time cost model (nil keeps the default).
+func WithCost(m *CostModel) Option {
+	return func(cfg *Config) { cfg.Cost = m }
+}
+
+// WithMatrices enables per-pair message/byte matrices (O(P^2) memory).
+func WithMatrices() Option {
+	return func(cfg *Config) { cfg.TrackMatrices = true }
+}
+
+// WithDeadline arms the wall-clock deadlock watchdog (see
+// Config.Deadline). Zero disables it.
+func WithDeadline(d time.Duration) Option {
+	return func(cfg *Config) { cfg.Deadline = d }
+}
+
+// WithWaitTrace records blocked intervals for Report.WaitSpans and
+// Report.RenderTimeline.
+func WithWaitTrace() Option {
+	return func(cfg *Config) { cfg.TraceWaits = true }
+}
+
+// WithEventTrace enables structured event tracing with a per-rank ring
+// of the given capacity (see Config.TraceEvents); capacity <= 0 leaves
+// tracing off.
+func WithEventTrace(capacity int) Option {
+	return func(cfg *Config) { cfg.TraceEvents = capacity }
+}

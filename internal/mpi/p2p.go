@@ -46,6 +46,7 @@ func (c *Comm) send(dst, tag int, data []int64, sync bool) {
 	if tag < 0 {
 		panic(fmt.Sprintf("mpi: send with negative tag %d (tags < 0 are reserved)", tag))
 	}
+	start := c.ps.now
 	m := newMessage(c.rank, tag, 0, c.ctx, data)
 	cost := c.w.cost
 	c.chargeComm(cost.SendOverhead)
@@ -55,6 +56,7 @@ func (c *Comm) send(dst, tag int, data []int64, sync bool) {
 	}
 	m.arrive = c.ps.now + cost.AlphaP2P + cost.BetaP2P*float64(m.bytes)
 	c.ps.rs.noteSend(c.worldRank(dst), m.bytes)
+	c.event(EvSend, c.worldRank(dst), tag, m.bytes, start)
 	c.w.mailboxes[c.worldRank(dst)].push(m)
 }
 
@@ -85,6 +87,15 @@ func (c *Comm) recvMsg(src, tag int, what string) *message {
 	return m
 }
 
+// recvEvent records the EvRecv for a message just completed by recvMsg,
+// before the caller releases it. m.src is a rank of this communicator
+// (sends stamp the sender's comm rank).
+func (c *Comm) recvEvent(m *message, start float64) {
+	if c.ps.ev != nil {
+		c.event(EvRecv, c.worldRank(m.src), m.tag, m.bytes, start)
+	}
+}
+
 // Recv blocks until a message matching (src, tag) is available and returns
 // its payload. src may be AnySource and tag may be AnyTag. The receiver's
 // clock advances to at least the message's arrival time.
@@ -94,7 +105,9 @@ func (c *Comm) recvMsg(src, tag int, what string) *message {
 // storage. Hot paths that cannot afford the allocation should use
 // RecvInto instead.
 func (c *Comm) Recv(src, tag int) ([]int64, Status) {
+	start := c.ps.now
 	m := c.recvMsg(src, tag, "recv")
+	c.recvEvent(m, start)
 	out := append([]int64(nil), m.data...)
 	st := Status{Source: m.src, Tag: m.tag, Count: len(out)}
 	m.release()
@@ -110,7 +123,9 @@ func (c *Comm) Recv(src, tag int) ([]int64, Status) {
 // MPI_ERRORS_ARE_FATAL), RecvInto panics if buf cannot hold the matched
 // message; probe first when sizes are unknown.
 func (c *Comm) RecvInto(src, tag int, buf []int64) (int, Status) {
+	start := c.ps.now
 	m := c.recvMsg(src, tag, "recv")
+	c.recvEvent(m, start)
 	if len(m.data) > len(buf) {
 		defer m.release()
 		panic(fmt.Sprintf("mpi: RecvInto: message of %d words truncated by %d-word buffer", len(m.data), len(buf)))
@@ -128,6 +143,7 @@ func (c *Comm) Iprobe(src, tag int) (bool, Status) {
 	if src != AnySource {
 		c.checkRank(src, "iprobe")
 	}
+	start := c.ps.now
 	c.chargeComm(c.w.cost.ProbeOverhead)
 	c.ps.rs.ProbeCount++
 	mb := c.mbox()
@@ -135,9 +151,13 @@ func (c *Comm) Iprobe(src, tag int) (bool, Status) {
 	m := mb.matchUserLocked(src, tag, c.ctx, false)
 	mb.mu.Unlock()
 	if m == nil {
+		c.event(EvProbe, -1, tag, 0, start)
 		return false, Status{}
 	}
 	c.ps.rs.ProbeHits++
+	if c.ps.ev != nil {
+		c.event(EvProbe, c.worldRank(m.src), m.tag, m.bytes, start)
+	}
 	return true, Status{Source: m.src, Tag: m.tag, Count: len(m.data)}
 }
 
@@ -147,6 +167,7 @@ func (c *Comm) Probe(src, tag int) Status {
 	if src != AnySource {
 		c.checkRank(src, "probe")
 	}
+	start := c.ps.now
 	c.chargeComm(c.w.cost.ProbeOverhead)
 	c.ps.rs.ProbeCount++
 	mb := c.mbox()
@@ -166,6 +187,9 @@ func (c *Comm) Probe(src, tag int) Status {
 	mb.mu.Unlock()
 	c.ps.rs.ProbeHits++
 	c.waitUntil(m.arrive)
+	if c.ps.ev != nil {
+		c.event(EvProbe, c.worldRank(m.src), m.tag, m.bytes, start)
+	}
 	return Status{Source: m.src, Tag: m.tag, Count: len(m.data)}
 }
 

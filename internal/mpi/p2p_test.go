@@ -5,12 +5,20 @@ import (
 	"time"
 )
 
-func testCfg(p int) Config {
-	return Config{Procs: p, TrackMatrices: true, Deadline: 30 * time.Second}
+// runChecked and testRun run body under the standard test options:
+// matrices tracked, 30-second deadlock watchdog. runChecked adds the
+// post-run hygiene checks; testRun is for bodies that end with traffic
+// intentionally in flight or expect failure.
+func runChecked(p int, body func(c *Comm) error) (*Report, error) {
+	return RunChecked(p, body, WithMatrices(), WithDeadline(30*time.Second))
+}
+
+func testRun(p int, body func(c *Comm) error) (*Report, error) {
+	return Run(p, body, WithMatrices(), WithDeadline(30*time.Second))
 }
 
 func TestSendRecvBasic(t *testing.T) {
-	rep, err := RunChecked(testCfg(2), func(c *Comm) error {
+	rep, err := runChecked(2, func(c *Comm) error {
 		if c.Rank() == 0 {
 			c.Isend(1, 7, []int64{1, 2, 3})
 		} else {
@@ -39,7 +47,7 @@ func TestSendRecvBasic(t *testing.T) {
 }
 
 func TestSendBufferReusable(t *testing.T) {
-	_, err := RunChecked(testCfg(2), func(c *Comm) error {
+	_, err := runChecked(2, func(c *Comm) error {
 		if c.Rank() == 0 {
 			buf := []int64{42}
 			c.Isend(1, 0, buf)
@@ -58,7 +66,7 @@ func TestSendBufferReusable(t *testing.T) {
 }
 
 func TestRecvAnySourceAnyTag(t *testing.T) {
-	_, err := RunChecked(testCfg(4), func(c *Comm) error {
+	_, err := runChecked(4, func(c *Comm) error {
 		if c.Rank() != 0 {
 			c.Isend(0, 10+c.Rank(), []int64{int64(c.Rank())})
 			return nil
@@ -87,7 +95,7 @@ func TestRecvAnySourceAnyTag(t *testing.T) {
 func TestNonOvertakingOrder(t *testing.T) {
 	// Messages from one sender with one tag must arrive in send order.
 	const k = 50
-	_, err := RunChecked(testCfg(2), func(c *Comm) error {
+	_, err := runChecked(2, func(c *Comm) error {
 		if c.Rank() == 0 {
 			for i := int64(0); i < k; i++ {
 				c.Isend(1, 3, []int64{i})
@@ -109,7 +117,7 @@ func TestNonOvertakingOrder(t *testing.T) {
 }
 
 func TestTagSelectivity(t *testing.T) {
-	_, err := RunChecked(testCfg(2), func(c *Comm) error {
+	_, err := runChecked(2, func(c *Comm) error {
 		if c.Rank() == 0 {
 			c.Isend(1, 1, []int64{1})
 			c.Isend(1, 2, []int64{2})
@@ -129,7 +137,7 @@ func TestTagSelectivity(t *testing.T) {
 }
 
 func TestIprobe(t *testing.T) {
-	_, err := RunChecked(testCfg(2), func(c *Comm) error {
+	_, err := runChecked(2, func(c *Comm) error {
 		if c.Rank() == 0 {
 			c.Isend(1, 5, []int64{11, 22})
 			return nil
@@ -162,7 +170,7 @@ func TestIprobe(t *testing.T) {
 func TestSsendCharges(t *testing.T) {
 	var tSync, tEager float64
 	for _, sync := range []bool{false, true} {
-		rep, err := RunChecked(testCfg(2), func(c *Comm) error {
+		rep, err := runChecked(2, func(c *Comm) error {
 			if c.Rank() == 0 {
 				for i := 0; i < 10; i++ {
 					if sync {
@@ -198,7 +206,7 @@ func TestSsendCharges(t *testing.T) {
 func TestVirtualTimeCausality(t *testing.T) {
 	// A receiver that posts Recv "early" must still observe an arrival
 	// time no earlier than the sender's send time plus latency.
-	rep, err := RunChecked(testCfg(2), func(c *Comm) error {
+	rep, err := runChecked(2, func(c *Comm) error {
 		if c.Rank() == 0 {
 			c.Compute(1e6) // sender is busy for a long virtual while
 			c.Isend(1, 0, []int64{1})
@@ -222,7 +230,7 @@ func TestVirtualTimeCausality(t *testing.T) {
 }
 
 func TestMessageMatrix(t *testing.T) {
-	rep, err := RunChecked(testCfg(3), func(c *Comm) error {
+	rep, err := runChecked(3, func(c *Comm) error {
 		next := (c.Rank() + 1) % 3
 		c.Isend(next, 0, []int64{0, 0}) // 16 bytes
 		c.Recv((c.Rank()+2)%3, 0)
@@ -247,7 +255,7 @@ func TestMessageMatrix(t *testing.T) {
 }
 
 func TestQueueHighWater(t *testing.T) {
-	rep, err := RunChecked(testCfg(2), func(c *Comm) error {
+	rep, err := runChecked(2, func(c *Comm) error {
 		if c.Rank() == 0 {
 			for i := 0; i < 4; i++ {
 				c.Isend(1, 0, []int64{1, 2, 3, 4}) // 32 bytes each
@@ -273,7 +281,7 @@ func TestQueueHighWater(t *testing.T) {
 }
 
 func TestRankFailurePropagates(t *testing.T) {
-	_, err := RunChecked(testCfg(2), func(c *Comm) error {
+	_, err := runChecked(2, func(c *Comm) error {
 		if c.Rank() == 0 {
 			panic("deliberate test failure")
 		}
@@ -286,7 +294,7 @@ func TestRankFailurePropagates(t *testing.T) {
 }
 
 func TestSelfSend(t *testing.T) {
-	_, err := RunChecked(testCfg(1), func(c *Comm) error {
+	_, err := runChecked(1, func(c *Comm) error {
 		c.Isend(0, 9, []int64{5})
 		data, st := c.Recv(0, 9)
 		if data[0] != 5 || st.Source != 0 {
@@ -300,7 +308,7 @@ func TestSelfSend(t *testing.T) {
 }
 
 func TestPendingMessagesDiagnostic(t *testing.T) {
-	_, err := RunChecked(testCfg(2), func(c *Comm) error {
+	_, err := runChecked(2, func(c *Comm) error {
 		if c.Rank() == 0 {
 			c.Isend(1, 0, []int64{1})
 		}
@@ -327,10 +335,10 @@ func TestDeadlineWatchdogFires(t *testing.T) {
 			t.Fatal("expected the watchdog to panic on a deadlocked run")
 		}
 	}()
-	Run(Config{Procs: 2, Deadline: 200 * time.Millisecond}, func(c *Comm) error {
+	Run(2, func(c *Comm) error {
 		if c.Rank() == 0 {
 			c.Recv(1, 0) // never sent: deadlock
 		}
 		return nil
-	})
+	}, WithDeadline(200*time.Millisecond))
 }

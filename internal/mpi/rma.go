@@ -130,10 +130,12 @@ func (v *winView) Put(target, disp int, data []int64) {
 	copy(win.bufs[target][disp:], data)
 	win.locks[target].Unlock()
 	bytes := int64(8 * len(data))
+	start := c.ps.now
 	c.chargeComm(c.w.cost.AlphaPut)
 	v.pending += bytes
 	v.pendingTargets[target] = struct{}{}
 	c.ps.rs.notePut(c.worldRank(target), bytes)
+	c.event(EvPut, c.worldRank(target), -1, bytes, start)
 }
 
 // Get copies count words from target's window starting at disp. Unlike
@@ -152,9 +154,11 @@ func (v *winView) Get(target, disp, count int) []int64 {
 	copy(out, win.bufs[target][disp:disp+count])
 	win.locks[target].Unlock()
 	bytes := int64(8 * count)
+	start := c.ps.now
 	c.chargeComm(c.w.cost.AlphaGet + c.w.cost.AlphaP2P + c.w.cost.BetaGet*float64(bytes))
 	c.ps.rs.GetCount++
 	c.ps.rs.GetBytes += bytes
+	c.event(EvGet, c.worldRank(target), -1, bytes, start)
 	return out
 }
 
@@ -174,11 +178,13 @@ func (v *winView) Accumulate(target, disp int, data []int64) {
 	}
 	win.locks[target].Unlock()
 	bytes := int64(8 * len(data))
+	start := c.ps.now
 	c.chargeComm(c.w.cost.AlphaPut)
 	v.pending += bytes
 	v.pendingTargets[target] = struct{}{}
 	c.ps.rs.AtomicCount++
 	c.ps.rs.notePut(c.worldRank(target), bytes)
+	c.event(EvAtomic, c.worldRank(target), -1, bytes, start)
 }
 
 // FetchAndAdd atomically adds delta to the single word at target:disp and
@@ -196,8 +202,10 @@ func (v *winView) FetchAndAdd(target, disp int, delta int64) int64 {
 	old := win.bufs[target][disp]
 	win.bufs[target][disp] = old + delta
 	win.locks[target].Unlock()
+	start := c.ps.now
 	c.chargeComm(c.w.cost.AtomicRTT)
 	c.ps.rs.AtomicCount++
+	c.event(EvAtomic, c.worldRank(target), -1, 8, start)
 	return old
 }
 
@@ -216,8 +224,10 @@ func (v *winView) CompareAndSwap(target, disp int, expect, swap int64) int64 {
 		win.bufs[target][disp] = swap
 	}
 	win.locks[target].Unlock()
+	start := c.ps.now
 	c.chargeComm(c.w.cost.AtomicRTT)
 	c.ps.rs.AtomicCount++
+	c.event(EvAtomic, c.worldRank(target), -1, 8, start)
 	return old
 }
 
@@ -226,12 +236,15 @@ func (v *winView) CompareAndSwap(target, disp int, expect, swap int64) int64 {
 // per-active-target completion round trip.
 func (v *winView) FlushAll() {
 	c := v.c
+	start := c.ps.now
+	drained, targets := v.pending, len(v.pendingTargets)
 	c.chargeComm(c.w.cost.AlphaFlush +
-		c.w.cost.FlushPerTarget*float64(len(v.pendingTargets)) +
-		c.w.cost.BetaPut*float64(v.pending))
+		c.w.cost.FlushPerTarget*float64(targets) +
+		c.w.cost.BetaPut*float64(drained))
 	v.pending = 0
 	clear(v.pendingTargets)
 	c.ps.rs.FlushCount++
+	c.event(EvFlush, -1, targets, drained, start)
 }
 
 // Flush completes outstanding operations to one target. The runtime does

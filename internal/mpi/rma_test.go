@@ -6,7 +6,7 @@ import (
 )
 
 func TestPutGetBasic(t *testing.T) {
-	_, err := RunChecked(testCfg(2), func(c *Comm) error {
+	_, err := runChecked(2, func(c *Comm) error {
 		win := c.WinCreate(8)
 		win.LockAll()
 		if c.Rank() == 0 {
@@ -43,7 +43,7 @@ func TestPutVisibilityAcrossCountExchange(t *testing.T) {
 	// The paper's RMA pattern: puts, flush, then a neighborhood count
 	// exchange tells each target how many words landed.
 	const p = 4
-	_, err := RunChecked(testCfg(p), func(c *Comm) error {
+	_, err := runChecked(p, func(c *Comm) error {
 		topo := c.CreateGraphTopo(ringNeighbors(c.Rank(), p))
 		deg := topo.Degree()
 		const slot = 4 // words reserved per neighbor
@@ -98,7 +98,7 @@ func TestPutVisibilityAcrossCountExchange(t *testing.T) {
 
 func TestAccumulateAndFetchAndAdd(t *testing.T) {
 	const p = 4
-	rep, err := RunChecked(testCfg(p), func(c *Comm) error {
+	rep, err := runChecked(p, func(c *Comm) error {
 		win := c.WinCreate(2)
 		win.LockAll()
 		// Everyone accumulates into rank 0's first word.
@@ -139,7 +139,7 @@ func TestAccumulateAndFetchAndAdd(t *testing.T) {
 }
 
 func TestCompareAndSwap(t *testing.T) {
-	_, err := RunChecked(testCfg(2), func(c *Comm) error {
+	_, err := runChecked(2, func(c *Comm) error {
 		win := c.WinCreate(1)
 		if c.Rank() == 0 {
 			if old := win.CompareAndSwap(0, 0, 0, 42); old != 0 {
@@ -161,7 +161,7 @@ func TestCompareAndSwap(t *testing.T) {
 }
 
 func TestPutBoundsPanics(t *testing.T) {
-	_, err := RunChecked(testCfg(2), func(c *Comm) error {
+	_, err := runChecked(2, func(c *Comm) error {
 		win := c.WinCreate(4)
 		if c.Rank() == 0 {
 			win.Put(1, 3, []int64{1, 2}) // overruns the 4-word window
@@ -175,7 +175,7 @@ func TestPutBoundsPanics(t *testing.T) {
 }
 
 func TestWindowMemoryAccounted(t *testing.T) {
-	rep, err := RunChecked(testCfg(2), func(c *Comm) error {
+	rep, err := runChecked(2, func(c *Comm) error {
 		win := c.WinCreate(1000)
 		win.Free()
 		return nil
@@ -196,7 +196,7 @@ func TestWindowMemoryAccounted(t *testing.T) {
 func TestFlushDrainsPendingTime(t *testing.T) {
 	// Flushing after large puts must cost more than flushing after none.
 	run := func(words int) float64 {
-		rep, err := RunChecked(testCfg(2), func(c *Comm) error {
+		rep, err := runChecked(2, func(c *Comm) error {
 			win := c.WinCreate(words + 1)
 			if c.Rank() == 0 {
 				if words > 0 {
@@ -219,7 +219,7 @@ func TestFlushDrainsPendingTime(t *testing.T) {
 }
 
 func TestDifferentWindowSizesPerRank(t *testing.T) {
-	_, err := RunChecked(testCfg(3), func(c *Comm) error {
+	_, err := runChecked(3, func(c *Comm) error {
 		win := c.WinCreate((c.Rank() + 1) * 2)
 		for r := 0; r < 3; r++ {
 			if got, want := win.TargetSize(r), (r+1)*2; got != want {
@@ -242,7 +242,7 @@ func TestRMAQuickPutGetIdentity(t *testing.T) {
 			vals = vals[:256]
 		}
 		ok := true
-		_, err := RunChecked(testCfg(2), func(c *Comm) error {
+		_, err := runChecked(2, func(c *Comm) error {
 			win := c.WinCreate(len(vals) + 1)
 			if c.Rank() == 0 {
 				win.Put(1, 0, vals)

@@ -6,7 +6,7 @@ import (
 
 func TestSplitBasic(t *testing.T) {
 	const p = 6
-	_, err := RunChecked(testCfg(p), func(c *Comm) error {
+	_, err := runChecked(p, func(c *Comm) error {
 		sub := c.Split(c.Rank()%2, c.Rank())
 		if sub == nil {
 			t.Error("nil subcomm for nonnegative color")
@@ -41,7 +41,7 @@ func TestSplitBasic(t *testing.T) {
 
 func TestSplitKeyReordersRanks(t *testing.T) {
 	const p = 4
-	_, err := RunChecked(testCfg(p), func(c *Comm) error {
+	_, err := runChecked(p, func(c *Comm) error {
 		// One group, keys in reverse order: sub rank = p-1-world rank.
 		sub := c.Split(0, -c.Rank())
 		if want := p - 1 - c.Rank(); sub.Rank() != want {
@@ -56,7 +56,7 @@ func TestSplitKeyReordersRanks(t *testing.T) {
 
 func TestSplitUndefinedColor(t *testing.T) {
 	const p = 4
-	_, err := RunChecked(testCfg(p), func(c *Comm) error {
+	_, err := runChecked(p, func(c *Comm) error {
 		var color int
 		if c.Rank() == 3 {
 			color = -1 // opts out, like MPI_UNDEFINED
@@ -83,7 +83,7 @@ func TestSplitIsolatesP2PTraffic(t *testing.T) {
 	// Same (src-within-comm, tag) coordinates on two communicators must
 	// not cross: message context isolation.
 	const p = 4
-	_, err := RunChecked(testCfg(p), func(c *Comm) error {
+	_, err := runChecked(p, func(c *Comm) error {
 		sub := c.Split(c.Rank()%2, c.Rank()) // evens: {0,2}, odds: {1,3}
 		// World traffic: rank 0 -> rank 1, tag 5.
 		if c.Rank() == 0 {
@@ -121,7 +121,7 @@ func TestSplitConcurrentGroupWork(t *testing.T) {
 	// Two halves independently run topology + neighborhood collectives;
 	// a world barrier at the end checks nothing deadlocked or crossed.
 	const p = 6
-	_, err := RunChecked(testCfg(p), func(c *Comm) error {
+	_, err := runChecked(p, func(c *Comm) error {
 		sub := c.Split(c.Rank()/3, c.Rank()) // {0,1,2} and {3,4,5}
 		topo := sub.CreateGraphTopo(ringNeighbors(sub.Rank(), sub.Size()))
 		got := topo.NeighborAllgatherInt64([]int64{int64(c.Rank())})
@@ -151,7 +151,7 @@ func TestSplitConcurrentGroupWork(t *testing.T) {
 
 func TestSplitOfSplit(t *testing.T) {
 	const p = 8
-	_, err := RunChecked(testCfg(p), func(c *Comm) error {
+	_, err := runChecked(p, func(c *Comm) error {
 		half := c.Split(c.Rank()/4, c.Rank())   // {0..3}, {4..7}
 		quarter := half.Split(half.Rank()/2, 0) // pairs
 		if quarter.Size() != 2 {
@@ -173,7 +173,7 @@ func TestSplitOfSplit(t *testing.T) {
 func TestSplitSharedClock(t *testing.T) {
 	// The subcomm shares the process clock: work on the subcomm advances
 	// the world communicator's view of time.
-	_, err := RunChecked(testCfg(2), func(c *Comm) error {
+	_, err := runChecked(2, func(c *Comm) error {
 		sub := c.Split(0, 0)
 		before := c.Now()
 		sub.Barrier()

@@ -32,6 +32,15 @@ type RankStats struct {
 	// Virtual-time breakdown (seconds).
 	CommTime float64 // time in communication calls, including waits
 	CompTime float64 // time charged via Compute
+	// WaitTime is the portion of CommTime spent blocked for remote
+	// progress (clock jumps in waitUntil); CommTime - WaitTime is active
+	// call overhead. PackTime/UnpackTime are the CPU costs of filling
+	// and parsing aggregation buffers (Comm.Pack / Comm.Unpack), booked
+	// outside CommTime. Together these drive Report.Profile, the
+	// Table VIII style compute/pack/exchange/unpack/wait breakdown.
+	WaitTime   float64
+	PackTime   float64
+	UnpackTime float64
 
 	// Memory accounting (bytes).
 	AllocCurrent   int64 // live application comm-buffer bytes

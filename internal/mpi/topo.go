@@ -120,11 +120,14 @@ func (t *Topo) NeighborAlltoallInt64Into(send []int64, chunk int, recv []int64) 
 	cost := c.w.cost
 	seq := t.seq
 	t.seq++
+	start := c.ps.now
 	c.ps.rs.NbrCollCount++
 	c.chargeComm(cost.AlphaNbrCall)
+	var moved int64
 	for i, nb := range t.neighbors {
 		part := send[i*chunk : (i+1)*chunk]
 		bytes := int64(8 * len(part))
+		moved += bytes
 		c.chargeComm(cost.AlphaNbr + cost.BetaNbr*float64(bytes))
 		c.internalSend(nb, t.itag(seq), part, cost.AlphaNbr, cost.BetaNbr, (*RankStats).noteNbrChunk)
 	}
@@ -136,6 +139,7 @@ func (t *Topo) NeighborAlltoallInt64Into(send []int64, chunk int, recv []int64) 
 		copy(recv[i*chunk:(i+1)*chunk], m.data)
 		m.release()
 	}
+	c.event(EvNbrColl, -1, int(seq), moved, start)
 	return recv
 }
 
@@ -167,16 +171,20 @@ func (t *Topo) NeighborAlltoallvInt64Into(send, recv [][]int64) [][]int64 {
 	cost := c.w.cost
 	seq := t.seq
 	t.seq++
+	start := c.ps.now
 	c.ps.rs.NbrCollCount++
 	c.chargeComm(cost.AlphaNbrCall)
+	var moved int64
 	for i, nb := range t.neighbors {
 		bytes := int64(8 * len(send[i]))
+		moved += bytes
 		c.chargeComm(cost.AlphaNbr + cost.BetaNbr*float64(bytes))
 		c.internalSend(nb, t.itag(seq), send[i], cost.AlphaNbr, cost.BetaNbr, (*RankStats).noteNbrChunk)
 	}
 	for i, nb := range t.neighbors {
 		recv[i] = c.internalRecvAppend(nb, t.itag(seq), recv[i])
 	}
+	c.event(EvNbrColl, -1, int(seq), moved, start)
 	return recv
 }
 

@@ -18,7 +18,7 @@ func ringNeighbors(r, p int) []int {
 
 func TestNeighborAlltoallRing(t *testing.T) {
 	const p = 5
-	_, err := RunChecked(testCfg(p), func(c *Comm) error {
+	_, err := runChecked(p, func(c *Comm) error {
 		topo := c.CreateGraphTopo(ringNeighbors(c.Rank(), p))
 		nbrs := topo.Neighbors()
 		send := make([]int64, len(nbrs))
@@ -42,7 +42,7 @@ func TestNeighborAlltoallRing(t *testing.T) {
 func TestNeighborAlltoallvVariableSizes(t *testing.T) {
 	const p = 4
 	// Star topology: rank 0 in the middle.
-	_, err := RunChecked(testCfg(p), func(c *Comm) error {
+	_, err := runChecked(p, func(c *Comm) error {
 		var nbrs []int
 		if c.Rank() == 0 {
 			nbrs = []int{1, 2, 3}
@@ -79,7 +79,7 @@ func TestNeighborAlltoallvVariableSizes(t *testing.T) {
 
 func TestNeighborAllgather(t *testing.T) {
 	const p = 4
-	_, err := RunChecked(testCfg(p), func(c *Comm) error {
+	_, err := runChecked(p, func(c *Comm) error {
 		topo := c.CreateGraphTopo(ringNeighbors(c.Rank(), p))
 		got := topo.NeighborAllgatherInt64([]int64{int64(c.Rank()), int64(c.Rank())})
 		for i, nb := range topo.Neighbors() {
@@ -98,7 +98,7 @@ func TestEmptyNeighborhoodIsNonBlocking(t *testing.T) {
 	// Ranks 2,3 have no neighbors; they must not be required for 0<->1
 	// neighborhood collectives (unlike global collectives).
 	const p = 4
-	_, err := RunChecked(testCfg(p), func(c *Comm) error {
+	_, err := runChecked(p, func(c *Comm) error {
 		var nbrs []int
 		switch c.Rank() {
 		case 0:
@@ -122,7 +122,7 @@ func TestEmptyNeighborhoodIsNonBlocking(t *testing.T) {
 }
 
 func TestAsymmetricTopologyPanics(t *testing.T) {
-	_, err := RunChecked(testCfg(2), func(c *Comm) error {
+	_, err := runChecked(2, func(c *Comm) error {
 		var nbrs []int
 		if c.Rank() == 0 {
 			nbrs = []int{1} // rank 1 does not reciprocate
@@ -137,7 +137,7 @@ func TestAsymmetricTopologyPanics(t *testing.T) {
 
 func TestMultipleTopologiesAreIndependent(t *testing.T) {
 	const p = 3
-	_, err := RunChecked(testCfg(p), func(c *Comm) error {
+	_, err := runChecked(p, func(c *Comm) error {
 		ring := c.CreateGraphTopo(ringNeighbors(c.Rank(), p))
 		full := c.CreateGraphTopo(func() []int {
 			var out []int
@@ -170,7 +170,7 @@ func TestMultipleTopologiesAreIndependent(t *testing.T) {
 
 func TestGatherTopoStats(t *testing.T) {
 	const p = 4
-	_, err := RunChecked(testCfg(p), func(c *Comm) error {
+	_, err := runChecked(p, func(c *Comm) error {
 		// Star: center degree 3, leaves degree 1 -> |Ep| = 3.
 		var nbrs []int
 		if c.Rank() == 0 {
@@ -206,7 +206,7 @@ func TestNeighborCollectiveChargesDegree(t *testing.T) {
 	// dense process graphs (Tables III/IV).
 	round := func(full bool) float64 {
 		const p = 8
-		rep, err := RunChecked(testCfg(p), func(c *Comm) error {
+		rep, err := runChecked(p, func(c *Comm) error {
 			var nbrs []int
 			if full {
 				for r := 0; r < p; r++ {
@@ -236,7 +236,7 @@ func TestNeighborCollectiveChargesDegree(t *testing.T) {
 
 func TestINeighborAlltoallvOverlap(t *testing.T) {
 	const p = 4
-	_, err := RunChecked(testCfg(p), func(c *Comm) error {
+	_, err := runChecked(p, func(c *Comm) error {
 		topo := c.CreateGraphTopo(ringNeighbors(c.Rank(), p))
 		send := make([][]int64, topo.Degree())
 		for i, nb := range topo.Neighbors() {
@@ -259,7 +259,7 @@ func TestINeighborAlltoallvOverlap(t *testing.T) {
 
 func TestNbrRequestTest(t *testing.T) {
 	const p = 2
-	_, err := RunChecked(testCfg(p), func(c *Comm) error {
+	_, err := runChecked(p, func(c *Comm) error {
 		topo := c.CreateGraphTopo(ringNeighbors(c.Rank(), p))
 		req := topo.INeighborAlltoallvInt64([][]int64{{int64(c.Rank())}})
 		// Poll until complete; must terminate since the peer also sends.
@@ -278,7 +278,7 @@ func TestNbrRequestTest(t *testing.T) {
 }
 
 func TestNbrRequestDoubleWaitPanics(t *testing.T) {
-	_, err := RunChecked(testCfg(2), func(c *Comm) error {
+	_, err := runChecked(2, func(c *Comm) error {
 		topo := c.CreateGraphTopo(ringNeighbors(c.Rank(), 2))
 		req := topo.INeighborAlltoallvInt64([][]int64{{1}})
 		req.Wait()
@@ -296,7 +296,7 @@ func TestOverlapSavesVirtualTime(t *testing.T) {
 	// sequence (exchange then compute).
 	const p, work = 2, 400
 	run := func(nonblocking bool) float64 {
-		rep, err := RunChecked(testCfg(p), func(c *Comm) error {
+		rep, err := runChecked(p, func(c *Comm) error {
 			topo := c.CreateGraphTopo(ringNeighbors(c.Rank(), p))
 			send := [][]int64{make([]int64, 4096)}
 			for k := 0; k < 20; k++ {

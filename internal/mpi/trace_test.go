@@ -7,7 +7,7 @@ import (
 )
 
 func TestWaitSpansRecorded(t *testing.T) {
-	rep, err := Run(Config{Procs: 2, TraceWaits: true, Deadline: 30 * time.Second}, func(c *Comm) error {
+	rep, err := Run(2, func(c *Comm) error {
 		if c.Rank() == 0 {
 			c.Compute(100000) // keep rank 1 waiting
 			c.Isend(1, 0, []int64{1})
@@ -15,7 +15,7 @@ func TestWaitSpansRecorded(t *testing.T) {
 			c.Recv(0, 0)
 		}
 		return nil
-	})
+	}, WithWaitTrace(), WithDeadline(30*time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +32,7 @@ func TestWaitSpansRecorded(t *testing.T) {
 }
 
 func TestRenderTimeline(t *testing.T) {
-	rep, err := Run(Config{Procs: 2, TraceWaits: true, Deadline: 30 * time.Second}, func(c *Comm) error {
+	rep, err := Run(2, func(c *Comm) error {
 		if c.Rank() == 0 {
 			c.Compute(100000)
 			c.Isend(1, 0, []int64{1})
@@ -40,7 +40,7 @@ func TestRenderTimeline(t *testing.T) {
 			c.Recv(0, 0)
 		}
 		return nil
-	})
+	}, WithWaitTrace(), WithDeadline(30*time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestRenderTimeline(t *testing.T) {
 }
 
 func TestTimelineDisabledWithoutTrace(t *testing.T) {
-	rep, err := Run(Config{Procs: 1}, func(c *Comm) error { c.Compute(10); return nil })
+	rep, err := Run(1, func(c *Comm) error { c.Compute(10); return nil })
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,90 @@
+package transport
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Model identifies a communication model from the paper's study (§V-A)
+// plus the two extensions, one per transport backend in this package.
+// It lives here — with the backends it selects — so that every consumer
+// (matching, coloring, the harness, command-line flags) shares one
+// vocabulary instead of per-package ints.
+type Model int
+
+// The constants carry a Model prefix because the short names (NCL,
+// RMA, NCLI) are taken by the backend types in this package; the
+// application packages re-export them under the paper's bare
+// descriptors (matching.NSR, ...).
+const (
+	// ModelNSR is the baseline: nonblocking MPI Send-Recv with Iprobe
+	// polling.
+	ModelNSR Model = iota
+	// ModelRMA uses MPI-3 passive-target one-sided puts with
+	// precomputed displacements plus neighborhood count exchanges.
+	ModelRMA
+	// ModelNCL uses blocking MPI-3 neighborhood collectives over the
+	// distributed graph topology with per-neighbor aggregation.
+	ModelNCL
+	// ModelMBP models MatchBox-P: Send-Recv with synchronous-mode sends.
+	ModelMBP
+	// ModelNCLI extends the study with nonblocking neighborhood
+	// collectives (pipelined rounds with double buffering) — the
+	// direction the paper's related work (Kandalla et al.) explores for
+	// BFS.
+	ModelNCLI
+	// ModelNSRA extends the study with sender-side message aggregation
+	// for Send-Recv — the optimization the paper calls "challenging"
+	// for irregular applications (§V-D).
+	ModelNSRA
+)
+
+// Models lists all communication models in presentation order.
+var Models = []Model{ModelNSR, ModelRMA, ModelNCL, ModelMBP, ModelNCLI, ModelNSRA}
+
+func (m Model) String() string {
+	switch m {
+	case ModelNSR:
+		return "NSR"
+	case ModelRMA:
+		return "RMA"
+	case ModelNCL:
+		return "NCL"
+	case ModelMBP:
+		return "MBP"
+	case ModelNCLI:
+		return "NCLI"
+	case ModelNSRA:
+		return "NSRA"
+	}
+	return fmt.Sprintf("Model(%d)", int(m))
+}
+
+// ParseModel resolves a case-insensitive model name ("nsr", "RMA", ...)
+// to its Model, for command-line flags and config files.
+func ParseModel(s string) (Model, error) {
+	for _, m := range Models {
+		if strings.EqualFold(s, m.String()) {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("transport: unknown model %q (want one of %v)", s, Models)
+}
+
+// ParseModels resolves a comma-separated list of model names, skipping
+// empty elements ("nsr,rma,ncl" -> [NSR RMA NCL]).
+func ParseModels(s string) ([]Model, error) {
+	var out []Model
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		m, err := ParseModel(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

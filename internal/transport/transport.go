@@ -156,7 +156,7 @@ func (t *NCL) Send(dst int, ctx, x, y int64) {
 	if len(t.out[i])+recordWords > cap(t.out[i]) {
 		panic(fmt.Sprintf("transport: NCL buffer overflow to rank %d (per-edge message bound violated)", dst))
 	}
-	t.c.AdvanceTime(t.c.Cost().PackOverhead)
+	t.c.Pack(1)
 	t.out[i] = append(t.out[i], ctx, x, y)
 }
 
@@ -191,7 +191,7 @@ func (t *NCL) Exchange(h Handler) int {
 			panic(fmt.Sprintf("transport: NCL count exchange disagrees with payload: %d vs %d", incoming[i], len(data[i])))
 		}
 		for k := 0; k+recordWords <= len(data[i]); k += recordWords {
-			t.c.AdvanceTime(t.c.Cost().PackOverhead)
+			t.c.Unpack(1)
 			h(data[i][k], data[i][k+1], data[i][k+2])
 			n++
 		}
@@ -284,7 +284,7 @@ func (t *RMA) Exchange(h Handler) int {
 	for i := range incoming {
 		for k := int64(0); k < incoming[i]; k++ {
 			base := t.regionStart[i] + (t.readCursor[i]+k)*recordWords
-			t.c.AdvanceTime(t.c.Cost().PackOverhead)
+			t.c.Unpack(1)
 			h(local[base], local[base+1], local[base+2])
 			n++
 		}
@@ -342,7 +342,7 @@ func (t *NCLI) Send(dst int, ctx, x, y int64) {
 	if len(t.out[i])+recordWords > cap(t.out[i]) {
 		panic(fmt.Sprintf("transport: NCLI buffer overflow to rank %d (per-edge message bound violated)", dst))
 	}
-	t.c.AdvanceTime(t.c.Cost().PackOverhead)
+	t.c.Pack(1)
 	t.out[i] = append(t.out[i], ctx, x, y)
 }
 
@@ -364,7 +364,7 @@ func (t *NCLI) Exchange(h Handler) int {
 		for _, data := range t.in {
 			usage += int64(len(data))
 			for k := 0; k+recordWords <= len(data); k += recordWords {
-				t.c.AdvanceTime(t.c.Cost().PackOverhead)
+				t.c.Unpack(1)
 				h(data[k], data[k+1], data[k+2])
 				n++
 			}
@@ -421,7 +421,7 @@ func NewP2PAgg(c *mpi.Comm, batch int) *P2PAgg {
 // Send implements Sender: append to the destination's batch, flushing
 // when full.
 func (t *P2PAgg) Send(dst int, ctx, x, y int64) {
-	t.c.AdvanceTime(t.c.Cost().PackOverhead)
+	t.c.Pack(1)
 	buf := append(t.out[dst], ctx, x, y)
 	if len(buf) >= t.batch*recordWords {
 		t.c.Isend(dst, aggTag, buf)
@@ -461,7 +461,7 @@ func (t *P2PAgg) Drain(h Handler) bool {
 		n, _ := t.c.RecvInto(st.Source, st.Tag, t.rbuf[:cap(t.rbuf)])
 		data := t.rbuf[:n]
 		for k := 0; k+recordWords <= len(data); k += recordWords {
-			t.c.AdvanceTime(t.c.Cost().PackOverhead)
+			t.c.Unpack(1)
 			h(data[k], data[k+1], data[k+2])
 		}
 		any = true

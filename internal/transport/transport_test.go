@@ -18,14 +18,15 @@ var (
 	_ Round = (*NCLI)(nil)
 )
 
-func cfg(p int) mpi.Config {
-	return mpi.Config{Procs: p, Deadline: 30 * time.Second}
+// run executes body on p ranks with the standard test deadline.
+func run(p int, body func(c *mpi.Comm) error) (*mpi.Report, error) {
+	return mpi.Run(p, body, mpi.WithDeadline(30*time.Second))
 }
 
 type rec struct{ ctx, x, y int64 }
 
 func TestP2PRoundTrip(t *testing.T) {
-	_, err := mpi.Run(cfg(2), func(c *mpi.Comm) error {
+	_, err := run(2, func(c *mpi.Comm) error {
 		tr := NewP2P(c, false)
 		if c.Rank() == 0 {
 			tr.Send(1, 3, 10, 20)
@@ -48,7 +49,7 @@ func TestP2PRoundTrip(t *testing.T) {
 }
 
 func TestP2PAggBatchingAndFlush(t *testing.T) {
-	rep, err := mpi.Run(cfg(2), func(c *mpi.Comm) error {
+	rep, err := run(2, func(c *mpi.Comm) error {
 		tr := NewP2PAgg(c, 4) // 4 records per batch
 		if c.Rank() == 0 {
 			for k := int64(0); k < 10; k++ {
@@ -85,7 +86,7 @@ func TestP2PAggBatchingAndFlush(t *testing.T) {
 func TestP2PAggFewerMessagesThanP2P(t *testing.T) {
 	const records = 200
 	run := func(agg bool) int64 {
-		rep, err := mpi.Run(cfg(2), func(c *mpi.Comm) error {
+		rep, err := run(2, func(c *mpi.Comm) error {
 			var tr Async = NewP2P(c, false)
 			if agg {
 				tr = NewP2PAgg(c, 32)
@@ -124,7 +125,7 @@ func TestRoundBackendsDeliverIdentically(t *testing.T) {
 	const p = 4
 	d := distgraph.NewBlockDist(g, p)
 	for _, kind := range []string{"ncl", "rma", "ncli"} {
-		_, err := mpi.Run(cfg(p), func(c *mpi.Comm) error {
+		_, err := run(p, func(c *mpi.Comm) error {
 			l := d.BuildLocal(c.Rank())
 			topo := c.CreateGraphTopo(l.NeighborRanks)
 			var tr Round
@@ -177,7 +178,7 @@ func TestRoundBackendsDeliverIdentically(t *testing.T) {
 func TestNCLOverflowPanics(t *testing.T) {
 	g := gen.Path(8)
 	d := distgraph.NewBlockDist(g, 2)
-	_, err := mpi.Run(cfg(2), func(c *mpi.Comm) error {
+	_, err := run(2, func(c *mpi.Comm) error {
 		l := d.BuildLocal(c.Rank())
 		topo := c.CreateGraphTopo(l.NeighborRanks)
 		tr := NewNCL(c, topo, l, 1) // 1 record per cross arc
@@ -194,7 +195,7 @@ func TestNCLOverflowPanics(t *testing.T) {
 func TestSendToNonNeighborPanics(t *testing.T) {
 	g := gen.Path(12)
 	d := distgraph.NewBlockDist(g, 3)
-	_, err := mpi.Run(cfg(3), func(c *mpi.Comm) error {
+	_, err := run(3, func(c *mpi.Comm) error {
 		l := d.BuildLocal(c.Rank())
 		topo := c.CreateGraphTopo(l.NeighborRanks)
 		tr := NewNCL(c, topo, l, 2)
@@ -219,7 +220,7 @@ func TestNCLRoundZeroAlloc(t *testing.T) {
 	const runs = 50
 	g := gen.Path(8)
 	d := distgraph.NewBlockDist(g, 2)
-	_, err := mpi.Run(cfg(2), func(c *mpi.Comm) error {
+	_, err := run(2, func(c *mpi.Comm) error {
 		l := d.BuildLocal(c.Rank())
 		topo := c.CreateGraphTopo(l.NeighborRanks)
 		tr := NewNCL(c, topo, l, 8)
