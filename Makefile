@@ -3,11 +3,19 @@
 
 GO ?= go
 
-.PHONY: tier1 build test vet race bench bench-p2p clean
+.PHONY: tier1 tier2 build test vet race bench bench-p2p bench-telemetry clean
 
 # tier1 is the gate every change must keep green: full build + vet +
 # full test suite.
 tier1: build vet test
+
+# tier2 is the paper-shape regression gate: it regenerates the key
+# evaluation artifacts at reduced scale and asserts the paper's
+# qualitative claims (which model wins where) over the machine-readable
+# run records. Slower than tier1 (about a minute); records land in
+# shape_records.json for inspection or plotting.
+tier2:
+	RUN_SHAPE_CHECKS=1 SHAPE_RECORDS=$(CURDIR)/shape_records.json $(GO) test -run TestPaperShapes -v ./internal/shape/
 
 build:
 	$(GO) build ./...
@@ -31,6 +39,11 @@ bench:
 # BENCH_p2p.json.
 bench-p2p:
 	$(GO) test -run xxx -bench 'PingPong|MailboxBacklog|IprobeBacklogMiss|AnySourceFanIn64' -benchmem ./internal/mpi/
+
+# bench-telemetry reproduces the round-telemetry observer-cost numbers
+# recorded in BENCH_telemetry.json.
+bench-telemetry:
+	$(GO) test -run xxx -bench Telemetry -benchmem -count 3 ./internal/matching/
 
 clean:
 	$(GO) clean ./...

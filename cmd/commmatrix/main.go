@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -25,27 +26,45 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main without the process exit so tests can drive the CLI.
+// Exit codes: 0 success, 1 runtime failure, 2 usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("commmatrix", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		in       = flag.String("in", "", "input graph file (binary CSR)")
-		family   = flag.String("family", "rmat", "generate instead of loading: rmat | social | sbp")
-		scale    = flag.Int("scale", 13, "rmat scale when generating")
-		n        = flag.Int("n", 50000, "vertices when generating social/sbp")
-		seed     = flag.Int64("seed", 1, "generator seed")
-		p        = flag.Int("p", 32, "ranks")
-		app      = flag.String("app", "matching", "matching | bfs | both")
-		model    = flag.String("model", "nsr", "matching model: nsr | rma | ncl | mbp | ncli | nsra")
-		bytes    = flag.Bool("bytes", false, "report byte volumes instead of message counts")
-		csv      = flag.Bool("csv", false, "emit the raw matrix as CSV instead of a density plot")
-		timeline = flag.Bool("timeline", false, "also print per-rank wait timelines ('#' = blocked)")
+		in       = fs.String("in", "", "input graph file (binary CSR)")
+		family   = fs.String("family", "rmat", "generate instead of loading: rmat | social | sbp")
+		scale    = fs.Int("scale", 13, "rmat scale when generating")
+		n        = fs.Int("n", 50000, "vertices when generating social/sbp")
+		seed     = fs.Int64("seed", 1, "generator seed")
+		p        = fs.Int("p", 32, "ranks")
+		app      = fs.String("app", "matching", "matching | bfs | both")
+		model    = fs.String("model", "nsr", "matching model: nsr | rma | ncl | mbp | ncli | nsra")
+		bytes    = fs.Bool("bytes", false, "report byte volumes instead of message counts")
+		csv      = fs.Bool("csv", false, "emit the raw matrix as CSV instead of a density plot")
+		timeline = fs.Bool("timeline", false, "also print per-rank wait timelines ('#' = blocked)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	switch *app {
+	case "matching", "bfs", "both":
+	default:
+		fmt.Fprintf(stderr, "commmatrix: unknown -app %q (want matching, bfs or both)\n", *app)
+		return 2
+	}
 
 	var g *graph.CSR
 	var err error
 	if *in != "" {
 		g, err = graph.LoadFile(*in)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "commmatrix:", err)
+			return 1
 		}
 	} else {
 		switch *family {
@@ -56,41 +75,46 @@ func main() {
 		case "sbp":
 			g = gen.SBP(*n, *n/150, 12, 0.55, *seed)
 		default:
-			fatal(fmt.Errorf("unknown -family %q", *family))
+			fmt.Fprintf(stderr, "commmatrix: unknown -family %q (want rmat, social or sbp)\n", *family)
+			return 2
 		}
 	}
-	fmt.Println("graph:", g.Summary())
+	fmt.Fprintln(stdout, "graph:", g.Summary())
 
 	if *app == "matching" || *app == "both" {
 		m, err := transport.ParseModel(*model)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "commmatrix:", err)
+			return 2
 		}
 		res, err := matching.Run(g, matching.Options{Procs: *p, Model: m, TrackMatrices: true, TraceWaits: *timeline, Deadline: 10 * time.Minute})
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "commmatrix:", err)
+			return 1
 		}
-		fmt.Printf("matching (%v): weight=%.1f cardinality=%d time=%.3fms\n",
+		fmt.Fprintf(stdout, "matching (%v): weight=%.1f cardinality=%d time=%.3fms\n",
 			m, res.Weight, res.Cardinality, res.Report.MaxVirtualTime*1e3)
-		dump(res.Report, *bytes, *csv)
+		dump(stdout, res.Report, *bytes, *csv)
 		if *timeline {
-			fmt.Println("wait timeline (virtual time left to right; '#' blocked, ':' mixed, '.' busy):")
+			fmt.Fprintln(stdout, "wait timeline (virtual time left to right; '#' blocked, ':' mixed, '.' busy):")
 			for _, line := range res.Report.RenderTimeline(72) {
-				fmt.Println(line)
+				fmt.Fprintln(stdout, line)
 			}
 		}
 	}
 	if *app == "bfs" || *app == "both" {
 		res, err := bfs.Run(g, 0, bfs.Options{Procs: *p, TrackMatrices: true, Deadline: 10 * time.Minute})
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "commmatrix:", err)
+			return 1
 		}
-		fmt.Printf("bfs: visited=%d levels=%d time=%.3fms\n", res.Visited, res.Levels, res.Report.MaxVirtualTime*1e3)
-		dump(res.Report, *bytes, *csv)
+		fmt.Fprintf(stdout, "bfs: visited=%d levels=%d time=%.3fms\n", res.Visited, res.Levels, res.Report.MaxVirtualTime*1e3)
+		dump(stdout, res.Report, *bytes, *csv)
 	}
+	return 0
 }
 
-func dump(rep *mpi.Report, bytes, csv bool) {
+func dump(w io.Writer, rep *mpi.Report, bytes, csv bool) {
 	m := rep.MsgMatrix()
 	if bytes {
 		m = rep.ByteMatrix()
@@ -101,7 +125,7 @@ func dump(rep *mpi.Report, bytes, csv bool) {
 			for j, v := range row {
 				cells[j] = fmt.Sprint(v)
 			}
-			fmt.Println(strings.Join(cells, ","))
+			fmt.Fprintln(w, strings.Join(cells, ","))
 		}
 		return
 	}
@@ -127,11 +151,6 @@ func dump(rep *mpi.Report, bytes, csv bool) {
 			}
 			line[j] = levels[idx]
 		}
-		fmt.Println("|" + string(line) + "|")
+		fmt.Fprintln(w, "|"+string(line)+"|")
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "commmatrix:", err)
-	os.Exit(1)
 }

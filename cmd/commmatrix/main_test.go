@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"bad flag", []string{"-no-such-flag"}},
+		{"bad app", []string{"-app", "sorting"}},
+		{"bad family", []string{"-family", "hypercube"}},
+		{"bad model", []string{"-family", "rmat", "-scale", "8", "-p", "2", "-model", "smoke-signals"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if code, _, errb := runCLI(t, tc.args...); code != 2 {
+				t.Errorf("exit %d, want 2 (stderr %q)", code, errb)
+			}
+		})
+	}
+}
+
+func TestMissingInputFileFails(t *testing.T) {
+	code, _, errb := runCLI(t, "-in", "/no/such/graph.csr")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr %q)", code, errb)
+	}
+}
+
+// TestTinyBothEndToEnd drives matching and BFS on a generated graph and
+// checks both matrices come out in CSV form with one row per rank.
+func TestTinyBothEndToEnd(t *testing.T) {
+	const p = 4
+	code, out, errb := runCLI(t, "-family", "rmat", "-scale", "8", "-p", "4", "-app", "both", "-csv")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	if !strings.Contains(out, "graph:") || !strings.Contains(out, "matching (NSR):") || !strings.Contains(out, "bfs:") {
+		t.Fatalf("missing sections in output:\n%s", out)
+	}
+	csvRows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if cells := strings.Split(line, ","); len(cells) == p && !strings.Contains(line, " ") {
+			csvRows++
+		}
+	}
+	if csvRows != 2*p {
+		t.Errorf("found %d CSV matrix rows, want %d (two %dx%d matrices):\n%s", csvRows, 2*p, p, p, out)
+	}
+}
+
+func TestDensityPlotEndToEnd(t *testing.T) {
+	code, out, errb := runCLI(t, "-family", "sbp", "-n", "2000", "-p", "3", "-app", "matching", "-model", "ncl")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	if !strings.Contains(out, "matching (NCL):") {
+		t.Fatalf("missing matching section:\n%s", out)
+	}
+	plotRows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "|") && strings.HasSuffix(line, "|") {
+			plotRows++
+		}
+	}
+	if plotRows != 3 {
+		t.Errorf("found %d density rows, want 3:\n%s", plotRows, out)
+	}
+}

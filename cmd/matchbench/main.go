@@ -9,17 +9,23 @@
 //	matchbench -exp fig4c -models nsr,ncl     # restrict the model set
 //	matchbench -exp fig4c -trace fig4c.json   # Chrome trace of every run
 //	matchbench -exp tab8 -profile             # phase-profile table (§V-D)
+//	matchbench -exp fig4a -json out.json      # machine-readable run records
+//	matchbench -exp fig4a -rounds             # per-round convergence tables
 //
 // Each experiment prints the table or series corresponding to one figure
 // or table of Ghosh et al., IPDPS 2019, annotated with the shape the
 // paper reported. A -trace file loads in chrome://tracing or Perfetto:
 // one process per run, one thread track per rank, slices on the modeled
-// virtual timeline.
+// virtual timeline. A -json file holds schema-versioned records of every
+// table and every runtime launch — including, when round telemetry is on,
+// the per-round protocol series — for the shape-regression suite and for
+// plotting (see internal/harness/record.go).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -29,29 +35,55 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main without the process exit so tests can drive the CLI
+// end-to-end. Exit codes: 0 success, 1 runtime or output failure,
+// 2 usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("matchbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp      = flag.String("exp", "", "experiment id (fig2, fig4a..c, tab3, fig5, fig6, tab4, fig7, tab5, tab6, fig8, fig9, tab7, fig10, tab8, fig11) or 'all'")
-		scale    = flag.Float64("scale", 1.0, "workload scale factor")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		verbose  = flag.Bool("v", false, "log progress")
-		timeout  = flag.Duration("timeout", 10*time.Minute, "per-run deadline")
-		models   = flag.String("models", "", "comma-separated model filter (nsr,rma,ncl,mbp,ncli,nsra); empty = experiment defaults")
-		trace    = flag.String("trace", "", "write every run as a Chrome trace_event JSON file (chrome://tracing, Perfetto)")
-		traceCap = flag.Int("trace-events", 1<<16, "per-rank event ring capacity when tracing")
-		profile  = flag.Bool("profile", false, "append a per-experiment phase-profile table (compute/pack/exchange/unpack/wait)")
+		exp      = fs.String("exp", "", "experiment id (fig2, fig4a..c, tab3, fig5, fig6, tab4, fig7, tab5, tab6, fig8, fig9, tab7, fig10, tab8, fig11) or 'all'")
+		scale    = fs.Float64("scale", 1.0, "workload scale factor")
+		list     = fs.Bool("list", false, "list experiments and exit")
+		verbose  = fs.Bool("v", false, "log progress")
+		timeout  = fs.Duration("timeout", 10*time.Minute, "per-run deadline")
+		models   = fs.String("models", "", "comma-separated model filter (nsr,rma,ncl,mbp,ncli,nsra); empty = experiment defaults")
+		trace    = fs.String("trace", "", "write every run as a Chrome trace_event JSON file (chrome://tracing, Perfetto)")
+		traceCap = fs.Int("trace-events", 1<<16, "per-rank event ring capacity when tracing")
+		profile  = fs.Bool("profile", false, "append a per-experiment phase-profile table (compute/pack/exchange/unpack/wait)")
+		jsonOut  = fs.String("json", "", "write tables and run records as schema-versioned JSON")
+		rounds   = fs.Bool("rounds", false, "print a per-round convergence table after each run")
+		roundCap = fs.Int("round-cap", 512, "per-rank round-log capacity when -json or -rounds is set")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, id := range harness.IDs() {
 			e := harness.Find(id)
-			fmt.Printf("%-7s %s\n        paper: %s\n", e.ID, e.Title, e.Paper)
+			fmt.Fprintf(stdout, "%-7s %s\n        paper: %s\n", e.ID, e.Title, e.Paper)
 		}
-		return
+		return 0
 	}
 	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "matchbench: -exp required (or -list); e.g. matchbench -exp fig4a")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "matchbench: -exp required (or -list); e.g. matchbench -exp fig4a")
+		return 2
+	}
+	ids := harness.IDs()
+	if *exp != "all" {
+		if harness.Find(*exp) == nil {
+			fmt.Fprintf(stderr, "matchbench: unknown experiment %q; valid ids: all", *exp)
+			for _, id := range ids {
+				fmt.Fprintf(stderr, ", %s", id)
+			}
+			fmt.Fprintln(stderr)
+			return 2
+		}
+		ids = []string{*exp}
 	}
 
 	cfg := harness.DefaultConfig()
@@ -59,13 +91,13 @@ func main() {
 	cfg.Deadline = *timeout
 	cfg.Profile = *profile
 	if *verbose {
-		cfg.Out = os.Stderr
+		cfg.Out = stderr
 	}
 	if *models != "" {
 		ms, err := transport.ParseModels(*models)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "matchbench:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "matchbench:", err)
+			return 2
 		}
 		cfg.Models = ms
 	}
@@ -73,33 +105,62 @@ func main() {
 	if *trace != "" {
 		collector = mpi.NewChromeTrace()
 		cfg.TraceEvents = *traceCap
-		cfg.OnRun = func(label string, rep *mpi.Report) { collector.Add(label, rep) }
+		cfg.OnRun = func(info harness.RunInfo) { collector.Add(info.Label, info.Report) }
+	}
+	if *jsonOut != "" || *rounds {
+		cfg.Rounds = *roundCap
 	}
 
 	start := time.Now()
-	var err error
-	if *exp == "all" {
-		err = harness.RunAll(cfg, os.Stdout)
-	} else {
-		err = harness.RunOne(*exp, cfg, os.Stdout)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "matchbench:", err)
-		os.Exit(1)
-	}
-	if collector != nil {
-		f, err := os.Create(*trace)
-		if err == nil {
-			err = collector.Write(f)
-			if cerr := f.Close(); err == nil {
-				err = cerr
+	doc := harness.NewDocument("matchbench", *scale)
+	for _, id := range ids {
+		rec, err := harness.RunOneRecord(id, cfg, stdout)
+		if err != nil {
+			fmt.Fprintln(stderr, "matchbench:", err)
+			return 1
+		}
+		doc.Add(rec)
+		if *rounds {
+			for i := range rec.Runs {
+				rec.Runs[i].RenderRounds(stdout)
 			}
 		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "matchbench: trace:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("# wrote %d traced runs to %s\n", collector.Len(), *trace)
 	}
-	fmt.Printf("# completed in %v\n", time.Since(start).Round(time.Millisecond))
+
+	if collector != nil {
+		if err := writeArtifact(*trace, collector.Write); err != nil {
+			fmt.Fprintln(stderr, "matchbench: trace:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "# wrote %d traced runs to %s\n", collector.Len(), *trace)
+	}
+	if *jsonOut != "" {
+		if err := writeArtifact(*jsonOut, doc.Write); err != nil {
+			fmt.Fprintln(stderr, "matchbench: json:", err)
+			return 1
+		}
+		nruns := 0
+		for _, e := range doc.Experiments {
+			nruns += len(e.Runs)
+		}
+		fmt.Fprintf(stdout, "# wrote %d experiment records (%d runs, schema v%d) to %s\n",
+			len(doc.Experiments), nruns, harness.SchemaVersion, *jsonOut)
+	}
+	fmt.Fprintf(stdout, "# completed in %v\n", time.Since(start).Round(time.Millisecond))
+	return 0
+}
+
+// writeArtifact creates path and streams emit's output into it. Create,
+// write and close errors all surface: a partial artifact must fail the
+// command, not leave a truncated file that still parses.
+func writeArtifact(path string, emit func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = emit(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

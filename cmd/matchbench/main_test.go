@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestListShowsEveryExperiment(t *testing.T) {
+	code, out, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	for _, id := range harness.IDs() {
+		if !strings.Contains(out, id) {
+			t.Errorf("-list output missing %q", id)
+		}
+	}
+}
+
+func TestMissingExpIsUsageError(t *testing.T) {
+	code, _, errb := runCLI(t)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb, "-exp required") {
+		t.Errorf("stderr = %q", errb)
+	}
+}
+
+func TestUnknownExpListsValidIDs(t *testing.T) {
+	code, _, errb := runCLI(t, "-exp", "fig99")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb, "fig99") {
+		t.Errorf("stderr does not name the bad id: %q", errb)
+	}
+	for _, id := range []string{"fig4a", "tab8", "ext-coloring"} {
+		if !strings.Contains(errb, id) {
+			t.Errorf("stderr does not list valid id %q: %q", id, errb)
+		}
+	}
+}
+
+func TestBadFlagIsUsageError(t *testing.T) {
+	if code, _, _ := runCLI(t, "-no-such-flag"); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestBadModelsIsUsageError(t *testing.T) {
+	code, _, errb := runCLI(t, "-exp", "fig4a", "-models", "bogus")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2 (stderr %q)", code, errb)
+	}
+}
+
+// TestTinyExperimentToJSON drives one real experiment end-to-end at
+// reduced scale and validates the emitted document: schema version,
+// experiment and run records, and a per-round series on every matching
+// run (the -rounds/-json telemetry path).
+func TestTinyExperimentToJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	code, out, errb := runCLI(t, "-exp", "fig4a", "-scale", "0.2", "-json", path, "-rounds")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	if !strings.Contains(out, "== fig4a") || !strings.Contains(out, "== rounds: convergence of") {
+		t.Errorf("stdout missing experiment or convergence tables:\n%s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc harness.Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("decoding %s: %v", path, err)
+	}
+	if doc.Schema != harness.SchemaVersion {
+		t.Errorf("schema = %d, want %d", doc.Schema, harness.SchemaVersion)
+	}
+	if len(doc.Experiments) != 1 || doc.Experiments[0].ID != "fig4a" {
+		t.Fatalf("experiments = %+v", doc.Experiments)
+	}
+	e := doc.Experiments[0]
+	if len(e.Tables) == 0 || len(e.Runs) == 0 {
+		t.Fatalf("empty record: %d tables, %d runs", len(e.Tables), len(e.Runs))
+	}
+	for _, r := range e.Runs {
+		if r.App != "matching" || r.Model == "" || r.TimeSec <= 0 {
+			t.Errorf("malformed run record %+v", r)
+		}
+		if len(r.RoundSeries) == 0 {
+			t.Errorf("%s: no round series despite telemetry being on", r.Label)
+		} else if last := r.RoundSeries[len(r.RoundSeries)-1]; last.Unresolved != 0 {
+			t.Errorf("%s: final unresolved = %d", r.Label, last.Unresolved)
+		}
+	}
+}
+
+// TestJSONWriteFailureIsReported points -json at an unwritable path; the
+// command must fail loudly instead of leaving a missing artifact behind
+// a zero exit.
+func TestJSONWriteFailureIsReported(t *testing.T) {
+	code, _, errb := runCLI(t, "-exp", "tab3", "-scale", "0.2", "-json", t.TempDir())
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb, "json") {
+		t.Errorf("stderr does not mention the json failure: %q", errb)
+	}
+}
+
+// TestTraceWriteFailureIsReported does the same for -trace.
+func TestTraceWriteFailureIsReported(t *testing.T) {
+	code, _, errb := runCLI(t, "-exp", "tab3", "-scale", "0.2", "-trace", t.TempDir())
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb, "trace") {
+		t.Errorf("stderr does not mention the trace failure: %q", errb)
+	}
+}

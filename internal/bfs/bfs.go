@@ -14,6 +14,7 @@ import (
 	"repro/internal/distgraph"
 	"repro/internal/graph"
 	"repro/internal/mpi"
+	"repro/internal/telemetry"
 )
 
 // Options configures a distributed BFS run.
@@ -33,6 +34,9 @@ type Options struct {
 	// collectives over the distributed graph topology — the approach
 	// Kandalla et al. study for BFS (the paper's ref [22]).
 	UseNeighborhood bool
+	// RoundLog, when > 0, enables per-level telemetry with a per-rank
+	// log of this capacity (Result.Telemetry).
+	RoundLog int
 }
 
 // Result is the outcome of a BFS.
@@ -48,6 +52,11 @@ type Result struct {
 	Levels int
 	// Report carries runtime statistics and virtual time.
 	Report *mpi.Report
+	// Telemetry is the merged per-level series (nil unless
+	// Options.RoundLog was set). Unresolved is the frontier size entering
+	// the next level, Done the visited count, and Req the cumulative
+	// cross-edge visit messages; Rej and Inv are always zero.
+	Telemetry *telemetry.Series
 }
 
 const tagVisit = 1
@@ -67,6 +76,10 @@ func Run(g *graph.CSR, root int, opt Options) (*Result, error) {
 	d := distgraph.NewBlockDist(g, opt.Procs)
 	parentGlobal := make([]int64, g.NumVertices())
 	levelGlobal := make([]int64, g.NumVertices())
+	var logs []*telemetry.RoundLog
+	if opt.RoundLog > 0 {
+		logs = make([]*telemetry.RoundLog, opt.Procs)
+	}
 
 	opts := make([]mpi.Option, 0, 5)
 	if opt.Cost != nil {
@@ -99,6 +112,19 @@ func Run(g *graph.CSR, root int, opt Options) (*Result, error) {
 		}
 		c.AccountAlloc(int64(nOwned) * 16)
 
+		// Per-level telemetry: BFS has no transport backend, so it keeps
+		// its own per-destination volume ledger (16 bytes per {u, from}
+		// visit record) and counts cross-edge sends in the request slot.
+		var log *telemetry.RoundLog
+		var vol []int64
+		var sent, visited int64
+		if logs != nil {
+			log = telemetry.NewRoundLog(opt.RoundLog, opt.Procs)
+			log.SetTotal(int64(nOwned))
+			logs[c.Rank()] = log
+			vol = make([]int64, opt.Procs)
+		}
+
 		frontier := make([]int32, 0, nOwned)
 		next := make([]int32, 0, nOwned)
 		visit := func(v, from, lvl int64) {
@@ -108,12 +134,16 @@ func Run(g *graph.CSR, root int, opt Options) (*Result, error) {
 			}
 			parent[vi] = from
 			level[vi] = lvl
+			visited++
 			next = append(next, int32(vi))
 		}
 		if l.Owns(root) {
 			visit(int64(root), int64(root), 0)
 		}
 		frontier, next = next, frontier[:0]
+		if log != nil {
+			log.Append(c.Now(), int64(len(frontier)), visited, sent, 0, 0, c.QueuedBytes(), vol)
+		}
 
 		sendCounts := make([]int64, opt.Procs)
 		nbrBufs := make([][]int64, len(l.NeighborRanks))
@@ -137,6 +167,10 @@ func Run(g *graph.CSR, root int, opt Options) (*Result, error) {
 						continue
 					}
 					dst := l.Owner(int(u))
+					sent++
+					if vol != nil {
+						vol[dst] += 16
+					}
 					if opt.UseNeighborhood {
 						i := l.NeighborIndex(dst)
 						nbrBufs[i] = append(nbrBufs[i], u, v)
@@ -166,6 +200,9 @@ func Run(g *graph.CSR, root int, opt Options) (*Result, error) {
 			}
 			frontier, next = next, frontier[:0]
 			total := c.AllreduceInt64(mpi.OpSum, []int64{int64(len(frontier))})[0]
+			if log != nil {
+				log.Append(c.Now(), int64(len(frontier)), visited, sent, 0, 0, c.QueuedBytes(), vol)
+			}
 			if total == 0 {
 				break
 			}
@@ -182,6 +219,9 @@ func Run(g *graph.CSR, root int, opt Options) (*Result, error) {
 		Parent: make([]int, len(parentGlobal)),
 		Level:  make([]int, len(levelGlobal)),
 		Report: rep,
+	}
+	if logs != nil {
+		res.Telemetry = telemetry.Merge(logs)
 	}
 	for v := range parentGlobal {
 		res.Parent[v] = int(parentGlobal[v])

@@ -9,6 +9,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/matching"
 	"repro/internal/mpi"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -30,6 +31,9 @@ type Options struct {
 	// TraceEvents, when > 0, enables structured event tracing with a
 	// per-rank ring of this capacity (Report.Events, WriteChromeTrace).
 	TraceEvents int
+	// RoundLog, when > 0, enables round-level telemetry with a per-rank
+	// log of this capacity (ParallelResult.Telemetry).
+	RoundLog int
 }
 
 // ParallelResult is the outcome of a distributed coloring.
@@ -38,6 +42,10 @@ type ParallelResult struct {
 	Rounds   int
 	Messages int64
 	Report   *mpi.Report
+	// Telemetry is the merged round-level series (nil unless
+	// Options.RoundLog was set). Req counts color announcements; Rej and
+	// Inv are always zero for Jones-Plassmann.
+	Telemetry *telemetry.Series
 }
 
 // ctxColor announces "vertex y (mine) adjacent to your x is colored c";
@@ -51,6 +59,15 @@ const (
 // maxMessagesPerCrossArc: each side announces its endpoint's color on a
 // cross arc exactly once.
 const maxMessagesPerCrossArc = 1
+
+// volumeOf returns a transport's live per-destination byte ledger for
+// round telemetry (all in-repo backends implement transport.Volumer).
+func volumeOf(t transport.Sender) []int64 {
+	if v, ok := t.(transport.Volumer); ok {
+		return v.VolumeByDest()
+	}
+	return nil
+}
 
 // engine holds one rank's Jones-Plassmann state.
 type jpEngine struct {
@@ -69,6 +86,7 @@ type jpEngine struct {
 	work        []int32
 	rounds      int
 	sent        int64
+	ncolored    int64 // owned vertices colored so far
 }
 
 func newJPEngine(c *mpi.Comm, l *distgraph.Local, tr transport.Sender) *jpEngine {
@@ -132,6 +150,7 @@ func (e *jpEngine) tryColor(vi int32) {
 		chosen++
 	}
 	e.color[vi] = chosen
+	e.ncolored++
 
 	// Announce to every rank holding a ghost copy (once per cross arc,
 	// so buffered transports stay within their bound) and release local
@@ -184,6 +203,17 @@ func (e *jpEngine) arcIndex(x, y int64) int64 {
 	return e.g.Offsets[x] + int64(i)
 }
 
+// record appends one telemetry row at a driver round boundary. The
+// announcement count rides in the request slot; Jones-Plassmann has no
+// reject/invalid traffic. One nil check when off.
+func (e *jpEngine) record(log *telemetry.RoundLog, vol []int64) {
+	if log == nil {
+		return
+	}
+	log.Append(e.c.Now(), e.pendingArcs, e.ncolored, e.sent, 0, 0,
+		e.c.QueuedBytes(), vol)
+}
+
 func (e *jpEngine) drainWork() {
 	for len(e.work) > 0 {
 		vi := e.work[len(e.work)-1]
@@ -221,6 +251,10 @@ func Run(g *graph.CSR, opt Options) (*ParallelResult, error) {
 	colors := make([]int64, g.NumVertices())
 	rounds := make([]int, opt.Procs)
 	sent := make([]int64, opt.Procs)
+	var logs []*telemetry.RoundLog
+	if opt.RoundLog > 0 {
+		logs = make([]*telemetry.RoundLog, opt.Procs)
+	}
 
 	opts := make([]mpi.Option, 0, 5)
 	if opt.Cost != nil {
@@ -240,6 +274,12 @@ func Run(g *graph.CSR, opt Options) (*ParallelResult, error) {
 	}
 	rep, err := mpi.Run(opt.Procs, func(c *mpi.Comm) error {
 		l := d.BuildLocal(c.Rank())
+		var log *telemetry.RoundLog
+		if logs != nil {
+			log = telemetry.NewRoundLog(opt.RoundLog, opt.Procs)
+			log.SetTotal(int64(l.NumOwned()))
+			logs[c.Rank()] = log
+		}
 		var e *jpEngine
 		switch opt.Model {
 		case matching.NSR, matching.MBP, matching.NSRA:
@@ -247,14 +287,17 @@ func Run(g *graph.CSR, opt Options) (*ParallelResult, error) {
 			if opt.Model == matching.NSRA {
 				t = transport.NewP2PAgg(c, 64)
 			}
+			vol := volumeOf(t)
 			e = newJPEngine(c, l, t)
 			e.start()
+			e.record(log, vol)
 			// A rank is done when all owned vertices are colored and all
 			// expected announcements have been consumed (it owes nothing
 			// after its own announcements, sent eagerly at coloring time).
 			for e.uncolored() > 0 || e.pendingArcs > 0 {
 				progressed := t.Drain(e.handleMessage)
 				e.drainWork()
+				e.record(log, vol)
 				if e.uncolored() == 0 && e.pendingArcs == 0 {
 					break
 				}
@@ -275,13 +318,16 @@ func Run(g *graph.CSR, opt Options) (*ParallelResult, error) {
 			default:
 				t = transport.NewNCLI(c, topo, l, maxMessagesPerCrossArc)
 			}
+			vol := volumeOf(t)
 			e = newJPEngine(c, l, t)
 			e.start()
+			e.record(log, vol)
 			for {
 				t.Exchange(e.handleMessage)
 				e.drainWork()
 				total := c.AllreduceScalarInt64(mpi.OpSum, e.uncolored()+e.pendingArcs)
 				e.rounds++
+				e.record(log, vol)
 				if total == 0 {
 					t.Finish()
 					break
@@ -312,6 +358,9 @@ func Run(g *graph.CSR, opt Options) (*ParallelResult, error) {
 		}
 	}
 	pr := &ParallelResult{Result: res, Report: rep}
+	if logs != nil {
+		pr.Telemetry = telemetry.Merge(logs)
+	}
 	for r := 0; r < opt.Procs; r++ {
 		if rounds[r] > pr.Rounds {
 			pr.Rounds = rounds[r]

@@ -59,7 +59,7 @@ func init() {
 					cfg.logf("ext-ncli: %s p=%d", in.name, p)
 					var times [2]float64
 					for i, m := range []matching.Model{matching.NCL, matching.NCLI} {
-						res, err := cfg.match(in.g, p, m, false)
+						res, err := cfg.match(in.name, in.g, p, m, false)
 						if err != nil {
 							return nil, fmt.Errorf("%s/%v: %w", in.name, m, err)
 						}
@@ -101,12 +101,24 @@ func init() {
 					for i, m := range scalingModels {
 						res, err := coloring.Run(in.g, coloring.Options{
 							Procs: p, Model: m, Cost: cfg.Cost, Deadline: cfg.Deadline,
-							TraceEvents: cfg.TraceEvents,
+							TraceEvents: cfg.TraceEvents, RoundLog: cfg.Rounds,
 						})
 						if err != nil {
 							return nil, fmt.Errorf("%s/%v: %w", in.name, m, err)
 						}
-						cfg.observe(fmt.Sprintf("coloring %v p=%d |V|=%d", m, p, in.g.NumVertices()), res.Report)
+						cfg.observe(RunInfo{
+							Label:     fmt.Sprintf("coloring %s %v p=%d |V|=%d", in.name, m, p, in.g.NumVertices()),
+							App:       "coloring",
+							Input:     in.name,
+							Model:     m.String(),
+							Procs:     p,
+							Vertices:  in.g.NumVertices(),
+							Edges:     in.g.NumEdges(),
+							Rounds:    res.Rounds,
+							Messages:  res.Messages,
+							Report:    res.Report,
+							Telemetry: res.Telemetry,
+						})
 						times[i] = res.Report.MaxVirtualTime
 						colors = res.Colors
 					}

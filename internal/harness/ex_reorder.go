@@ -216,7 +216,7 @@ func init() {
 					row := []string{in.name}
 					var nsr, best float64
 					for _, m := range models {
-						res, err := cfg.match(in.g, p, m, false)
+						res, err := cfg.match(in.name, in.g, p, m, false)
 						if err != nil {
 							return nil, fmt.Errorf("%s/%v: %w", in.name, m, err)
 						}
@@ -254,7 +254,7 @@ func init() {
 				{"original", cfg.hv15r()},
 				{"RCM", cfg.rcmOf("hv15r-analogue", cfg.hv15r())},
 			} {
-				res, err := cfg.match(in.g, p, matching.NSR, true)
+				res, err := cfg.match("hv15r-"+in.name, in.g, p, matching.NSR, true)
 				if err != nil {
 					return nil, err
 				}

@@ -8,10 +8,11 @@ import (
 	"repro/internal/matching"
 )
 
-// match runs one distributed matching configuration and returns the
-// result (with virtual time in Report.MaxVirtualTime). Successful runs
-// are reported to Config.OnRun for trace/profile collection.
-func (c Config) match(g *graph.CSR, p int, m matching.Model, trackMatrices bool) (*matching.ParallelResult, error) {
+// match runs one distributed matching configuration on the named input
+// and returns the result (with virtual time in Report.MaxVirtualTime).
+// Successful runs are reported to Config.OnRun for trace, profile and
+// record collection.
+func (c Config) match(input string, g *graph.CSR, p int, m matching.Model, trackMatrices bool) (*matching.ParallelResult, error) {
 	res, err := matching.Run(g, matching.Options{
 		Procs:         p,
 		Model:         m,
@@ -19,16 +20,29 @@ func (c Config) match(g *graph.CSR, p int, m matching.Model, trackMatrices bool)
 		Deadline:      c.Deadline,
 		TrackMatrices: trackMatrices,
 		TraceEvents:   c.TraceEvents,
+		RoundLog:      c.Rounds,
 	})
 	if err == nil {
-		c.observe(fmt.Sprintf("%v p=%d |V|=%d", m, p, g.NumVertices()), res.Report)
+		c.observe(RunInfo{
+			Label:     fmt.Sprintf("%s %v p=%d |V|=%d", input, m, p, g.NumVertices()),
+			App:       "matching",
+			Input:     input,
+			Model:     m.String(),
+			Procs:     p,
+			Vertices:  g.NumVertices(),
+			Edges:     g.NumEdges(),
+			Rounds:    res.Rounds,
+			Messages:  res.Messages,
+			Report:    res.Report,
+			Telemetry: res.Telemetry,
+		})
 	}
 	return res, err
 }
 
 // scalingTable runs the given models over (graph(p), p) pairs and emits
 // one row per p: |E|, per-model virtual time, and speedups over NSR.
-func (c Config) scalingTable(id, title string, procs []int, input func(p int) *graph.CSR, models []matching.Model) (*Table, error) {
+func (c Config) scalingTable(id, title, input string, procs []int, graphOf func(p int) *graph.CSR, models []matching.Model) (*Table, error) {
 	models = c.models(models)
 	t := &Table{ID: id, Title: title}
 	t.Headers = []string{"procs", "|V|", "|E|"}
@@ -39,11 +53,11 @@ func (c Config) scalingTable(id, title string, procs []int, input func(p int) *g
 		t.Headers = append(t.Headers, m.String()+"/"+models[0].String())
 	}
 	for _, p := range procs {
-		g := input(p)
+		g := graphOf(p)
 		c.logf("%s: p=%d |E|=%d", id, p, g.NumEdges())
 		times := make([]float64, len(models))
 		for i, m := range models {
-			res, err := c.match(g, p, m, false)
+			res, err := c.match(input, g, p, m, false)
 			if err != nil {
 				return nil, fmt.Errorf("p=%d model=%v: %w", p, m, err)
 			}
@@ -73,7 +87,7 @@ func init() {
 		Title: "Weak scaling of NSR/RMA/NCL on random geometric graphs",
 		Paper: "RGG strips bound each rank's neighborhood to <=2; NCL and RMA run 2-3.5x faster than NSR on 4K-16K processes",
 		Run: func(cfg Config) ([]*Table, error) {
-			t, err := cfg.scalingTable("fig4a", "RGG weak scaling (strip distribution, <=2 process neighbors)",
+			t, err := cfg.scalingTable("fig4a", "RGG weak scaling (strip distribution, <=2 process neighbors)", "rgg-weak",
 				[]int{cfg.scaledProcs(8), cfg.scaledProcs(16), cfg.scaledProcs(32)}, cfg.rggWeak, scalingModels)
 			if err != nil {
 				return nil, err
@@ -91,7 +105,7 @@ func init() {
 		Title: "Weak scaling on Graph500 R-MAT graphs",
 		Paper: "RMA and NCL achieve 1.2-3x speedup over NSR for scale 21-24 R-MAT on 512-4K processes",
 		Run: func(cfg Config) ([]*Table, error) {
-			t, err := cfg.scalingTable("fig4b", "Graph500 R-MAT weak scaling",
+			t, err := cfg.scalingTable("fig4b", "Graph500 R-MAT weak scaling", "rmat-weak",
 				[]int{cfg.scaledProcs(8), cfg.scaledProcs(16), cfg.scaledProcs(32), cfg.scaledProcs(64)}, cfg.rmatWeak, scalingModels)
 			if err != nil {
 				return nil, err
@@ -106,7 +120,7 @@ func init() {
 		Title: "Weak scaling on stochastic block-partitioned (HILO) graphs",
 		Paper: "contrasting case: NSR beats NCL/RMA by 1.5-2.7x because the process graph is near-complete (Table III)",
 		Run: func(cfg Config) ([]*Table, error) {
-			t, err := cfg.scalingTable("fig4c", "Stochastic block partition weak scaling (NSR wins)",
+			t, err := cfg.scalingTable("fig4c", "Stochastic block partition weak scaling (NSR wins)", "sbp-weak",
 				[]int{cfg.scaledProcs(16), cfg.scaledProcs(32), cfg.scaledProcs(64)}, cfg.sbpWeak, scalingModels)
 			if err != nil {
 				return nil, err
@@ -142,7 +156,7 @@ func init() {
 			for _, in := range cfg.kmerInputs() {
 				in := in
 				t, err := cfg.scalingTable("fig5", fmt.Sprintf("k-mer %s strong scaling (|E|=%d)", in.Name, in.G.NumEdges()),
-					procs, func(int) *graph.CSR { return in.G }, scalingModels)
+					in.Name, procs, func(int) *graph.CSR { return in.G }, scalingModels)
 				if err != nil {
 					return nil, err
 				}
@@ -169,7 +183,7 @@ func init() {
 			for _, in := range inputs {
 				in := in
 				t, err := cfg.scalingTable("fig6", fmt.Sprintf("%s strong scaling (|E|=%d)", in.name, in.g.NumEdges()),
-					[]int{cfg.scaledProcs(16), cfg.scaledProcs(32), cfg.scaledProcs(64)},
+					in.name, []int{cfg.scaledProcs(16), cfg.scaledProcs(32), cfg.scaledProcs(64)},
 					func(int) *graph.CSR { return in.g }, scalingModels)
 				if err != nil {
 					return nil, err

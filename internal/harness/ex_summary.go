@@ -42,7 +42,7 @@ func init() {
 					cfg.logf("tab7: %s p=%d", in.name, p)
 					var nsr float64
 					for _, m := range cfg.models(scalingModels) {
-						res, err := cfg.match(in.g, p, m, false)
+						res, err := cfg.match(in.name, in.g, p, m, false)
 						if err != nil {
 							return nil, fmt.Errorf("%s/%v: %w", in.name, m, err)
 						}
@@ -78,7 +78,7 @@ func init() {
 				for _, p := range []int{cfg.scaledProcs(8), cfg.scaledProcs(16), cfg.scaledProcs(32)} {
 					cfg.logf("fig10: %s p=%d", in.Name, p)
 					for _, m := range models {
-						res, err := cfg.match(in.G, p, m, false)
+						res, err := cfg.match(in.Name, in.G, p, m, false)
 						if err != nil {
 							return nil, fmt.Errorf("%s/p=%d/%v: %w", in.Name, p, m, err)
 						}
@@ -128,7 +128,7 @@ func init() {
 				}
 				for _, m := range cfg.models(scalingModels) {
 					cfg.logf("tab8: %s %v", in.name, m)
-					res, err := cfg.match(in.g, p, m, false)
+					res, err := cfg.match(in.name, in.g, p, m, false)
 					if err != nil {
 						return nil, err
 					}
@@ -170,19 +170,29 @@ func init() {
 func commMatrixTables(cfg Config, id string, bytes bool) ([]*Table, error) {
 	p := cfg.scaledProcs(32)
 	g := cfg.rmatWeak(cfg.scaledProcs(16))
-	mg := g
+	mg, mname := g, "rmat-weak"
 	if !bytes {
-		mg = cfg.friendster()
+		mg, mname = cfg.friendster(), "Friendster-analogue"
 	}
-	mres, err := cfg.match(mg, p, matching.NSR, true)
+	mres, err := cfg.match(mname, mg, p, matching.NSR, true)
 	if err != nil {
 		return nil, err
 	}
-	bres, err := bfs.Run(g, 0, bfs.Options{Procs: p, Cost: cfg.Cost, TrackMatrices: true, Deadline: cfg.Deadline, TraceEvents: cfg.TraceEvents})
+	bres, err := bfs.Run(g, 0, bfs.Options{Procs: p, Cost: cfg.Cost, TrackMatrices: true, Deadline: cfg.Deadline, TraceEvents: cfg.TraceEvents, RoundLog: cfg.Rounds})
 	if err != nil {
 		return nil, err
 	}
-	cfg.observe(fmt.Sprintf("BFS p=%d |V|=%d", p, g.NumVertices()), bres.Report)
+	cfg.observe(RunInfo{
+		Label:     fmt.Sprintf("rmat-weak BFS p=%d |V|=%d", p, g.NumVertices()),
+		App:       "bfs",
+		Input:     "rmat-weak",
+		Procs:     p,
+		Vertices:  g.NumVertices(),
+		Edges:     g.NumEdges(),
+		Rounds:    bres.Levels,
+		Report:    bres.Report,
+		Telemetry: bres.Telemetry,
+	})
 	pick := (*mpi.Report).MsgMatrix
 	unit := "messages"
 	if bytes {

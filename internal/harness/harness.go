@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/matching"
 	"repro/internal/mpi"
+	"repro/internal/telemetry"
 )
 
 // Config scales and parameterizes experiment runs.
@@ -37,14 +38,45 @@ type Config struct {
 	// TraceEvents, when > 0, enables structured event tracing on every
 	// launched run with the given per-rank ring capacity.
 	TraceEvents int
+	// Rounds, when > 0, enables round-level telemetry on every launched
+	// run with the given per-rank log capacity; the merged series lands
+	// in each RunInfo (and RunRecord.RoundSeries).
+	Rounds int
 	// Profile appends a per-experiment phase-profile table (the §V-D
 	// compute/pack/exchange/unpack/wait breakdown) covering every run
 	// the experiment launched.
 	Profile bool
-	// OnRun, if set, observes every successful runtime launch: label
-	// describes the configuration ("NCL p=16 |V|=4096"), rep is the
-	// completed run's report. Used to collect Chrome traces.
-	OnRun func(label string, rep *mpi.Report)
+	// OnRun, if set, observes every successful runtime launch. Used to
+	// collect Chrome traces and the machine-readable run records.
+	OnRun func(info RunInfo)
+}
+
+// RunInfo describes one completed runtime launch, delivered to
+// Config.OnRun and serialized as a RunRecord.
+type RunInfo struct {
+	// Label identifies the configuration in human-readable output
+	// ("rgg-weak NCL p=16 |V|=4096").
+	Label string
+	// App is the algorithm: "matching", "coloring" or "bfs".
+	App string
+	// Input is the workload identifier ("rgg-weak", "Friendster-analogue").
+	Input string
+	// Model is the communication model's name; empty for BFS, which has
+	// its own fixed exchange structure.
+	Model string
+	// Procs is the simulated rank count.
+	Procs int
+	// Vertices and Edges describe the input graph.
+	Vertices int
+	Edges    int64
+	// Rounds is the driver round (or BFS level) count; Messages the total
+	// protocol messages pushed.
+	Rounds   int
+	Messages int64
+	// Report carries the runtime's virtual time and traffic ledgers.
+	Report *mpi.Report
+	// Telemetry is the merged round series (nil unless Config.Rounds).
+	Telemetry *telemetry.Series
 }
 
 // DefaultConfig returns the standard full-scale configuration.
@@ -95,9 +127,9 @@ func (c Config) models(defaults []matching.Model) []matching.Model {
 }
 
 // observe reports a finished run to Config.OnRun, if registered.
-func (c Config) observe(label string, rep *mpi.Report) {
+func (c Config) observe(info RunInfo) {
 	if c.OnRun != nil {
-		c.OnRun(label, rep)
+		c.OnRun(info)
 	}
 }
 
@@ -208,36 +240,51 @@ func IDs() []string {
 // its tables to w. With cfg.Profile set, a phase-profile table covering
 // every run the experiment launched is appended.
 func RunOne(id string, cfg Config, w io.Writer) error {
+	_, err := RunOneRecord(id, cfg, w)
+	return err
+}
+
+// RunOneRecord is RunOne plus a machine-readable result: alongside the
+// rendered text it returns the experiment's tables and every launched
+// run as a schema-versioned ExperimentRecord (see record.go).
+func RunOneRecord(id string, cfg Config, w io.Writer) (*ExperimentRecord, error) {
 	e := Find(id)
 	if e == nil {
-		return fmt.Errorf("harness: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
+		return nil, fmt.Errorf("harness: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
 	}
 	fmt.Fprintf(w, "# %s — %s\n# paper: %s\n\n", e.ID, e.Title, e.Paper)
+	rec := &ExperimentRecord{ID: e.ID, Title: e.Title, Paper: e.Paper}
 	var prof *Table
 	if cfg.Profile {
 		prof = &Table{ID: id, Title: "phase profile (virtual seconds summed over ranks; §V-D breakdown)",
 			Headers: []string{"run", "compute", "pack", "exchange", "unpack", "wait", "mpi%", "wait%"}}
-		inner := cfg.OnRun
-		cfg.OnRun = func(label string, rep *mpi.Report) {
-			p := rep.Profile()
-			prof.AddRow(label, fsec(p.Compute), fsec(p.Pack), fsec(p.Exchange), fsec(p.Unpack), fsec(p.Wait),
+	}
+	inner := cfg.OnRun
+	cfg.OnRun = func(info RunInfo) {
+		rec.Runs = append(rec.Runs, newRunRecord(info))
+		if prof != nil {
+			p := info.Report.Profile()
+			prof.AddRow(info.Label, fsec(p.Compute), fsec(p.Pack), fsec(p.Exchange), fsec(p.Unpack), fsec(p.Wait),
 				f2(100*p.MPIFrac()), f2(100*p.WaitFrac()))
-			if inner != nil {
-				inner(label, rep)
-			}
+		}
+		if inner != nil {
+			inner(info)
 		}
 	}
 	tables, err := e.Run(cfg)
 	if err != nil {
-		return fmt.Errorf("harness: %s: %w", id, err)
+		return nil, fmt.Errorf("harness: %s: %w", id, err)
 	}
 	for _, t := range tables {
 		t.Render(w)
+		rec.Tables = append(rec.Tables, TableRecord{
+			ID: t.ID, Title: t.Title, Headers: t.Headers, Rows: t.Rows, Notes: t.Notes,
+		})
 	}
 	if prof != nil && len(prof.Rows) > 0 {
 		prof.Render(w)
 	}
-	return nil
+	return rec, nil
 }
 
 // RunAll executes every registered experiment.

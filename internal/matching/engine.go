@@ -7,6 +7,7 @@ import (
 	"repro/internal/distgraph"
 	"repro/internal/graph"
 	"repro/internal/mpi"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -59,10 +60,12 @@ type engine struct {
 	arcFlags   []uint8 // indexed by global arc index - arcBase
 	arcBase    int64
 
-	pending int64   // unresolved cross arcs owned by this rank (the paper's nghosts sum)
-	work    []int32 // stack of owned-vertex local indices to re-point
-	rounds  int
-	sent    int64 // protocol messages pushed (diagnostic)
+	pending  int64   // unresolved cross arcs owned by this rank (the paper's nghosts sum)
+	work     []int32 // stack of owned-vertex local indices to re-point
+	rounds   int
+	sent     int64    // protocol messages pushed (diagnostic)
+	kind     [4]int64 // cumulative pushes by context (ctxRequest..ctxInvalid)
+	nmatched int64    // owned vertices currently matched
 }
 
 func newEngine(c *mpi.Comm, l *distgraph.Local, tr transport.Sender, eagerReject bool) *engine {
@@ -135,7 +138,21 @@ func (e *engine) resolve(f *uint8) {
 // push emits a protocol message for the owner of ghost vertex x.
 func (e *engine) push(ctx, x, y int64) {
 	e.sent++
+	e.kind[ctx]++
 	e.tr.Send(e.l.Owner(int(x)), ctx, x, y)
+}
+
+// record appends one telemetry row at a driver round boundary: the
+// rank's clock, unresolved cross-arc count, matched vertices, the
+// cumulative per-kind protocol counters, the live mailbox occupancy and
+// the transport's per-destination volume ledger. One nil check when off.
+func (e *engine) record(log *telemetry.RoundLog, vol []int64) {
+	if log == nil {
+		return
+	}
+	log.Append(e.c.Now(), e.pending, e.nmatched,
+		e.kind[ctxRequest], e.kind[ctxReject], e.kind[ctxInvalid],
+		e.c.QueuedBytes(), vol)
 }
 
 // availableArc reports whether the neighbor at row position pos of owned
@@ -193,6 +210,7 @@ func (e *engine) findMate(vi int32) {
 		// here and send our REQUEST so the ghost's owner completes too.
 		e.mate[vi] = u
 		e.state[vi] = stMatched
+		e.nmatched++
 		*f |= arcEvicted
 		e.resolve(f)
 		e.push(ctxRequest, u, int64(v))
@@ -239,6 +257,7 @@ func (e *engine) matchLocal(vi, ui int32) {
 	e.mate[ui] = int64(int(vi) + e.lo)
 	e.state[vi] = stMatched
 	e.state[ui] = stMatched
+	e.nmatched += 2
 	e.afterMatch(vi)
 	e.afterMatch(ui)
 }
@@ -294,6 +313,7 @@ func (e *engine) handleMessage(ctx, x, y int64) {
 			// when we pointed at y).
 			e.mate[xi] = y
 			e.state[xi] = stMatched
+			e.nmatched++
 			*f |= arcEvicted
 			e.resolve(f)
 			e.afterMatch(xi)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/distgraph"
 	"repro/internal/graph"
 	"repro/internal/mpi"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -51,6 +52,10 @@ type Options struct {
 	// TraceEvents, when > 0, enables structured event tracing with a
 	// per-rank ring of this capacity (Report.Events, WriteChromeTrace).
 	TraceEvents int
+	// RoundLog, when > 0, enables round-level protocol telemetry with a
+	// per-rank log of this capacity (ParallelResult.Telemetry). Rounds
+	// beyond the capacity are dropped, not wrapped; see Series.Drops.
+	RoundLog int
 }
 
 // mpiOptions translates the shared runtime knobs to mpi.Run options.
@@ -86,6 +91,9 @@ type ParallelResult struct {
 	Report *mpi.Report
 	// Dist is the distribution used (for process-graph statistics).
 	Dist *distgraph.Dist
+	// Telemetry is the merged round-level series (nil unless
+	// Options.RoundLog was set).
+	Telemetry *telemetry.Series
 }
 
 // Run executes distributed half-approximate matching on g under the
@@ -100,35 +108,45 @@ func Run(g *graph.CSR, opt Options) (*ParallelResult, error) {
 	mates := make([]int64, g.NumVertices())
 	rounds := make([]int, opt.Procs)
 	sent := make([]int64, opt.Procs)
+	var logs []*telemetry.RoundLog
+	if opt.RoundLog > 0 {
+		logs = make([]*telemetry.RoundLog, opt.Procs)
+	}
 
 	rep, err := mpi.Run(opt.Procs, func(c *mpi.Comm) error {
 		l := d.BuildLocal(c.Rank())
+		var log *telemetry.RoundLog
+		if logs != nil {
+			log = telemetry.NewRoundLog(opt.RoundLog, opt.Procs)
+			log.SetTotal(int64(l.NumOwned()))
+			logs[c.Rank()] = log
+		}
 		var e *engine
 		switch opt.Model {
 		case NSR, MBP:
 			t := transport.NewP2P(c, opt.Model == MBP)
 			e = newEngine(c, l, t, opt.EagerReject)
-			runAsync(e, t)
+			runAsync(e, t, log)
 		case NSRA:
 			t := transport.NewP2PAgg(c, aggBatchRecords)
 			e = newEngine(c, l, t, opt.EagerReject)
-			runAsync(e, t)
+			runAsync(e, t, log)
 		case NCL:
 			topo := c.CreateGraphTopo(l.NeighborRanks)
 			t := transport.NewNCL(c, topo, l, MaxMessagesPerCrossEdge)
 			e = newEngine(c, l, t, opt.EagerReject)
-			runRounds(e, t)
+			runRounds(e, t, log)
 		case RMA:
 			topo := c.CreateGraphTopo(l.NeighborRanks)
 			t := transport.NewRMA(c, topo, l, MaxMessagesPerCrossEdge)
 			e = newEngine(c, l, t, opt.EagerReject)
-			runRounds(e, t)
+			runRounds(e, t, log)
 			t.Free()
 		case NCLI:
 			topo := c.CreateGraphTopo(l.NeighborRanks)
 			t := transport.NewNCLI(c, topo, l, MaxMessagesPerCrossEdge)
 			e = newEngine(c, l, t, opt.EagerReject)
-			runRounds(e, t)
+			runRounds(e, t, log)
 		default:
 			return fmt.Errorf("matching: unknown model %v", opt.Model)
 		}
@@ -149,6 +167,9 @@ func Run(g *graph.CSR, opt Options) (*ParallelResult, error) {
 		Result: NewResult(g, mate),
 		Report: rep,
 		Dist:   d,
+	}
+	if logs != nil {
+		pr.Telemetry = telemetry.Merge(logs)
 	}
 	for r := 0; r < opt.Procs; r++ {
 		if rounds[r] > pr.Rounds {

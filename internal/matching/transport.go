@@ -2,6 +2,7 @@ package matching
 
 import (
 	"repro/internal/mpi"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -16,16 +17,30 @@ const MaxMessagesPerCrossEdge = 2
 // aggregating Send-Recv transport.
 const aggBatchRecords = 64
 
+// volumeOf returns a transport's live per-destination byte ledger for
+// round telemetry (all in-repo backends implement transport.Volumer).
+func volumeOf(t transport.Sender) []int64 {
+	if v, ok := t.(transport.Volumer); ok {
+		return v.VolumeByDest()
+	}
+	return nil
+}
+
 // runAsync is the Send-Recv driver (paper Algorithms 1 and 3): process
 // incoming messages and local work until this rank's unresolved ghost
 // count reaches zero. As the paper notes (§V-D), the point-to-point
 // variant needs no global reduction — a local test suffices — because a
-// rank with no unresolved cross edges owes nothing to anyone.
-func runAsync(e *engine, t transport.Async) {
+// rank with no unresolved cross edges owes nothing to anyone. Row 0 of
+// the round log is the state after the initial pointing phase; one row
+// follows per poll iteration.
+func runAsync(e *engine, t transport.Async, log *telemetry.RoundLog) {
+	vol := volumeOf(t)
 	e.start()
+	e.record(log, vol)
 	for e.pending > 0 {
 		progressed := t.Drain(e.handleMessage)
 		e.drainWork()
+		e.record(log, vol)
 		if e.pending == 0 {
 			break
 		}
@@ -42,14 +57,18 @@ func runAsync(e *engine, t transport.Async) {
 // rounds of (exchange, process, local work) with a global reduction on
 // the unresolved ghost counts deciding termination — the extra
 // collective the paper identifies as the cost of uncoordinated exits
-// (§V-D).
-func runRounds(e *engine, t transport.Round) {
+// (§V-D). Row 0 of the round log is the state after the initial pointing
+// phase; one row follows per exchange round.
+func runRounds(e *engine, t transport.Round, log *telemetry.RoundLog) {
+	vol := volumeOf(t)
 	e.start()
+	e.record(log, vol)
 	for {
 		t.Exchange(e.handleMessage)
 		e.drainWork()
 		total := e.c.AllreduceScalarInt64(mpi.OpSum, e.pending)
 		e.rounds++
+		e.record(log, vol)
 		if total == 0 {
 			t.Finish()
 			return

@@ -55,10 +55,10 @@ const inlineWords = 4
 // traffic (neighborhood collectives, RMA control) which is invisible to
 // user-level Recv/Probe.
 type message struct {
-	src    int   // sender's rank within the sending communicator
-	tag    int
-	itag   int64
-	mctx   int32 // communicator id (user-level traffic only)
+	src  int // sender's rank within the sending communicator
+	tag  int
+	itag int64
+	mctx int32 // communicator id (user-level traffic only)
 	// gen is bumped on take and on release. Index entries snapshot it at
 	// push time; a mismatch means the entry is dead (taken through the
 	// other index, or recycled entirely). Atomic because a stale entry
@@ -398,6 +398,15 @@ func (mb *mailbox) poison() {
 	mb.parked = false
 	mb.mu.Unlock()
 	mb.cv.Broadcast()
+}
+
+// queuedBytes snapshots the current eager-buffer occupancy. Unlike hw it
+// is a live value, sampled by the round-telemetry layer at round
+// boundaries while senders are still pushing.
+func (mb *mailbox) queuedBytes() int64 {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.queued
 }
 
 // highWater snapshots the eager-buffer high-water mark. After poisoning

@@ -259,3 +259,11 @@ func (c *Comm) internalRecvAppend(src int, itag int64, buf []int64) []int64 {
 func (c *Comm) PendingMessages() int {
 	return c.mbox().pendingUser()
 }
+
+// QueuedBytes returns the bytes currently occupying this rank's eager
+// buffer (user and internal messages alike). RankStats.QueueHighWater is
+// the post-run maximum; this is the live value, which the round-telemetry
+// layer samples at round boundaries.
+func (c *Comm) QueuedBytes() int64 {
+	return c.mbox().queuedBytes()
+}

@@ -1,0 +1,408 @@
+// Package shape turns the qualitative claims of the paper's evaluation
+// (§V: which communication model wins on which input family, and why)
+// into executable assertions over the harness's machine-readable run
+// records. Each Check names one claim from EXPERIMENTS.md, the artifact
+// (experiment id) whose records it reads, and a Verify predicate; the
+// env-gated TestPaperShapes regenerates each artifact once at reduced
+// scale and evaluates every check against it (`make tier2`).
+//
+// The checks assert orderings and trends — "RMA beats NSR", "the gap
+// widens with p", "the unresolved count drains monotonically" — never
+// absolute times, so they are stable across cost-model tweaks and
+// machine speeds while still catching regressions that flip a
+// conclusion of the paper.
+package shape
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/harness"
+	"repro/internal/metrics"
+)
+
+// Check is one executable paper claim.
+type Check struct {
+	// ID is the stable identifier EXPERIMENTS.md references.
+	ID string
+	// Artifact is the harness experiment whose records the check reads.
+	Artifact string
+	// Claim states the qualitative shape being asserted.
+	Claim string
+	// Verify evaluates the claim against the artifact's record.
+	Verify func(rec *harness.ExperimentRecord) error
+}
+
+// Checks returns the full shape-regression suite.
+func Checks() []Check {
+	return []Check{
+		{
+			ID:       "fig4a-ncl-rma-beat-nsr",
+			Artifact: "fig4a",
+			Claim:    "on RGG weak scaling both NCL and RMA beat NSR at the largest process count (paper: 2-3.5x)",
+			Verify: func(rec *harness.ExperimentRecord) error {
+				p, err := largestProcs(rec, "rgg-weak")
+				if err != nil {
+					return err
+				}
+				return fasterThan(rec, "rgg-weak", p, "NSR", "RMA", "NCL")
+			},
+		},
+		{
+			ID:       "fig4a-gap-widens",
+			Artifact: "fig4a",
+			Claim:    "the RMA and NCL advantage over NSR on RGG grows with the process count",
+			Verify: func(rec *harness.ExperimentRecord) error {
+				ps, err := allProcs(rec, "rgg-weak")
+				if err != nil {
+					return err
+				}
+				lo, hi := ps[0], ps[len(ps)-1]
+				for _, m := range []string{"RMA", "NCL"} {
+					slo, err := speedupOverNSR(rec, "rgg-weak", m, lo)
+					if err != nil {
+						return err
+					}
+					shi, err := speedupOverNSR(rec, "rgg-weak", m, hi)
+					if err != nil {
+						return err
+					}
+					if shi <= slo {
+						return fmt.Errorf("%s/NSR speedup shrank with p: %.2fx at p=%d vs %.2fx at p=%d", m, slo, lo, shi, hi)
+					}
+				}
+				return nil
+			},
+		},
+		{
+			ID:       "fig4a-protocol-drains",
+			Artifact: "fig4a",
+			Claim:    "the matching protocol converges: every run's unresolved cross-edge count is non-increasing and reaches zero",
+			Verify: func(rec *harness.ExperimentRecord) error {
+				checked := 0
+				for _, r := range rec.Runs {
+					if len(r.RoundSeries) == 0 {
+						continue
+					}
+					checked++
+					if r.TelemetryDrops > 0 {
+						return fmt.Errorf("%s: %d telemetry rows dropped (capacity too small for the gate)", r.Label, r.TelemetryDrops)
+					}
+					prev := r.RoundSeries[0].Unresolved
+					for _, p := range r.RoundSeries[1:] {
+						if p.Unresolved > prev {
+							return fmt.Errorf("%s: unresolved grew %d -> %d at round %d", r.Label, prev, p.Unresolved, p.Round)
+						}
+						prev = p.Unresolved
+					}
+					if last := r.RoundSeries[len(r.RoundSeries)-1]; last.Unresolved != 0 {
+						return fmt.Errorf("%s: final unresolved = %d, want 0", r.Label, last.Unresolved)
+					} else if last.DoneFrac <= 0 {
+						return fmt.Errorf("%s: final done fraction = %v, want > 0", r.Label, last.DoneFrac)
+					}
+				}
+				if checked == 0 {
+					return fmt.Errorf("no run carried a round series (was telemetry enabled?)")
+				}
+				return nil
+			},
+		},
+		{
+			ID:       "fig4c-nsr-wins",
+			Artifact: "fig4c",
+			Claim:    "on the near-complete SBP process graph NSR beats both neighborhood models at the largest process count (paper: 1.5-2.7x)",
+			Verify: func(rec *harness.ExperimentRecord) error {
+				p, err := largestProcs(rec, "sbp-weak")
+				if err != nil {
+					return err
+				}
+				nsr, err := runTime(rec, "sbp-weak", "NSR", p)
+				if err != nil {
+					return err
+				}
+				for _, m := range []string{"RMA", "NCL"} {
+					t, err := runTime(rec, "sbp-weak", m, p)
+					if err != nil {
+						return err
+					}
+					if t <= nsr {
+						return fmt.Errorf("%s (%.3gs) not slower than NSR (%.3gs) at p=%d", m, t, nsr, p)
+					}
+				}
+				return nil
+			},
+		},
+		{
+			ID:       "fig4c-termination-collectives",
+			Artifact: "fig4c",
+			Claim:    "the neighborhood models pay a per-round global exit reduction (§V-D): their collective-operation counts exceed NSR's",
+			Verify: func(rec *harness.ExperimentRecord) error {
+				p, err := largestProcs(rec, "sbp-weak")
+				if err != nil {
+					return err
+				}
+				nsr, err := findRun(rec, "sbp-weak", "NSR", p)
+				if err != nil {
+					return err
+				}
+				for _, m := range []string{"RMA", "NCL"} {
+					r, err := findRun(rec, "sbp-weak", m, p)
+					if err != nil {
+						return err
+					}
+					if r.CollOps <= nsr.CollOps {
+						return fmt.Errorf("%s coll_ops=%d not above NSR's %d at p=%d", m, r.CollOps, nsr.CollOps, p)
+					}
+				}
+				return nil
+			},
+		},
+		{
+			ID:       "fig5-rma-wins-v1r",
+			Artifact: "fig5",
+			Claim:    "RMA beats NSR on the largest protein k-mer input (V1r) at every process count (paper: 25-35% up to 2-3x)",
+			Verify: func(rec *harness.ExperimentRecord) error {
+				ps, err := allProcs(rec, "V1r")
+				if err != nil {
+					return err
+				}
+				for _, p := range ps {
+					if err := fasterThan(rec, "V1r", p, "NSR", "RMA"); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		},
+		{
+			ID:       "fig6-ncl-degrades",
+			Artifact: "fig6",
+			Claim:    "NCL's advantage over NSR on the Friendster analogue shrinks as p grows (denser process graph; paper Table IV)",
+			Verify: func(rec *harness.ExperimentRecord) error {
+				ps, err := allProcs(rec, "Friendster-analogue")
+				if err != nil {
+					return err
+				}
+				lo, hi := ps[0], ps[len(ps)-1]
+				slo, err := speedupOverNSR(rec, "Friendster-analogue", "NCL", lo)
+				if err != nil {
+					return err
+				}
+				shi, err := speedupOverNSR(rec, "Friendster-analogue", "NCL", hi)
+				if err != nil {
+					return err
+				}
+				if shi >= slo {
+					return fmt.Errorf("NCL/NSR speedup did not degrade: %.2fx at p=%d vs %.2fx at p=%d", slo, lo, shi, hi)
+				}
+				return nil
+			},
+		},
+		{
+			ID:       "fig8-rcm-flip",
+			Artifact: "fig8",
+			Claim:    "RCM reordering flips the meshes to the neighborhood models: NCL or RMA beats NSR on every reordered input (paper: 2-5x)",
+			Verify: func(rec *harness.ExperimentRecord) error {
+				for _, input := range []string{"cage15(RCM)", "hv15r(RCM)"} {
+					ps, err := allProcs(rec, input)
+					if err != nil {
+						return err
+					}
+					for _, p := range ps {
+						nsr, err := runTime(rec, input, "NSR", p)
+						if err != nil {
+							return err
+						}
+						rma, err := runTime(rec, input, "RMA", p)
+						if err != nil {
+							return err
+						}
+						ncl, err := runTime(rec, input, "NCL", p)
+						if err != nil {
+							return err
+						}
+						if rma >= nsr && ncl >= nsr {
+							return fmt.Errorf("%s p=%d: neither RMA (%.3gs) nor NCL (%.3gs) beats NSR (%.3gs)", input, p, rma, ncl, nsr)
+						}
+					}
+				}
+				return nil
+			},
+		},
+		{
+			ID:       "fig8-mbp-slowest",
+			Artifact: "fig8",
+			Claim:    "synchronous batched sends (MBP) are the slowest implementation on the reordered meshes (paper: NSR 1.2-2x, NCL/RMA 2.5-7x over MBP)",
+			Verify: func(rec *harness.ExperimentRecord) error {
+				for _, input := range []string{"cage15(RCM)", "hv15r(RCM)"} {
+					ps, err := allProcs(rec, input)
+					if err != nil {
+						return err
+					}
+					for _, p := range ps {
+						mbp, err := runTime(rec, input, "MBP", p)
+						if err != nil {
+							return err
+						}
+						for _, m := range []string{"NSR", "RMA", "NCL"} {
+							t, err := runTime(rec, input, m, p)
+							if err != nil {
+								return err
+							}
+							if t >= mbp {
+								return fmt.Errorf("%s p=%d: %s (%.3gs) not faster than MBP (%.3gs)", input, p, m, t, mbp)
+							}
+						}
+					}
+				}
+				return nil
+			},
+		},
+		{
+			ID:       "fig10-rma-ncl-dominate",
+			Artifact: "fig10",
+			Claim:    "over the whole input suite the neighborhood models' performance profiles dominate NSR's (paper: RMA area 0.82, NCL 0.79, NSR 0.49)",
+			Verify: func(rec *harness.ExperimentRecord) error {
+				// Recompute the profile curves from the raw run records
+				// rather than parsing the rendered table.
+				times := map[string][]float64{"NSR": nil, "RMA": nil, "NCL": nil}
+				type key struct {
+					input string
+					p     int
+				}
+				byConfig := map[key]map[string]float64{}
+				for _, r := range rec.Runs {
+					k := key{r.Input, r.Procs}
+					if byConfig[k] == nil {
+						byConfig[k] = map[string]float64{}
+					}
+					byConfig[k][r.Model] = r.TimeSec
+				}
+				for k, ms := range byConfig {
+					for m := range times {
+						t, ok := ms[m]
+						if !ok {
+							return fmt.Errorf("config %s p=%d missing model %s", k.input, k.p, m)
+						}
+						times[m] = append(times[m], t)
+					}
+				}
+				curves, err := metrics.Profiles(times)
+				if err != nil {
+					return err
+				}
+				area := map[string]float64{}
+				for _, c := range curves {
+					area[c.Name] = c.AreaScore(4)
+				}
+				for _, m := range []string{"RMA", "NCL"} {
+					if area[m] <= area["NSR"] {
+						return fmt.Errorf("%s profile area %.3f does not dominate NSR's %.3f", m, area[m], area["NSR"])
+					}
+				}
+				return nil
+			},
+		},
+		{
+			ID:       "tab8-ncl-lowest-memory",
+			Artifact: "tab8",
+			Claim:    "NCL has the lowest high-water memory on the social input: no unexpected-message queues, no window mirrors (paper: 1.03-2.3x below NSR)",
+			Verify: func(rec *harness.ExperimentRecord) error {
+				ncl, err := findRun(rec, "friendster-analogue", "NCL", 0)
+				if err != nil {
+					return err
+				}
+				for _, m := range []string{"NSR", "RMA"} {
+					r, err := findRun(rec, "friendster-analogue", m, 0)
+					if err != nil {
+						return err
+					}
+					if r.MaxMemoryBytes <= ncl.MaxMemoryBytes {
+						return fmt.Errorf("%s high-water memory %d B not above NCL's %d B", m, r.MaxMemoryBytes, ncl.MaxMemoryBytes)
+					}
+				}
+				return nil
+			},
+		},
+	}
+}
+
+// findRun returns the (last) run matching input/model/procs; zero procs
+// matches any process count.
+func findRun(rec *harness.ExperimentRecord, input, model string, procs int) (*harness.RunRecord, error) {
+	rs := rec.FindRuns(input, model, procs)
+	if len(rs) == 0 {
+		return nil, fmt.Errorf("%s: no run with input=%q model=%q procs=%d", rec.ID, input, model, procs)
+	}
+	return &rs[len(rs)-1], nil
+}
+
+// runTime returns the virtual time of the matching run.
+func runTime(rec *harness.ExperimentRecord, input, model string, procs int) (float64, error) {
+	r, err := findRun(rec, input, model, procs)
+	if err != nil {
+		return 0, err
+	}
+	return r.TimeSec, nil
+}
+
+// allProcs returns the sorted distinct process counts the artifact ran
+// the given input on.
+func allProcs(rec *harness.ExperimentRecord, input string) ([]int, error) {
+	seen := map[int]bool{}
+	for _, r := range rec.FindRuns(input, "", 0) {
+		seen[r.Procs] = true
+	}
+	if len(seen) == 0 {
+		return nil, fmt.Errorf("%s: no runs for input %q", rec.ID, input)
+	}
+	ps := make([]int, 0, len(seen))
+	for p := range seen {
+		ps = append(ps, p)
+	}
+	sort.Ints(ps)
+	return ps, nil
+}
+
+func largestProcs(rec *harness.ExperimentRecord, input string) (int, error) {
+	ps, err := allProcs(rec, input)
+	if err != nil {
+		return 0, err
+	}
+	return ps[len(ps)-1], nil
+}
+
+// speedupOverNSR returns time(NSR)/time(model) for one configuration.
+func speedupOverNSR(rec *harness.ExperimentRecord, input, model string, procs int) (float64, error) {
+	nsr, err := runTime(rec, input, "NSR", procs)
+	if err != nil {
+		return 0, err
+	}
+	t, err := runTime(rec, input, model, procs)
+	if err != nil {
+		return 0, err
+	}
+	if t <= 0 {
+		return 0, fmt.Errorf("%s %s p=%d: non-positive time %v", input, model, procs, t)
+	}
+	return nsr / t, nil
+}
+
+// fasterThan asserts every challenger model strictly beats the baseline
+// model on (input, procs).
+func fasterThan(rec *harness.ExperimentRecord, input string, procs int, baseline string, challengers ...string) error {
+	base, err := runTime(rec, input, baseline, procs)
+	if err != nil {
+		return err
+	}
+	for _, m := range challengers {
+		t, err := runTime(rec, input, m, procs)
+		if err != nil {
+			return err
+		}
+		if t >= base {
+			return fmt.Errorf("%s p=%d: %s (%.3gs) not faster than %s (%.3gs)", input, procs, m, t, baseline, base)
+		}
+	}
+	return nil
+}

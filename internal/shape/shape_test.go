@@ -1,0 +1,108 @@
+package shape
+
+import (
+	"io"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// TestChecksWellFormed is the tier-1 guard over the suite itself: ids
+// unique, claims stated, artifacts registered, and at least the six
+// checks the regression gate promises.
+func TestChecksWellFormed(t *testing.T) {
+	checks := Checks()
+	if len(checks) < 6 {
+		t.Fatalf("suite has %d checks, want >= 6", len(checks))
+	}
+	seen := map[string]bool{}
+	for _, c := range checks {
+		if c.ID == "" || c.Claim == "" {
+			t.Errorf("check %+v: empty id or claim", c)
+		}
+		if seen[c.ID] {
+			t.Errorf("duplicate check id %q", c.ID)
+		}
+		seen[c.ID] = true
+		if harness.Find(c.Artifact) == nil {
+			t.Errorf("check %s: unknown artifact %q", c.ID, c.Artifact)
+		}
+		if c.Verify == nil {
+			t.Errorf("check %s: nil Verify", c.ID)
+		}
+	}
+}
+
+// TestPaperShapes is the tier-2 regression gate (`make tier2`): it
+// regenerates each referenced artifact once at reduced scale and
+// evaluates every qualitative claim of the paper against the run
+// records. Gated on RUN_SHAPE_CHECKS because the full pass takes
+// minutes, not milliseconds.
+//
+// Environment:
+//
+//	RUN_SHAPE_CHECKS=1   enable (otherwise the test skips)
+//	SHAPE_SCALE=0.5      workload scale factor (default 0.5)
+//	SHAPE_RECORDS=x.json also write the generated records as JSON
+func TestPaperShapes(t *testing.T) {
+	if os.Getenv("RUN_SHAPE_CHECKS") == "" {
+		t.Skip("set RUN_SHAPE_CHECKS=1 (or run `make tier2`) to enable the paper-shape regression gate")
+	}
+	scale := 0.5
+	if s := os.Getenv("SHAPE_SCALE"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v <= 0 {
+			t.Fatalf("bad SHAPE_SCALE %q: %v", s, err)
+		}
+		scale = v
+	}
+	cfg := harness.DefaultConfig()
+	cfg.Scale = scale
+	cfg.Rounds = 4096
+	if testing.Verbose() {
+		cfg.Out = os.Stderr
+	}
+
+	doc := harness.NewDocument("shape-test", scale)
+	cache := map[string]*harness.ExperimentRecord{}
+	recordOf := func(t *testing.T, id string) *harness.ExperimentRecord {
+		if rec, ok := cache[id]; ok {
+			return rec
+		}
+		t.Logf("regenerating %s at scale %g", id, scale)
+		rec, err := harness.RunOneRecord(id, cfg, io.Discard)
+		if err != nil {
+			t.Fatalf("regenerating %s: %v", id, err)
+		}
+		cache[id] = rec
+		doc.Add(rec)
+		return rec
+	}
+
+	for _, c := range Checks() {
+		c := c
+		t.Run(c.ID, func(t *testing.T) {
+			rec := recordOf(t, c.Artifact)
+			if err := c.Verify(rec); err != nil {
+				t.Errorf("claim %q failed: %v", c.Claim, err)
+			}
+		})
+	}
+
+	if path := os.Getenv("SHAPE_RECORDS"); path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatalf("SHAPE_RECORDS: %v", err)
+		}
+		err = doc.Write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			t.Fatalf("SHAPE_RECORDS: %v", err)
+		}
+		t.Logf("wrote %d experiment records to %s", len(doc.Experiments), path)
+	}
+}

@@ -1,0 +1,130 @@
+package telemetry
+
+import "testing"
+
+func TestNewRoundLogPanics(t *testing.T) {
+	for _, tc := range []struct{ capacity, width int }{{0, 4}, {-1, 4}, {4, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewRoundLog(%d, %d) did not panic", tc.capacity, tc.width)
+				}
+			}()
+			NewRoundLog(tc.capacity, tc.width)
+		}()
+	}
+}
+
+func TestNilLogIsInert(t *testing.T) {
+	var l *RoundLog
+	l.Append(1, 2, 3, 4, 5, 6, 7, []int64{8})
+	if l.Len() != 0 || l.Drops() != 0 {
+		t.Errorf("nil log: Len=%d Drops=%d", l.Len(), l.Drops())
+	}
+}
+
+func TestAppendAndDrops(t *testing.T) {
+	l := NewRoundLog(2, 2)
+	l.SetTotal(10)
+	l.Append(1.0, 5, 2, 3, 1, 0, 100, []int64{24, 0})
+	l.Append(2.0, 0, 5, 4, 2, 1, 0, []int64{48, 0})
+	l.Append(3.0, 0, 5, 4, 2, 1, 0, []int64{48, 0}) // beyond capacity
+	if l.Len() != 2 || l.Drops() != 1 || l.Total() != 10 {
+		t.Fatalf("Len=%d Drops=%d Total=%d, want 2, 1, 10", l.Len(), l.Drops(), l.Total())
+	}
+	r := l.Round(1)
+	if r.Time != 2.0 || r.Unresolved != 0 || r.Done != 5 || r.Req != 4 || r.Rej != 2 || r.Inv != 1 || r.Queue != 0 {
+		t.Errorf("row 1 = %+v", r)
+	}
+	if len(r.NbrBytes) != 2 || r.NbrBytes[0] != 48 {
+		t.Errorf("row 1 nbr = %v", r.NbrBytes)
+	}
+}
+
+func TestAppendToleratesShortOrNilVolume(t *testing.T) {
+	l := NewRoundLog(4, 3)
+	l.Append(1, 0, 0, 0, 0, 0, 0, nil)
+	l.Append(2, 0, 0, 0, 0, 0, 0, []int64{7})
+	l.Append(3, 0, 0, 0, 0, 0, 0, []int64{1, 2, 3, 4, 5}) // longer than width
+	if got := l.Round(1).NbrBytes; got[0] != 7 || got[1] != 0 {
+		t.Errorf("short copy: %v", got)
+	}
+	if got := l.Round(2).NbrBytes; got[0] != 1 || got[2] != 3 {
+		t.Errorf("truncated copy: %v", got)
+	}
+}
+
+// TestMergeCarryForward exercises the heart of Merge: ranks finishing at
+// different rounds contribute their final cumulative values to later
+// points, per-round deltas are computed against the previous cumulative
+// sum, and only ranks still producing rows compete for the per-round
+// link maximum.
+func TestMergeCarryForward(t *testing.T) {
+	a := NewRoundLog(4, 2)
+	a.SetTotal(10)
+	a.Append(1.0, 5, 2, 3, 1, 0, 100, []int64{24, 0})
+	a.Append(2.0, 0, 5, 4, 2, 1, 0, []int64{48, 0})
+	b := NewRoundLog(4, 2)
+	b.SetTotal(10)
+	b.Append(1.5, 3, 4, 2, 0, 0, 50, []int64{0, 24}) // finishes after one round
+
+	s := Merge([]*RoundLog{a, nil, b})
+	if s.Procs != 2 || s.Total != 20 || s.Drops != 0 || s.Rounds() != 2 {
+		t.Fatalf("series = %+v", s)
+	}
+
+	p0 := s.Points[0]
+	if p0.Time != 1.5 || p0.Unresolved != 8 || p0.Done != 6 || p0.DoneFrac != 0.3 {
+		t.Errorf("p0 = %+v", p0)
+	}
+	if p0.Req != 5 || p0.Rej != 1 || p0.Inv != 0 || p0.Bytes != 48 {
+		t.Errorf("p0 deltas = %+v", p0)
+	}
+	if p0.MaxLinkBytes != 24 || p0.MaxQueueBytes != 100 {
+		t.Errorf("p0 maxima = %+v", p0)
+	}
+
+	p1 := s.Points[1]
+	// b's single row carries forward: instantaneous sums include it,
+	// cumulative counters do not regress, deltas count only a's progress.
+	if p1.Unresolved != 3 || p1.Done != 9 || p1.DoneFrac != 0.45 {
+		t.Errorf("p1 = %+v", p1)
+	}
+	if p1.Req != 1 || p1.Rej != 1 || p1.Inv != 1 || p1.Bytes != 24 {
+		t.Errorf("p1 deltas = %+v", p1)
+	}
+	// a's link delta is 48-24; b is carried forward and must not compete.
+	if p1.MaxLinkBytes != 24 || p1.MaxQueueBytes != 50 {
+		t.Errorf("p1 maxima = %+v", p1)
+	}
+	if f := s.Final(); f != p1 {
+		t.Errorf("Final() = %+v, want %+v", f, p1)
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	for _, logs := range [][]*RoundLog{nil, {nil, nil}, {NewRoundLog(2, 0)}} {
+		s := Merge(logs)
+		if s.Rounds() != 0 {
+			t.Errorf("Merge(%v).Rounds() = %d", logs, s.Rounds())
+		}
+		if f := s.Final(); f != (Point{}) {
+			t.Errorf("Final() = %+v, want zero", f)
+		}
+	}
+}
+
+// TestAppendZeroAlloc is the telemetry side of the repo's allocation
+// contracts: recording a round into a preallocated log must not touch
+// the heap.
+func TestAppendZeroAlloc(t *testing.T) {
+	l := NewRoundLog(1<<16, 8)
+	nbr := make([]int64, 8)
+	i := int64(0)
+	if avg := testing.AllocsPerRun(1000, func() {
+		l.Append(float64(i), i, i, i, i, i, i, nbr)
+		i++
+	}); avg != 0 {
+		t.Errorf("Append: %.2f allocs/op, want 0", avg)
+	}
+}

@@ -22,6 +22,12 @@ import (
 // recordWords is the wire size of one record for buffered backends.
 const recordWords = 3
 
+// recordBytes is the ledger cost of one record in VolumeByDest: every
+// backend moves the same three-word logical record, so volumes stay
+// comparable across models regardless of wire framing (the P2P path
+// carries ctx in the tag, batched paths add count headers).
+const recordBytes = recordWords * 8
+
 // Handler consumes one received protocol record.
 type Handler func(ctx, x, y int64)
 
@@ -59,6 +65,15 @@ type Round interface {
 	Finish()
 }
 
+// Volumer exposes a backend's cumulative per-destination payload
+// ledger: VolumeByDest()[d] is the total record bytes this rank has
+// pushed toward rank d through Send since construction. The slice is
+// live backend state — the round-telemetry layer snapshots it once per
+// round; callers must not retain or modify it.
+type Volumer interface {
+	VolumeByDest() []int64
+}
+
 // --- P2P: Send-Recv -------------------------------------------------------
 
 // P2P sends each record as one point-to-point message with the context
@@ -69,15 +84,20 @@ type P2P struct {
 	Synchronous bool
 	sbuf        [2]int64 // send scratch (the runtime copies payloads)
 	rbuf        [2]int64 // receive scratch for RecvInto
+	vol         []int64
 }
 
 // NewP2P returns a Send-Recv backend.
 func NewP2P(c *mpi.Comm, synchronous bool) *P2P {
-	return &P2P{C: c, Synchronous: synchronous}
+	return &P2P{C: c, Synchronous: synchronous, vol: make([]int64, c.Size())}
 }
+
+// VolumeByDest implements Volumer.
+func (t *P2P) VolumeByDest() []int64 { return t.vol }
 
 // Send implements Sender.
 func (t *P2P) Send(dst int, ctx, x, y int64) {
+	t.vol[dst] += recordBytes
 	t.sbuf[0], t.sbuf[1] = x, y
 	if t.Synchronous {
 		t.C.Ssend(dst, int(ctx), t.sbuf[:])
@@ -119,6 +139,7 @@ type NCL struct {
 	l         *distgraph.Local
 	out       [][]int64
 	accounted int64 // high-water of buffer bytes actually used
+	vol       []int64
 
 	// Per-round scratch, reused so a steady-state Exchange allocates
 	// nothing: outgoing/incoming counts and the receive buffers.
@@ -134,6 +155,7 @@ func NewNCL(c *mpi.Comm, topo *mpi.Topo, l *distgraph.Local, maxPerArc int64) *N
 	t := &NCL{
 		c: c, topo: topo, l: l,
 		out:      make([][]int64, deg),
+		vol:      make([]int64, c.Size()),
 		counts:   make([]int64, deg),
 		incoming: make([]int64, deg),
 		in:       make([][]int64, deg),
@@ -147,12 +169,16 @@ func NewNCL(c *mpi.Comm, topo *mpi.Topo, l *distgraph.Local, maxPerArc int64) *N
 	return t
 }
 
+// VolumeByDest implements Volumer.
+func (t *NCL) VolumeByDest() []int64 { return t.vol }
+
 // Send implements Sender.
 func (t *NCL) Send(dst int, ctx, x, y int64) {
 	i := t.l.NeighborIndex(dst)
 	if i < 0 {
 		panic(fmt.Sprintf("transport: NCL send to non-neighbor rank %d", dst))
 	}
+	t.vol[dst] += recordBytes
 	if len(t.out[i])+recordWords > cap(t.out[i]) {
 		panic(fmt.Sprintf("transport: NCL buffer overflow to rank %d (per-edge message bound violated)", dst))
 	}
@@ -222,6 +248,7 @@ type RMA struct {
 	writeCursor []int64
 	roundMark   []int64
 	readCursor  []int64
+	vol         []int64
 
 	// Per-round scratch, reused so a steady-state Exchange (and each
 	// Send's 3-word put record) allocates nothing.
@@ -240,6 +267,7 @@ func NewRMA(c *mpi.Comm, topo *mpi.Topo, l *distgraph.Local, maxPerArc int64) *R
 		writeCursor: make([]int64, deg),
 		roundMark:   make([]int64, deg),
 		readCursor:  make([]int64, deg),
+		vol:         make([]int64, c.Size()),
 		delta:       make([]int64, deg),
 		incoming:    make([]int64, deg),
 	}
@@ -254,6 +282,9 @@ func NewRMA(c *mpi.Comm, topo *mpi.Topo, l *distgraph.Local, maxPerArc int64) *R
 	return t
 }
 
+// VolumeByDest implements Volumer.
+func (t *RMA) VolumeByDest() []int64 { return t.vol }
+
 // Send implements Sender with a one-sided put at the precomputed
 // displacement.
 func (t *RMA) Send(dst int, ctx, x, y int64) {
@@ -261,6 +292,7 @@ func (t *RMA) Send(dst int, ctx, x, y int64) {
 	if i < 0 {
 		panic(fmt.Sprintf("transport: RMA send to non-neighbor rank %d", dst))
 	}
+	t.vol[dst] += recordBytes
 	if t.writeCursor[i] >= t.l.CrossArcs[i]*t.maxPerArc {
 		panic(fmt.Sprintf("transport: RMA region overflow to rank %d (per-edge message bound violated)", dst))
 	}
@@ -314,6 +346,7 @@ type NCLI struct {
 	in        [][]int64 // receive scratch reused across rounds
 	inflight  *mpi.NbrRequest
 	accounted int64 // high-water of buffer bytes actually used
+	vol       []int64
 }
 
 // NewNCLI returns the pipelined nonblocking backend.
@@ -322,6 +355,7 @@ func NewNCLI(c *mpi.Comm, topo *mpi.Topo, l *distgraph.Local, maxPerArc int64) *
 		out:   make([][]int64, len(l.NeighborRanks)),
 		spare: make([][]int64, len(l.NeighborRanks)),
 		in:    make([][]int64, len(l.NeighborRanks)),
+		vol:   make([]int64, c.Size()),
 	}
 	for i, arcs := range l.CrossArcs {
 		cap := arcs * maxPerArc * recordWords
@@ -333,12 +367,16 @@ func NewNCLI(c *mpi.Comm, topo *mpi.Topo, l *distgraph.Local, maxPerArc int64) *
 	return t
 }
 
+// VolumeByDest implements Volumer.
+func (t *NCLI) VolumeByDest() []int64 { return t.vol }
+
 // Send implements Sender.
 func (t *NCLI) Send(dst int, ctx, x, y int64) {
 	i := t.l.NeighborIndex(dst)
 	if i < 0 {
 		panic(fmt.Sprintf("transport: NCLI send to non-neighbor rank %d", dst))
 	}
+	t.vol[dst] += recordBytes
 	if len(t.out[i])+recordWords > cap(t.out[i]) {
 		panic(fmt.Sprintf("transport: NCLI buffer overflow to rank %d (per-edge message bound violated)", dst))
 	}
@@ -407,6 +445,7 @@ type P2PAgg struct {
 	out       map[int][]int64
 	rbuf      []int64 // receive scratch, grown to the largest batch seen
 	accounted int64
+	vol       []int64
 }
 
 // NewP2PAgg returns an aggregating Send-Recv backend batching up to
@@ -415,12 +454,16 @@ func NewP2PAgg(c *mpi.Comm, batch int) *P2PAgg {
 	if batch < 1 {
 		panic(fmt.Sprintf("transport: P2PAgg batch = %d", batch))
 	}
-	return &P2PAgg{c: c, batch: batch, out: make(map[int][]int64)}
+	return &P2PAgg{c: c, batch: batch, out: make(map[int][]int64), vol: make([]int64, c.Size())}
 }
+
+// VolumeByDest implements Volumer.
+func (t *P2PAgg) VolumeByDest() []int64 { return t.vol }
 
 // Send implements Sender: append to the destination's batch, flushing
 // when full.
 func (t *P2PAgg) Send(dst int, ctx, x, y int64) {
+	t.vol[dst] += recordBytes
 	t.c.Pack(1)
 	buf := append(t.out[dst], ctx, x, y)
 	if len(buf) >= t.batch*recordWords {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/distgraph"
 	"repro/internal/gen"
 	"repro/internal/mpi"
+	"repro/internal/telemetry"
 )
 
 // Compile-time interface conformance.
@@ -206,6 +207,109 @@ func TestSendToNonNeighborPanics(t *testing.T) {
 	})
 	if err == nil {
 		t.Fatal("send to non-neighbor must fail")
+	}
+}
+
+// TestVolumeByDest asserts the per-destination byte ledger every backend
+// exposes for round telemetry: one 3-word record costs recordBytes
+// toward its destination, uniformly across models.
+func TestVolumeByDest(t *testing.T) {
+	g := gen.Path(8)
+	d := distgraph.NewBlockDist(g, 2)
+	_, err := run(2, func(c *mpi.Comm) error {
+		l := d.BuildLocal(c.Rank())
+		topo := c.CreateGraphTopo(l.NeighborRanks)
+		peer := 1 - c.Rank()
+		x, y := int64(3), int64(4)
+		if c.Rank() == 0 {
+			x, y = 4, 3
+		}
+		for _, tr := range []Sender{
+			NewP2P(c, false),
+			NewP2PAgg(c, 4),
+			NewNCL(c, topo, l, 8),
+			NewRMA(c, topo, l, 8),
+			NewNCLI(c, topo, l, 8),
+		} {
+			v, ok := tr.(Volumer)
+			if !ok {
+				t.Fatalf("%T does not expose VolumeByDest", tr)
+			}
+			tr.Send(peer, 1, x, y)
+			tr.Send(peer, 1, x, y)
+			vol := v.VolumeByDest()
+			if len(vol) != 2 || vol[peer] != 2*recordBytes || vol[c.Rank()] != 0 {
+				t.Errorf("%T: vol = %v, want %d at %d", tr, vol, 2*recordBytes, peer)
+			}
+			// Settle in-flight traffic so the next backend starts clean.
+			switch b := tr.(type) {
+			case Async:
+				b.Finish()
+				c.Barrier()
+				b.Drain(func(ctx, rx, ry int64) {})
+			case Round:
+				b.Exchange(func(ctx, rx, ry int64) {})
+				b.Exchange(func(ctx, rx, ry int64) {})
+				b.Finish()
+			}
+			c.Barrier()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTelemetryRoundZeroAlloc extends the NCL aggregation-round contract
+// below with the full telemetry hot path: after each exchange the rank
+// samples its clock, mailbox occupancy and per-destination volume ledger
+// and appends a row to a preallocated RoundLog. The instrumented round
+// must stay allocation-free, so enabling -rounds/-json telemetry cannot
+// perturb the steady state it measures.
+func TestTelemetryRoundZeroAlloc(t *testing.T) {
+	const runs = 50
+	g := gen.Path(8)
+	d := distgraph.NewBlockDist(g, 2)
+	_, err := run(2, func(c *mpi.Comm) error {
+		l := d.BuildLocal(c.Rank())
+		topo := c.CreateGraphTopo(l.NeighborRanks)
+		tr := NewNCL(c, topo, l, 8)
+		log := telemetry.NewRoundLog(1024, c.Size())
+		peer := 1 - c.Rank()
+		x, y := int64(3), int64(4)
+		if c.Rank() == 0 {
+			x, y = 4, 3
+		}
+		var unresolved, done int64
+		round := func() {
+			tr.Send(peer, 1, x, y)
+			if n := tr.Exchange(func(ctx, rx, ry int64) {}); n != 1 {
+				t.Errorf("exchange delivered %d records, want 1", n)
+			}
+			c.AllreduceScalarInt64(mpi.OpSum, 1)
+			done++
+			log.Append(c.Now(), unresolved, done, done, 0, 0, c.QueuedBytes(), tr.VolumeByDest())
+		}
+		for i := 0; i < 8; i++ {
+			round() // warm buffers, rings and pools
+		}
+		if c.Rank() == 0 {
+			if avg := testing.AllocsPerRun(runs, round); avg != 0 {
+				t.Errorf("telemetry-instrumented NCL round: %.2f allocs/op, want 0", avg)
+			}
+		} else {
+			for i := 0; i < runs+1; i++ {
+				round()
+			}
+		}
+		if log.Drops() != 0 {
+			t.Errorf("rank %d dropped %d rows", c.Rank(), log.Drops())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }
 
