@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: tier1 tier2 build test vet race bench bench-p2p bench-telemetry clean
+.PHONY: tier1 tier2 perturb build test vet race bench bench-p2p bench-telemetry clean
 
 # tier1 is the gate every change must keep green: full build + vet +
 # full test suite.
@@ -16,6 +16,16 @@ tier1: build vet test
 # shape_records.json for inspection or plotting.
 tier2:
 	RUN_SHAPE_CHECKS=1 SHAPE_RECORDS=$(CURDIR)/shape_records.json $(GO) test -run TestPaperShapes -v ./internal/shape/
+
+# perturb runs the schedule-perturbation explorer (DESIGN §4a): N seeds
+# per communication model on small RGG + SBP inputs, requiring every
+# perturbed schedule to reproduce the exact baseline matching. On
+# divergence the failing seed is shrunk to a minimal profile, written to
+# perturb_failures.json, and printed as a PERTURB_SEED=... repro line.
+PERTURB_N ?= 32
+perturb:
+	PERTURB_N=$(PERTURB_N) PERTURB_ARTIFACT=$(CURDIR)/perturb_failures.json \
+		$(GO) test -run 'TestExplore|TestInjectedOrderingBug|TestPerturbedRunInvariants' -v ./internal/sched/
 
 build:
 	$(GO) build ./...

@@ -11,6 +11,7 @@
 //	matchbench -exp tab8 -profile             # phase-profile table (§V-D)
 //	matchbench -exp fig4a -json out.json      # machine-readable run records
 //	matchbench -exp fig4a -rounds             # per-round convergence tables
+//	matchbench -exp fig4a -perturb full -perturb-seed 0x2a  # perturbed schedules
 //
 // Each experiment prints the table or series corresponding to one figure
 // or table of Ghosh et al., IPDPS 2019, annotated with the shape the
@@ -31,6 +32,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/mpi"
+	"repro/internal/sched"
 	"repro/internal/transport"
 )
 
@@ -57,6 +59,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut  = fs.String("json", "", "write tables and run records as schema-versioned JSON")
 		rounds   = fs.Bool("rounds", false, "print a per-round convergence table after each run")
 		roundCap = fs.Int("round-cap", 512, "per-rank round-log capacity when -json or -rounds is set")
+		perturb  = fs.String("perturb", "", "schedule-perturbation profile: off, full, or jitter=F,slowdown=F,ties,probemiss=F (see DESIGN §4)")
+		pseed    = fs.Uint64("perturb-seed", 1, "perturbation seed (replays the schedule decisions of a PERTURB_SEED repro)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -100,6 +104,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		cfg.Models = ms
+	}
+	if *perturb != "" {
+		p, err := sched.ParseProfile(*perturb)
+		if err != nil {
+			fmt.Fprintln(stderr, "matchbench:", err)
+			return 2
+		}
+		cfg.Perturb = p
+		cfg.PerturbSeed = *pseed
 	}
 	var collector *mpi.ChromeTrace
 	if *trace != "" {

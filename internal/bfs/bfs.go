@@ -14,6 +14,7 @@ import (
 	"repro/internal/distgraph"
 	"repro/internal/graph"
 	"repro/internal/mpi"
+	"repro/internal/sched"
 	"repro/internal/telemetry"
 )
 
@@ -37,6 +38,10 @@ type Options struct {
 	// RoundLog, when > 0, enables per-level telemetry with a per-rank
 	// log of this capacity (Result.Telemetry).
 	RoundLog int
+	// Perturb, when enabled, runs under seeded schedule perturbation
+	// (mpi.WithPerturb with PerturbSeed); see internal/sched.
+	Perturb     sched.Profile
+	PerturbSeed uint64
 }
 
 // Result is the outcome of a BFS.
@@ -96,6 +101,9 @@ func Run(g *graph.CSR, root int, opt Options) (*Result, error) {
 	}
 	if opt.TraceEvents > 0 {
 		opts = append(opts, mpi.WithEventTrace(opt.TraceEvents))
+	}
+	if opt.Perturb.Enabled() {
+		opts = append(opts, mpi.WithPerturb(opt.PerturbSeed, opt.Perturb))
 	}
 	rep, err := mpi.Run(opt.Procs, func(c *mpi.Comm) error {
 		l := d.BuildLocal(c.Rank())

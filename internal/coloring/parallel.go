@@ -9,6 +9,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/matching"
 	"repro/internal/mpi"
+	"repro/internal/sched"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
@@ -34,6 +35,10 @@ type Options struct {
 	// RoundLog, when > 0, enables round-level telemetry with a per-rank
 	// log of this capacity (ParallelResult.Telemetry).
 	RoundLog int
+	// Perturb, when enabled, runs under seeded schedule perturbation
+	// (mpi.WithPerturb with PerturbSeed); see internal/sched.
+	Perturb     sched.Profile
+	PerturbSeed uint64
 }
 
 // ParallelResult is the outcome of a distributed coloring.
@@ -271,6 +276,9 @@ func Run(g *graph.CSR, opt Options) (*ParallelResult, error) {
 	}
 	if opt.TraceEvents > 0 {
 		opts = append(opts, mpi.WithEventTrace(opt.TraceEvents))
+	}
+	if opt.Perturb.Enabled() {
+		opts = append(opts, mpi.WithPerturb(opt.PerturbSeed, opt.Perturb))
 	}
 	rep, err := mpi.Run(opt.Procs, func(c *mpi.Comm) error {
 		l := d.BuildLocal(c.Rank())

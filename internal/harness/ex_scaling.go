@@ -21,6 +21,8 @@ func (c Config) match(input string, g *graph.CSR, p int, m matching.Model, track
 		TrackMatrices: trackMatrices,
 		TraceEvents:   c.TraceEvents,
 		RoundLog:      c.Rounds,
+		Perturb:       c.Perturb,
+		PerturbSeed:   c.PerturbSeed,
 	})
 	if err == nil {
 		c.observe(RunInfo{

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/matching"
 	"repro/internal/mpi"
+	"repro/internal/sched"
 	"repro/internal/telemetry"
 )
 
@@ -49,6 +50,14 @@ type Config struct {
 	// OnRun, if set, observes every successful runtime launch. Used to
 	// collect Chrome traces and the machine-readable run records.
 	OnRun func(info RunInfo)
+	// Perturb, when enabled, runs every matching launch under seeded
+	// schedule perturbation with PerturbSeed (matchbench -perturb /
+	// -perturb-seed; see internal/sched). Results are unchanged for the
+	// default protocol — only delivery schedules and virtual timings
+	// vary — so perturbed harness runs double as an end-to-end
+	// schedule-invariance check.
+	Perturb     sched.Profile
+	PerturbSeed uint64
 }
 
 // RunInfo describes one completed runtime launch, delivered to

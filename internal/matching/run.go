@@ -7,6 +7,7 @@ import (
 	"repro/internal/distgraph"
 	"repro/internal/graph"
 	"repro/internal/mpi"
+	"repro/internal/sched"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
@@ -56,11 +57,17 @@ type Options struct {
 	// per-rank log of this capacity (ParallelResult.Telemetry). Rounds
 	// beyond the capacity are dropped, not wrapped; see Series.Drops.
 	RoundLog int
+	// Perturb, when enabled, runs under seeded schedule perturbation
+	// (mpi.WithPerturb): the runtime varies its legal delivery
+	// reorderings according to PerturbSeed. The default protocol's
+	// result is invariant under it; see internal/sched and DESIGN §4.
+	Perturb     sched.Profile
+	PerturbSeed uint64
 }
 
 // mpiOptions translates the shared runtime knobs to mpi.Run options.
-func mpiOptions(cost *mpi.CostModel, matrices bool, deadline time.Duration, waits bool, events int) []mpi.Option {
-	opts := make([]mpi.Option, 0, 5)
+func mpiOptions(cost *mpi.CostModel, matrices bool, deadline time.Duration, waits bool, events int, pseed uint64, perturb sched.Profile) []mpi.Option {
+	opts := make([]mpi.Option, 0, 6)
 	if cost != nil {
 		opts = append(opts, mpi.WithCost(cost))
 	}
@@ -75,6 +82,9 @@ func mpiOptions(cost *mpi.CostModel, matrices bool, deadline time.Duration, wait
 	}
 	if events > 0 {
 		opts = append(opts, mpi.WithEventTrace(events))
+	}
+	if perturb.Enabled() {
+		opts = append(opts, mpi.WithPerturb(pseed, perturb))
 	}
 	return opts
 }
@@ -154,7 +164,7 @@ func Run(g *graph.CSR, opt Options) (*ParallelResult, error) {
 		rounds[c.Rank()] = e.rounds
 		sent[c.Rank()] = e.sent
 		return nil
-	}, mpiOptions(opt.Cost, opt.TrackMatrices, opt.Deadline, opt.TraceWaits, opt.TraceEvents)...)
+	}, mpiOptions(opt.Cost, opt.TrackMatrices, opt.Deadline, opt.TraceWaits, opt.TraceEvents, opt.PerturbSeed, opt.Perturb)...)
 	if err != nil {
 		return nil, err
 	}

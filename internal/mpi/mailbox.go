@@ -3,6 +3,8 @@ package mpi
 import (
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/sched"
 )
 
 // This file implements the runtime's receive-side message store. Every
@@ -192,6 +194,11 @@ type mailbox struct {
 	queued   int64   // bytes currently queued (eager-buffer occupancy)
 	hw       int64   // high-water of queued
 	poisoned bool
+	// pert, when non-nil, permutes wildcard selection among concurrently
+	// available bucket fronts (sched Ties class). It is the owning
+	// rank's stream: matchUserLocked runs only on the owner's goroutine,
+	// so no additional synchronization is needed beyond mu.
+	pert *sched.Rank
 }
 
 // newMailbox returns a mailbox accepting traffic from up to n sources
@@ -310,8 +317,9 @@ func (b *srcBucket) userFront(tag int, mctx int32) (*message, *msgq) {
 
 // matchUserLocked finds the queued user-level message matching (src, tag)
 // in communicator mctx with the earliest virtual arrival time and, if
-// remove is set, dequeues it. Returns nil when nothing matches. The
-// caller holds mb.mu.
+// remove is set, dequeues it. Returns nil when nothing matches. now is
+// the receiver's current virtual clock, consulted only when schedule
+// perturbation is active. The caller holds mb.mu.
 //
 // Selecting by virtual arrival rather than physical enqueue position
 // matters for timing fidelity: goroutine scheduling (especially on few
@@ -323,7 +331,16 @@ func (b *srcBucket) userFront(tag int, mctx int32) (*message, *msgq) {
 // fronts; ties across sources break toward the lower source rank, and
 // messages from one source retain FIFO order, preserving MPI's
 // non-overtaking guarantee.
-func (mb *mailbox) matchUserLocked(src, tag int, mctx int32, remove bool) *message {
+//
+// Under perturbation (mb.pert with Ties), wildcard selection instead
+// draws uniformly among every front that is concurrently available —
+// arrival no later than max(now, earliest front arrival) — which is
+// exactly the set a real MPI implementation could legally hand back
+// first. Selection still only ever takes bucket fronts, so per-source
+// FIFO holds, and a front is by construction also the front of its
+// (comm, tag) index, so a probed wildcard status stays consistent with
+// the follow-up exact-source receive.
+func (mb *mailbox) matchUserLocked(src, tag int, mctx int32, remove bool, now float64) *message {
 	var (
 		best  *message
 		bestq *msgq
@@ -334,6 +351,8 @@ func (mb *mailbox) matchUserLocked(src, tag int, mctx int32, remove bool) *messa
 			return nil
 		}
 		best, bestq = b.userFront(tag, mctx)
+	} else if mb.pert != nil && mb.pert.Ties() {
+		best, bestq = mb.pickAnySourceLocked(tag, mctx, now)
 	} else {
 		for _, s := range mb.active {
 			b := &mb.buckets[s]
@@ -355,6 +374,67 @@ func (mb *mailbox) matchUserLocked(src, tag int, mctx int32, remove bool) *messa
 		mb.take(best)
 	}
 	return best
+}
+
+// pickAnySourceLocked implements perturbed wildcard selection: among
+// the bucket fronts matching (tag, mctx), every front with virtual
+// arrival <= max(now, earliest arrival) is concurrently available, and
+// one is drawn uniformly from the owner rank's perturbation stream.
+// The draw maps to candidates ordered by (arrive, src) — not by the
+// physical order of mb.active, which depends on goroutine scheduling —
+// so a seed replays the same choices given the same candidate sets.
+func (mb *mailbox) pickAnySourceLocked(tag int, mctx int32, now float64) (*message, *msgq) {
+	// Pass 1: earliest front arrival; the availability threshold can
+	// never exclude it.
+	first := false
+	minArrive := 0.0
+	for _, s := range mb.active {
+		m, _ := mb.buckets[s].userFront(tag, mctx)
+		if m == nil {
+			continue
+		}
+		if !first || m.arrive < minArrive {
+			first, minArrive = true, m.arrive
+		}
+	}
+	if !first {
+		return nil, nil
+	}
+	thr := minArrive
+	if now > thr {
+		thr = now
+	}
+	// Pass 2: count the available candidates and draw one.
+	k := 0
+	for _, s := range mb.active {
+		if m, _ := mb.buckets[s].userFront(tag, mctx); m != nil && m.arrive <= thr {
+			k++
+		}
+	}
+	pick := mb.pert.Pick(k)
+	// Pass 3: select the pick-th candidate in (arrive, src) order by
+	// counting, for each candidate, how many others precede it. O(k^2)
+	// in the candidate count, which is bounded by the source count.
+	for _, s := range mb.active {
+		m, q := mb.buckets[s].userFront(tag, mctx)
+		if m == nil || m.arrive > thr {
+			continue
+		}
+		ord := 0
+		for _, s2 := range mb.active {
+			m2, _ := mb.buckets[s2].userFront(tag, mctx)
+			if m2 == nil || m2 == m || m2.arrive > thr {
+				continue
+			}
+			if m2.arrive < m.arrive || (m2.arrive == m.arrive && m2.src < m.src) {
+				ord++
+			}
+		}
+		if ord == pick {
+			return m, q
+		}
+	}
+	panic("mpi: pickAnySourceLocked: pick out of range")
 }
 
 // matchInternalLocked finds (and, if remove is set, dequeues) the oldest

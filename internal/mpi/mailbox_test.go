@@ -1,8 +1,11 @@
 package mpi
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/sched"
 )
 
 // White-box tests for the bucketed mailbox: arrival-order selection,
@@ -28,7 +31,7 @@ func drainAll(mb *mailbox) []*message {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for {
-		m := mb.matchUserLocked(AnySource, AnyTag, 0, true)
+		m := mb.matchUserLocked(AnySource, AnyTag, 0, true, 0)
 		if m == nil {
 			return out
 		}
@@ -106,6 +109,132 @@ func TestMailboxOrderProperty(t *testing.T) {
 	}
 }
 
+// perturbProfiles enumerates every perturbation profile class (plus the
+// all-on and all-off combinations) for the schedule-invariance property
+// tests below.
+var perturbProfiles = []sched.Profile{
+	{},
+	{Ties: true},
+	{Jitter: 1},
+	{Slowdown: 0.5},
+	{ProbeMiss: 0.5},
+	sched.Full,
+}
+
+// TestMailboxPerturbedOrderProperty is the satellite property test for
+// perturbed schedules: under EVERY perturbation profile, wildcard
+// (AnySource/AnyTag) draining must still deliver each source's messages
+// in FIFO order and must lose nothing — permutation is only ever legal
+// across sources. With jitter active per-source arrival stamps are no
+// longer monotone (the push order is the sender's send order, which is
+// what MPI's non-overtaking clause is about), so unlike the unperturbed
+// property test this one asserts FIFO by sequence number only.
+func TestMailboxPerturbedOrderProperty(t *testing.T) {
+	const nSrc = 4
+	for _, prof := range perturbProfiles {
+		prof := prof
+		t.Run(prof.String(), func(t *testing.T) {
+			pt := sched.New(0xc0ffee, sched.Profile{Ties: prof.Ties}, 1)
+			jit := sched.New(0xbeef, prof, nSrc)
+			prop := func(deltas []uint8, srcs []uint8) bool {
+				mb := newMailbox(nSrc)
+				if pt != nil {
+					mb.pert = pt.Rank(0)
+				}
+				clock := [nSrc]float64{}
+				count := [nSrc]int64{}
+				n := min(len(deltas), len(srcs))
+				for i := 0; i < n; i++ {
+					s := int(srcs[i]) % nSrc
+					// The sender's clock advances monotonically; the stamped
+					// latency is perturbed per profile, so with jitter the
+					// arrival stamps within one source can reorder.
+					clock[s] += float64(deltas[i])
+					arrive := clock[s]
+					if jit != nil {
+						arrive = clock[s] + jit.Rank(s).Latency(1+float64(deltas[i]))
+					}
+					pushAt(mb, s, 3, arrive, count[s])
+					count[s]++
+				}
+				got := drainAll(mb)
+				if len(got) != n {
+					return false
+				}
+				var next [nSrc]int64
+				for _, m := range got {
+					if m.data[0] != next[m.src] {
+						return false // per-source FIFO violated
+					}
+					next[m.src]++
+					m.release()
+				}
+				return true
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestMailboxPerturbedProbeRecvConsistency pins the Drain pattern under
+// tie-permutation: whatever message a perturbed wildcard probe reports,
+// the follow-up exact (src, tag) match must return that same message —
+// a permuted pick is always a bucket front, hence also the front of its
+// tag index.
+func TestMailboxPerturbedProbeRecvConsistency(t *testing.T) {
+	pt := sched.New(42, sched.Profile{Ties: true}, 1)
+	mb := newMailbox(4)
+	mb.pert = pt.Rank(0)
+	seq := int64(0)
+	for s := 0; s < 4; s++ {
+		for k := 0; k < 3; k++ {
+			pushAt(mb, s, 5+k, float64(10+k), seq) // equal stamps across sources: maximal tie sets
+			seq++
+		}
+	}
+	for i := 0; i < int(seq); i++ {
+		mb.mu.Lock()
+		probe := mb.matchUserLocked(AnySource, AnyTag, 0, false, 100)
+		if probe == nil {
+			mb.mu.Unlock()
+			t.Fatalf("probe %d found nothing with %d messages left", i, int(seq)-i)
+		}
+		got := mb.matchUserLocked(probe.src, probe.tag, 0, true, 100)
+		mb.mu.Unlock()
+		if got != probe {
+			t.Fatalf("probe %d saw src %d tag %d but exact match returned a different message", i, probe.src, probe.tag)
+		}
+		got.release()
+	}
+}
+
+// TestMailboxTiePermutationActuallyPermutes guards against the hooks
+// silently becoming dead code: with several equal-stamp fronts and Ties
+// enabled, different seeds must produce more than one wildcard
+// selection order.
+func TestMailboxTiePermutationActuallyPermutes(t *testing.T) {
+	orders := map[string]bool{}
+	for seed := uint64(0); seed < 16; seed++ {
+		pt := sched.New(seed, sched.Profile{Ties: true}, 1)
+		mb := newMailbox(4)
+		mb.pert = pt.Rank(0)
+		for s := 0; s < 4; s++ {
+			pushAt(mb, s, 1, 10, int64(s)) // all tied
+		}
+		order := ""
+		for _, m := range drainAll(mb) {
+			order += fmt.Sprint(m.src)
+			m.release()
+		}
+		orders[order] = true
+	}
+	if len(orders) < 2 {
+		t.Fatalf("16 seeds produced only the selection order(s) %v; tie permutation is inert", orders)
+	}
+}
+
 // TestMailboxStaleTagEntrySurvivesReuse pins the interaction of lazy
 // dual-index deletion with struct pooling: a message dequeued through the
 // arrival FIFO leaves a stale pointer in its tag FIFO, and once the
@@ -121,7 +250,7 @@ func TestMailboxStaleTagEntrySurvivesReuse(t *testing.T) {
 	// Dequeue the tag-1 message through the wildcard (arrival-FIFO) path;
 	// its tags[{0,1}] queue now holds a stale entry.
 	a.mu.Lock()
-	m := a.matchUserLocked(AnySource, AnyTag, 0, true)
+	m := a.matchUserLocked(AnySource, AnyTag, 0, true, 0)
 	a.mu.Unlock()
 	if m == nil || m.tag != 1 {
 		t.Fatalf("wildcard match = %+v, want the tag-1 message", m)
@@ -138,13 +267,13 @@ func TestMailboxStaleTagEntrySurvivesReuse(t *testing.T) {
 	// The stale entry in a must not resurrect, even if the recycled
 	// struct is the one it points at and looks live again.
 	a.mu.Lock()
-	stale := a.matchUserLocked(0, 1, 0, true)
+	stale := a.matchUserLocked(0, 1, 0, true, 0)
 	a.mu.Unlock()
 	if stale != nil {
 		t.Fatalf("mailbox a matched a recycled message: src %d tag %d data %v", stale.src, stale.tag, stale.data)
 	}
 	b.mu.Lock()
-	got := b.matchUserLocked(0, 1, 0, true)
+	got := b.matchUserLocked(0, 1, 0, true, 0)
 	b.mu.Unlock()
 	if got == nil || got.data[0] != 300 {
 		t.Fatalf("mailbox b lost its message: %+v", got)
@@ -161,12 +290,12 @@ func TestMailboxExactTagMatchesWildcardView(t *testing.T) {
 	pushAt(mb, 1, 4, 40, 1)
 	for i := 0; i < 2; i++ {
 		mb.mu.Lock()
-		probe := mb.matchUserLocked(AnySource, AnyTag, 0, false)
+		probe := mb.matchUserLocked(AnySource, AnyTag, 0, false, 0)
 		if probe == nil {
 			mb.mu.Unlock()
 			t.Fatalf("probe %d found nothing", i)
 		}
-		got := mb.matchUserLocked(probe.src, probe.tag, 0, true)
+		got := mb.matchUserLocked(probe.src, probe.tag, 0, true, 0)
 		mb.mu.Unlock()
 		if got != probe {
 			t.Fatalf("probe %d saw %p (src %d tag %d) but exact match returned %p", i, probe, probe.src, probe.tag, got)
@@ -195,7 +324,7 @@ func TestMailboxPoisonedPushNoOp(t *testing.T) {
 		t.Errorf("pending after poisoned pushes = %d, want 1", n)
 	}
 	mb.mu.Lock()
-	m := mb.matchUserLocked(AnySource, AnyTag, 0, true)
+	m := mb.matchUserLocked(AnySource, AnyTag, 0, true, 0)
 	mb.mu.Unlock()
 	if m == nil || m.data[0] != 0 {
 		t.Errorf("pre-poison message lost: %+v", m)

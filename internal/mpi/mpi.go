@@ -49,6 +49,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/sched"
 )
 
 // Wildcard values for Recv, Probe and Iprobe, mirroring MPI_ANY_SOURCE and
@@ -85,6 +87,13 @@ type Config struct {
 	// capacity are dropped and counted, never reallocated, so a traced
 	// run's memory is bounded up front.
 	TraceEvents int
+
+	// Perturb, when enabled, runs under seeded schedule perturbation
+	// (see WithPerturb and package sched). PerturbSeed selects the
+	// deterministic decision streams; the zero Profile disables
+	// perturbation entirely.
+	Perturb     sched.Profile
+	PerturbSeed uint64
 }
 
 // World holds the shared state of one runtime instance. A World is created
@@ -117,6 +126,10 @@ type procState struct {
 	// ev is the structured event ring, nil when tracing is off; the nil
 	// check is the entire cost of a disabled instrumentation point.
 	ev *eventRing
+	// pert is this rank's schedule-perturbation stream, nil when
+	// perturbation is off — like ev, the nil check is the whole cost of
+	// the disabled hooks.
+	pert *sched.Rank
 	// collStart snapshots the clock at enterColl so exitColl can record
 	// the collective as one event spanning the whole synchronization.
 	collStart float64
@@ -235,6 +248,9 @@ func runConfig(cfg Config, body func(c *Comm) error) (*Report, error) {
 		w.mailboxes[i] = newMailbox(cfg.Procs)
 		w.stats[i] = newRankStats(i, cfg.Procs, cfg.TrackMatrices)
 	}
+	// New returns nil for a disabled profile, so the hot-path hooks stay
+	// on their nil fast paths in ordinary runs.
+	pt := sched.New(cfg.PerturbSeed, cfg.Perturb, cfg.Procs)
 
 	var (
 		wg     sync.WaitGroup
@@ -263,6 +279,15 @@ func runConfig(cfg Config, body func(c *Comm) error) (*Report, error) {
 		if events != nil {
 			ps.ev = events[r]
 		}
+		if pt != nil {
+			ps.pert = pt.Rank(r)
+			if cfg.Perturb.Ties {
+				// The mailbox needs the stream too, for wildcard-selection
+				// permutation; matchUserLocked is only ever called by the
+				// owning rank, so the single-goroutine discipline holds.
+				w.mailboxes[r].pert = ps.pert
+			}
+		}
 		c := &Comm{w: w, wrank: r, rank: r, hub: w.hub, ps: ps}
 		comms[r] = c
 		wg.Add(1)
@@ -288,13 +313,27 @@ func runConfig(cfg Config, body func(c *Comm) error) (*Report, error) {
 	}
 	go func() { wg.Wait(); close(doneCh) }()
 
+	var deadlineErr error
 	if cfg.Deadline > 0 {
 		select {
 		case <-doneCh:
 		case <-time.After(cfg.Deadline):
-			buf := make([]byte, 1<<20)
-			buf = buf[:runtime.Stack(buf, true)]
-			panic(fmt.Sprintf("mpi: run exceeded deadline %v (likely communication deadlock); goroutines:\n%s", cfg.Deadline, buf))
+			// Deadline blown: poison the world so every rank blocked in a
+			// receive, probe or collective unwinds (their blocking loops
+			// check the poisoned flag and panic, which the rank goroutine
+			// recovers), then report the deadlock as an error instead of
+			// crashing the process. The grace wait below only fails if a
+			// rank is stuck outside the runtime (e.g. user code blocked on
+			// a channel), where a dump is the only useful artifact.
+			deadlineErr = fmt.Errorf("mpi: run exceeded deadline %v (likely communication deadlock)", cfg.Deadline)
+			w.poison()
+			select {
+			case <-doneCh:
+			case <-time.After(10 * time.Second):
+				buf := make([]byte, 1<<20)
+				buf = buf[:runtime.Stack(buf, true)]
+				panic(fmt.Sprintf("mpi: ranks failed to unwind after deadline %v poison; goroutines:\n%s", cfg.Deadline, buf))
+			}
 		}
 	} else {
 		<-doneCh
@@ -311,6 +350,12 @@ func runConfig(cfg Config, body func(c *Comm) error) (*Report, error) {
 	}
 	errMu.Lock()
 	defer errMu.Unlock()
+	if deadlineErr != nil {
+		// The per-rank "aborted: a peer rank failed" panics that the
+		// poison provoked are a consequence, not the cause; report the
+		// deadline itself.
+		return rep, fmt.Errorf("%w (%d rank(s) were still blocked)", deadlineErr, len(errs))
+	}
 	if len(errs) > 0 {
 		sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
 		if len(errs) > 3 {
@@ -388,6 +433,17 @@ func (c *Comm) AccountAlloc(bytes int64) { c.ps.rs.accountAlloc(bytes) }
 func (c *Comm) chargeComm(dt float64) {
 	c.ps.now += dt
 	c.ps.rs.CommTime += dt
+}
+
+// perturbLatency applies this rank's schedule perturbation (per-rank
+// slowdown and per-message jitter) to an in-flight latency before it is
+// stamped into a message's virtual arrival. One nil check when off; the
+// perturbed value is never smaller than the base, preserving causality.
+func (c *Comm) perturbLatency(base float64) float64 {
+	if pt := c.ps.pert; pt != nil {
+		return pt.Latency(base)
+	}
+	return base
 }
 
 // waitUntil advances the clock to at least t, booking the idle gap as

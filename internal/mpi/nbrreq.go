@@ -89,6 +89,12 @@ func (r *NbrRequest) Test() ([][]int64, bool) {
 	c := r.t.c
 	start := c.ps.now
 	c.chargeComm(c.w.cost.ProbeOverhead)
+	// Like Iprobe, a nonblocking completion test may legally miss even
+	// when everything has arrived; bounded, so Test/Wait loops progress.
+	if pt := c.ps.pert; pt != nil && pt.ForceMiss() {
+		c.event(EvProbe, -1, int(r.seq), 0, start)
+		return nil, false
+	}
 	mb := c.mbox()
 	mb.mu.Lock()
 	for _, nb := range r.t.neighbors {

@@ -1,6 +1,10 @@
 package mpi
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/sched"
+)
 
 // Option configures a run. Options are applied in order to a zero
 // Config whose Procs is set by Run, so later options win. The
@@ -35,4 +39,18 @@ func WithWaitTrace() Option {
 // tracing off.
 func WithEventTrace(capacity int) Option {
 	return func(cfg *Config) { cfg.TraceEvents = capacity }
+}
+
+// WithPerturb runs under seeded schedule perturbation: the runtime
+// varies its legal reordering points (wildcard selection among
+// concurrently available messages, per-message latency and per-rank
+// slowdown before arrival stamping, forced nonblocking-probe misses)
+// according to the profile, drawing every decision from per-rank PRNG
+// streams derived from seed. Per-(source, communicator) FIFO delivery —
+// the only order MPI actually guarantees — is preserved. A disabled
+// profile leaves the runtime on its deterministic
+// earliest-virtual-arrival schedule with no overhead beyond a nil
+// check. See package sched and DESIGN §4.
+func WithPerturb(seed uint64, p sched.Profile) Option {
+	return func(cfg *Config) { cfg.PerturbSeed, cfg.Perturb = seed, p }
 }

@@ -54,7 +54,7 @@ func (c *Comm) send(dst, tag int, data []int64, sync bool) {
 		c.chargeComm(cost.SyncSendRTT)
 		c.ps.rs.SyncSends++
 	}
-	m.arrive = c.ps.now + cost.AlphaP2P + cost.BetaP2P*float64(m.bytes)
+	m.arrive = c.ps.now + c.perturbLatency(cost.AlphaP2P+cost.BetaP2P*float64(m.bytes))
 	c.ps.rs.noteSend(c.worldRank(dst), m.bytes)
 	c.event(EvSend, c.worldRank(dst), tag, m.bytes, start)
 	c.w.mailboxes[c.worldRank(dst)].push(m)
@@ -72,7 +72,7 @@ func (c *Comm) recvMsg(src, tag int, what string) *message {
 	mb.mu.Lock()
 	var m *message
 	for {
-		if m = mb.matchUserLocked(src, tag, c.ctx, true); m != nil {
+		if m = mb.matchUserLocked(src, tag, c.ctx, true, c.ps.now); m != nil {
 			break
 		}
 		if mb.poisoned {
@@ -146,9 +146,17 @@ func (c *Comm) Iprobe(src, tag int) (bool, Status) {
 	start := c.ps.now
 	c.chargeComm(c.w.cost.ProbeOverhead)
 	c.ps.rs.ProbeCount++
+	// Perturbation may legally force a nonblocking probe to miss — a
+	// real MPI Iprobe can fail to observe a message whose envelope has
+	// not yet been processed. Misses are bounded (sched.Rank.ForceMiss)
+	// so polling loops keep making progress.
+	if pt := c.ps.pert; pt != nil && pt.ForceMiss() {
+		c.event(EvProbe, -1, tag, 0, start)
+		return false, Status{}
+	}
 	mb := c.mbox()
 	mb.mu.Lock()
-	m := mb.matchUserLocked(src, tag, c.ctx, false)
+	m := mb.matchUserLocked(src, tag, c.ctx, false, c.ps.now)
 	mb.mu.Unlock()
 	if m == nil {
 		c.event(EvProbe, -1, tag, 0, start)
@@ -174,7 +182,10 @@ func (c *Comm) Probe(src, tag int) Status {
 	mb.mu.Lock()
 	var m *message
 	for {
-		if m = mb.matchUserLocked(src, tag, c.ctx, false); m != nil {
+		// Blocking probes are never forced to miss: a Probe that has
+		// observed a message must return it, or a perturbed run could
+		// livelock where a real MPI run cannot.
+		if m = mb.matchUserLocked(src, tag, c.ctx, false, c.ps.now); m != nil {
 			break
 		}
 		if mb.poisoned {
@@ -214,7 +225,7 @@ func (c *Comm) completeRecv(m *message) {
 // select the cost category; note attributes the traffic in the ledger.
 func (c *Comm) internalSend(dst int, itag int64, data []int64, alpha, beta float64, note func(rs *RankStats, dst int, bytes int64)) {
 	m := newMessage(c.rank, 0, itag, 0, data)
-	m.arrive = c.ps.now + alpha + beta*float64(m.bytes)
+	m.arrive = c.ps.now + c.perturbLatency(alpha+beta*float64(m.bytes))
 	if note != nil {
 		note(c.ps.rs, c.worldRank(dst), m.bytes)
 	}

@@ -1,6 +1,8 @@
 package mpi
 
 import (
+	"runtime"
+	"strings"
 	"testing"
 	"time"
 )
@@ -330,15 +332,49 @@ func TestPendingMessagesDiagnostic(t *testing.T) {
 }
 
 func TestDeadlineWatchdogFires(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected the watchdog to panic on a deadlocked run")
-		}
-	}()
-	Run(2, func(c *Comm) error {
+	_, err := Run(2, func(c *Comm) error {
 		if c.Rank() == 0 {
 			c.Recv(1, 0) // never sent: deadlock
 		}
 		return nil
 	}, WithDeadline(200*time.Millisecond))
+	if err == nil {
+		t.Fatal("expected a deadline error on a deadlocked run")
+	}
+	if !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("error %q does not report the deadline", err)
+	}
+}
+
+// TestDeadlineNoGoroutineLeak: a rank blocked forever in Recv must be
+// unwound by the deadline teardown, not abandoned — a leaked rank
+// goroutine would pin its mailbox and stack for the life of the
+// process. Covers Recv, Probe and an internal (neighborhood) receive,
+// which block in different loops.
+func TestDeadlineNoGoroutineLeak(t *testing.T) {
+	block := map[string]func(c *Comm){
+		"recv":  func(c *Comm) { c.Recv(1, 0) },
+		"probe": func(c *Comm) { c.Probe(1, 0) },
+		"nbr": func(c *Comm) {
+			topo := c.CreateGraphTopo([]int{1})
+			topo.INeighborAlltoallvInt64([][]int64{{1}}).Wait() // peer never sends
+		},
+	}
+	for name, blocked := range block {
+		t.Run(name, func(t *testing.T) {
+			baseline := runtime.NumGoroutine()
+			_, err := Run(2, func(c *Comm) error {
+				if c.Rank() == 0 {
+					blocked(c) // rank 1 exits immediately: rank 0 blocks forever
+				}
+				return nil
+			}, WithDeadline(100*time.Millisecond))
+			if err == nil {
+				t.Fatal("expected a deadline error")
+			}
+			if cerr := CheckGoroutines(baseline); cerr != nil {
+				t.Fatalf("deadline teardown leaked the blocked rank: %v", cerr)
+			}
+		})
+	}
 }

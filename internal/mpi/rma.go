@@ -238,9 +238,12 @@ func (v *winView) FlushAll() {
 	c := v.c
 	start := c.ps.now
 	drained, targets := v.pending, len(v.pendingTargets)
-	c.chargeComm(c.w.cost.AlphaFlush +
+	// The flush drain is in-flight latency, so perturbation jitters it
+	// like any other transfer: flush completion time is a legal point of
+	// variation (MPI only promises completion, not when).
+	c.chargeComm(c.perturbLatency(c.w.cost.AlphaFlush +
 		c.w.cost.FlushPerTarget*float64(targets) +
-		c.w.cost.BetaPut*float64(drained))
+		c.w.cost.BetaPut*float64(drained)))
 	v.pending = 0
 	clear(v.pendingTargets)
 	c.ps.rs.FlushCount++

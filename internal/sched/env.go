@@ -1,0 +1,47 @@
+package sched
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// Environment variables shared by the explorer tests, the CI perturb
+// job and failure-repro lines (Failure.Repro):
+//
+//	PERTURB_SEED=0x1f   replay exactly this seed instead of exploring
+//	PERTURB=ties,jitter=1  perturbation profile ("full" when unset)
+//	PERTURB_N=32        number of exploration seeds
+const (
+	EnvSeed  = "PERTURB_SEED"
+	EnvProf  = "PERTURB"
+	EnvCount = "PERTURB_N"
+)
+
+// FromEnv reads the perturbation environment. It returns the profile
+// (Full when PERTURB is unset), the replay seed and whether one was set,
+// and the exploration seed count (def when PERTURB_N is unset).
+func FromEnv(def int) (p Profile, seed uint64, replay bool, n int, err error) {
+	p, n = Full, def
+	if s := os.Getenv(EnvProf); s != "" {
+		p, err = ParseProfile(s)
+		if err != nil {
+			return p, 0, false, n, fmt.Errorf("%s: %w", EnvProf, err)
+		}
+	}
+	if s := os.Getenv(EnvSeed); s != "" {
+		seed, err = strconv.ParseUint(s, 0, 64)
+		if err != nil {
+			return p, 0, false, n, fmt.Errorf("%s: bad seed %q: %w", EnvSeed, s, err)
+		}
+		replay = true
+	}
+	if s := os.Getenv(EnvCount); s != "" {
+		v, perr := strconv.Atoi(s)
+		if perr != nil || v < 1 {
+			return p, seed, replay, n, fmt.Errorf("%s: bad count %q (want a positive integer)", EnvCount, s)
+		}
+		n = v
+	}
+	return p, seed, replay, n, nil
+}

@@ -1,0 +1,136 @@
+package sched
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Outcome is the schedule-independent summary a RunFunc distills from
+// one run: a fingerprint that must be identical across every legal
+// schedule (for matching: the result weight bits folded with validity),
+// plus a human-readable description for mismatch reports.
+type Outcome struct {
+	Fingerprint uint64
+	Desc        string
+}
+
+// RunFunc executes the protocol under test once with the given
+// perturbation and returns its outcome. A zero-profile call is the
+// unperturbed baseline. The func must also apply its own run-invariant
+// checks (balance, drained mailboxes, leaked goroutines, result
+// validity) and return an error when any fail.
+type RunFunc func(seed uint64, p Profile) (Outcome, error)
+
+// Failure describes a schedule-dependence bug found by Explore, shrunk
+// to the smallest perturbation profile that still reproduces it under
+// the discovering seed.
+type Failure struct {
+	// Seed is the discovering seed; replaying it with Profile reproduces
+	// the failure.
+	Seed uint64
+	// Profile is the shrunk (minimal) perturbation profile.
+	Profile Profile
+	// Err is what the failing run reported: an invariant violation from
+	// the RunFunc itself, or an outcome mismatch built by Explore.
+	Err error
+	// Baseline and Got are the unperturbed and failing outcomes (equal
+	// fingerprints when Err came from an invariant check instead).
+	Baseline, Got Outcome
+}
+
+// Repro renders the one-line replayable reproduction, in the exact
+// environment-variable form the explorer tests and the matchbench
+// -perturb/-perturb-seed flags accept.
+func (f *Failure) Repro() string {
+	return "PERTURB_SEED=0x" + strconv.FormatUint(f.Seed, 16) + " PERTURB=" + f.Profile.String()
+}
+
+func (f *Failure) Error() string {
+	return fmt.Sprintf("schedule-dependent behavior: %v (replay: %s)", f.Err, f.Repro())
+}
+
+// SeedAt returns the i-th seed of the deterministic exploration
+// sequence rooted at seed0. Hashing rather than incrementing keeps the
+// per-rank streams of successive seeds decorrelated.
+func SeedAt(seed0 uint64, i int) uint64 {
+	return splitmix64(seed0 + uint64(i)*0x9e3779b97f4a7c15)
+}
+
+// Explore runs the protocol once unperturbed to establish the baseline
+// outcome, then under n seeds derived from seed0 with profile p,
+// requiring every perturbed run to succeed and to reproduce the
+// baseline fingerprint. On the first failure it shrinks: it retries the
+// failing seed with each perturbation class disabled in turn, keeping a
+// class disabled whenever the failure still reproduces, and returns the
+// minimal failing configuration. Returns nil when all schedules agree.
+//
+// A baseline failure (the protocol is broken without any perturbation)
+// is reported as a Failure with the zero profile.
+func Explore(run RunFunc, p Profile, seed0 uint64, n int) *Failure {
+	base, err := run(0, Profile{})
+	if err != nil {
+		return &Failure{Seed: 0, Profile: Profile{}, Err: fmt.Errorf("unperturbed baseline failed: %w", err), Baseline: base}
+	}
+	for i := 0; i < n; i++ {
+		seed := SeedAt(seed0, i)
+		if fail := trySeed(run, base, seed, p); fail != nil {
+			return shrink(run, base, fail)
+		}
+	}
+	return nil
+}
+
+// Replay re-runs one (seed, profile) pair against the unperturbed
+// baseline, returning the failure it reproduces (nil if it passes).
+// This is the entry point for PERTURB_SEED replays.
+func Replay(run RunFunc, p Profile, seed uint64) *Failure {
+	base, err := run(0, Profile{})
+	if err != nil {
+		return &Failure{Seed: 0, Profile: Profile{}, Err: fmt.Errorf("unperturbed baseline failed: %w", err), Baseline: base}
+	}
+	return trySeed(run, base, seed, p)
+}
+
+// trySeed runs one perturbed schedule and compares it to the baseline.
+func trySeed(run RunFunc, base Outcome, seed uint64, p Profile) *Failure {
+	got, err := run(seed, p)
+	if err != nil {
+		return &Failure{Seed: seed, Profile: p, Err: err, Baseline: base, Got: got}
+	}
+	if got.Fingerprint != base.Fingerprint {
+		return &Failure{
+			Seed:    seed,
+			Profile: p,
+			Err: fmt.Errorf("outcome diverged from unperturbed baseline: got %q (fp %#x), want %q (fp %#x)",
+				got.Desc, got.Fingerprint, base.Desc, base.Fingerprint),
+			Baseline: base,
+			Got:      got,
+		}
+	}
+	return nil
+}
+
+// shrink greedily minimizes a failure: for each perturbation class
+// still enabled, re-run the failing seed with that class disabled and
+// keep it disabled if the failure reproduces. The result is a profile
+// where every remaining class is necessary (removing any single one
+// makes the failure vanish), which is what a human wants to debug from.
+func shrink(run RunFunc, base Outcome, fail *Failure) *Failure {
+	cur := *fail
+	for _, cl := range classes {
+		if !cl.on(cur.Profile) {
+			continue
+		}
+		trial := cur.Profile
+		cl.disable(&trial)
+		if !trial.Enabled() {
+			// Never shrink to the empty profile: the baseline already
+			// passed, so at least one class is necessary.
+			continue
+		}
+		if f := trySeed(run, base, cur.Seed, trial); f != nil {
+			cur = *f
+		}
+	}
+	return &cur
+}

@@ -1,0 +1,289 @@
+// Explorer integration tests: run the distributed matching protocol
+// under many perturbed schedules and require every schedule to produce
+// the identical matching. These live in an external test package so the
+// leaf sched package can be imported by the runtime while its tests
+// exercise the full stack (sched -> mpi -> transports -> matching).
+//
+// Environment (all optional; see sched/env.go and the CI perturb job):
+//
+//	PERTURB_N=32          seeds per (model, graph) pair
+//	PERTURB=ties,jitter=1 perturbation profile (default full)
+//	PERTURB_SEED=0x1f     replay one seed instead of exploring
+//	PERTURB_ARTIFACT=p.json  write any failure as a JSON artifact
+package sched_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/mpi"
+	"repro/internal/sched"
+)
+
+// defaultSeeds is the per-(model, graph) seed budget when PERTURB_N is
+// unset: the acceptance bar is >= 100 seeds per model, split across the
+// two graphs. -short runs a smoke subset.
+const defaultSeeds = 50
+
+// exploreGraphs are the small inputs the explorer sweeps: a random
+// geometric graph (the paper's RGG family) and a stochastic block
+// partition graph (its SBP family), both with cross-rank edges on every
+// boundary at procs=4.
+func exploreGraphs() map[string]*graph.CSR {
+	return map[string]*graph.CSR{
+		"rgg": gen.RGG(96, gen.RGGRadiusForDegree(96, 6), 7),
+		"sbp": gen.SBP(120, 6, 8, 0.5, 11),
+	}
+}
+
+// matchRunFunc builds the sched.RunFunc for one (model, graph)
+// configuration: each invocation runs distributed matching under the
+// given perturbation, applies the runtime invariants (no goroutine
+// leaks via matching.Run's own teardown + CheckBalanced through the
+// Report, plus full result validation), and fingerprints the matching.
+func matchRunFunc(g *graph.CSR, model matching.Model, procs int) sched.RunFunc {
+	return func(seed uint64, p sched.Profile) (sched.Outcome, error) {
+		baseline := runtime.NumGoroutine()
+		res, err := matching.Run(g, matching.Options{
+			Procs:       procs,
+			Model:       model,
+			Deadline:    time.Minute,
+			Perturb:     p,
+			PerturbSeed: seed,
+		})
+		if err != nil {
+			return sched.Outcome{}, err
+		}
+		if err := mpi.CheckGoroutines(baseline); err != nil {
+			return sched.Outcome{}, err
+		}
+		if err := mpi.CheckBalanced(res.Report); err != nil {
+			return sched.Outcome{}, err
+		}
+		if err := matching.VerifyLocallyDominant(g, res.Result); err != nil {
+			return sched.Outcome{}, err
+		}
+		return fingerprint(res), nil
+	}
+}
+
+// fingerprint distills a run's result into the schedule-invariant
+// outcome: the exact weight bits, cardinality, and the mate vector
+// hash. Virtual times, round counts and message counts legitimately
+// vary across schedules and are excluded.
+func fingerprint(res *matching.ParallelResult) sched.Outcome {
+	h := uint64(1469598103934665603) // FNV-64 offset basis
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mix(math.Float64bits(res.Weight))
+	mix(uint64(res.Cardinality))
+	for _, m := range res.Mate {
+		mix(uint64(int64(m)))
+	}
+	return sched.Outcome{
+		Fingerprint: h,
+		Desc:        fmt.Sprintf("weight=%.6f card=%d", res.Weight, res.Cardinality),
+	}
+}
+
+// writeArtifact serializes a failure for the CI perturb job's
+// failing-seed artifact upload (PERTURB_ARTIFACT).
+func writeArtifact(t *testing.T, label string, fail *sched.Failure) {
+	path := os.Getenv("PERTURB_ARTIFACT")
+	if path == "" {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Errorf("PERTURB_ARTIFACT: %v", err)
+		return
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.Encode(map[string]any{
+		"label":    label,
+		"seed":     fmt.Sprintf("%#x", fail.Seed),
+		"profile":  fail.Profile.String(),
+		"repro":    fail.Repro(),
+		"error":    fail.Err.Error(),
+		"baseline": fail.Baseline.Desc,
+		"got":      fail.Got.Desc,
+	})
+}
+
+// TestExploreMatching is the schedule-invariance gate: for each of the
+// paper's three communication models, the matching produced on the RGG
+// and SBP inputs must be bit-identical across the unperturbed baseline
+// and every perturbed schedule. PERTURB_SEED replays one failing seed
+// (the Failure.Repro form); any failure is shrunk to a minimal profile
+// and reported with its replay line.
+func TestExploreMatching(t *testing.T) {
+	prof, rseed, replay, n, err := sched.FromEnv(defaultSeeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if testing.Short() && os.Getenv(sched.EnvCount) == "" {
+		n = 8
+	}
+	const procs = 4
+	for _, model := range []matching.Model{matching.NSR, matching.RMA, matching.NCL} {
+		for name, g := range exploreGraphs() {
+			label := fmt.Sprintf("%v/%s", model, name)
+			t.Run(label, func(t *testing.T) {
+				run := matchRunFunc(g, model, procs)
+				var fail *sched.Failure
+				if replay {
+					fail = sched.Replay(run, prof, rseed)
+				} else {
+					fail = sched.Explore(run, prof, 0x5eed, n)
+				}
+				if fail != nil {
+					writeArtifact(t, label, fail)
+					t.Fatalf("schedule-dependent result: %v\nreplay with: %s go test ./internal/sched -run 'TestExploreMatching/%s'",
+						fail.Err, fail.Repro(), label)
+				}
+			})
+		}
+	}
+}
+
+// TestExploreMatchingAllModels extends the sweep to the repo's two
+// extension models (NSRA aggregation, NCLI pipelining) at a reduced
+// seed budget — they share the engine but exercise different transports
+// (flush-before-block, double-buffered in-flight rounds).
+func TestExploreMatchingAllModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension-model sweep skipped in -short")
+	}
+	g := gen.SBP(120, 6, 8, 0.5, 11)
+	for _, model := range []matching.Model{matching.MBP, matching.NSRA, matching.NCLI} {
+		model := model
+		t.Run(model.String(), func(t *testing.T) {
+			if fail := sched.Explore(matchRunFunc(g, model, 4), sched.Full, 0xab, 16); fail != nil {
+				writeArtifact(t, model.String(), fail)
+				t.Fatalf("schedule-dependent result: %v (replay: %s)", fail.Err, fail.Repro())
+			}
+		})
+	}
+}
+
+// TestInjectedOrderingBugCaughtAndShrunk is the explorer's own
+// regression: a deliberately order-dependent protocol — rank 0 folds
+// AnySource arrival order into its result, exactly the bug class the
+// engine exists to catch — must be (a) caught, (b) shrunk to a minimal
+// single-class profile, and (c) replayable from the emitted repro.
+func TestInjectedOrderingBugCaughtAndShrunk(t *testing.T) {
+	const procs = 5
+	buggy := func(seed uint64, p sched.Profile) (sched.Outcome, error) {
+		var h uint64
+		_, err := mpi.Run(procs, func(c *mpi.Comm) error {
+			if c.Rank() != 0 {
+				c.Isend(0, 1, []int64{int64(c.Rank())})
+			}
+			c.Barrier() // all sends are queued at rank 0 beyond this point
+			if c.Rank() == 0 {
+				acc := uint64(0)
+				for i := 0; i < procs-1; i++ {
+					data, _ := c.Recv(mpi.AnySource, mpi.AnyTag)
+					// BUG under test: the fold is order-sensitive, so the
+					// result depends on which tied message Recv matches first.
+					acc = acc*31 + uint64(data[0])
+				}
+				h = acc
+			}
+			return nil
+		}, mpi.WithPerturb(seed, p), mpi.WithDeadline(time.Minute))
+		if err != nil {
+			return sched.Outcome{}, err
+		}
+		return sched.Outcome{Fingerprint: h, Desc: fmt.Sprintf("fold=%d", h)}, nil
+	}
+
+	fail := sched.Explore(buggy, sched.Full, 0xdead, 100)
+	if fail == nil {
+		t.Fatal("explorer failed to catch the injected AnySource ordering bug")
+	}
+	if fail.Profile.NumClasses() != 1 {
+		t.Fatalf("shrunk profile %q still has %d classes, want 1", fail.Profile, fail.Profile.NumClasses())
+	}
+	if !fail.Profile.Ties && fail.Profile.Jitter == 0 && fail.Profile.Slowdown == 0 {
+		t.Fatalf("shrunk profile %q disabled every class that can reorder arrivals", fail.Profile)
+	}
+	// The emitted repro must reproduce: same seed, shrunk profile.
+	if re := sched.Replay(buggy, fail.Profile, fail.Seed); re == nil {
+		t.Fatalf("replaying the emitted repro (%s) did not reproduce the failure", fail.Repro())
+	}
+	t.Logf("caught and shrunk: %v -> %s", fail.Err, fail.Repro())
+}
+
+// TestPerturbedRunInvariants pins the runtime invariants under heavy
+// perturbation independent of any protocol: an all-pairs echo exchange
+// with wildcard receives must still drain every mailbox, balance its
+// ledgers, and deliver per-source FIFO (checked via per-source sequence
+// numbers), whatever the profile.
+func TestPerturbedRunInvariants(t *testing.T) {
+	const procs, msgs = 4, 20
+	profiles := []sched.Profile{
+		{Ties: true},
+		{Jitter: 1},
+		{Slowdown: 0.5},
+		{ProbeMiss: 0.5},
+		sched.Full,
+	}
+	for _, p := range profiles {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			for seed := uint64(1); seed <= 8; seed++ {
+				rep, err := mpi.RunChecked(procs, func(c *mpi.Comm) error {
+					for i := 0; i < msgs; i++ {
+						for dst := 0; dst < procs; dst++ {
+							if dst != c.Rank() {
+								c.Isend(dst, 3, []int64{int64(i)})
+							}
+						}
+					}
+					next := make([]int64, procs)
+					for got := 0; got < msgs*(procs-1); {
+						// Exercise both the forced-miss Iprobe path and the
+						// blocking wildcard Recv path.
+						if ok, st := c.Iprobe(mpi.AnySource, mpi.AnyTag); ok {
+							data, rst := c.Recv(st.Source, st.Tag)
+							if rst.Source != st.Source {
+								return fmt.Errorf("probe/recv mismatch: probed src %d, received %d", st.Source, rst.Source)
+							}
+							if data[0] != next[rst.Source] {
+								return fmt.Errorf("per-source FIFO violated: src %d seq %d, want %d", rst.Source, data[0], next[rst.Source])
+							}
+							next[rst.Source]++
+							got++
+							continue
+						}
+						data, st := c.Recv(mpi.AnySource, mpi.AnyTag)
+						if data[0] != next[st.Source] {
+							return fmt.Errorf("per-source FIFO violated: src %d seq %d, want %d", st.Source, data[0], next[st.Source])
+						}
+						next[st.Source]++
+						got++
+					}
+					return nil
+				}, mpi.WithPerturb(seed, p), mpi.WithDeadline(time.Minute))
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if err := mpi.CheckDrained(rep); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,148 @@
+package sched
+
+// splitmix64 is the SplitMix64 mixing function (Steele, Lea & Flood,
+// OOPSLA 2014): a bijective avalanche over uint64 used both to step the
+// per-rank streams and to decorrelate derived seeds. It is tiny, has no
+// state beyond the counter, and passes BigCrush when used as a
+// counter-based generator — more than enough for schedule exploration.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// prng is a SplitMix64 counter stream. The zero value is a valid
+// (seed-0) stream.
+type prng struct{ state uint64 }
+
+func (r *prng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	x := r.state
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// float64 returns a uniform draw in [0, 1).
+func (r *prng) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// intn returns a uniform draw in [0, n). n must be > 0.
+func (r *prng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// Perturb is one instantiated perturbation: a profile plus one
+// deterministic PRNG stream per rank. Streams are strictly per-rank —
+// each is consulted only from its owning rank's goroutine — so
+// perturbed runs need no extra synchronization and a seed replays the
+// same sequence of perturbation decisions.
+type Perturb struct {
+	seed    uint64
+	profile Profile
+	ranks   []Rank
+}
+
+// New builds a Perturb for nranks ranks from seed. A disabled profile
+// returns nil, which is the runtime's "no perturbation" fast path.
+func New(seed uint64, p Profile, nranks int) *Perturb {
+	if !p.Enabled() {
+		return nil
+	}
+	pt := &Perturb{seed: seed, profile: p, ranks: make([]Rank, nranks)}
+	for r := range pt.ranks {
+		rk := &pt.ranks[r]
+		rk.p = p
+		// Decorrelate rank streams: hash (seed, rank) rather than seeding
+		// with seed+rank, so nearby seeds do not share rank streams. Each
+		// jitter class gets its own stream off the rank seed: the classes
+		// consume draws at wall-clock-sensitive rates (probe polling, tie
+		// candidate counts), and separate streams keep one class's
+		// consumption from desynchronizing another's draws between
+		// replays of the same seed.
+		rkSeed := splitmix64(seed ^ splitmix64(uint64(r)+1))
+		rk.jitterRng.state = splitmix64(rkSeed ^ 0x6a09e667f3bcc908) // sqrt(2) frac
+		rk.probeRng.state = splitmix64(rkSeed ^ 0xbb67ae8584caa73b)  // sqrt(3) frac
+		rk.tieRng.state = splitmix64(rkSeed ^ 0x3c6ef372fe94f82b)    // sqrt(5) frac
+		rk.slow = 1
+		if p.Slowdown > 0 {
+			var slowRng prng
+			slowRng.state = rkSeed
+			rk.slow = 1 + p.Slowdown*slowRng.float64()
+		}
+	}
+	return pt
+}
+
+// Seed returns the seed New was called with.
+func (pt *Perturb) Seed() uint64 { return pt.seed }
+
+// Profile returns the profile New was called with.
+func (pt *Perturb) Profile() Profile { return pt.profile }
+
+// Rank returns rank r's perturbation stream. The returned pointer must
+// only be used from rank r's goroutine.
+func (pt *Perturb) Rank(r int) *Rank { return &pt.ranks[r] }
+
+// maxConsecMiss bounds how many times in a row a nonblocking probe may
+// be forced to miss, so perturbed poll loops still make progress.
+const maxConsecMiss = 8
+
+// Rank is one rank's perturbation state: one independent PRNG stream
+// per jitter class. All methods are single-goroutine: only the owning
+// rank may call them (the mailbox hooks run on the receiving rank's
+// goroutine under its mailbox lock).
+type Rank struct {
+	jitterRng  prng // consumed per send (Latency)
+	probeRng   prng // consumed per nonblocking probe (ForceMiss)
+	tieRng     prng // consumed per wildcard tie decision (Pick)
+	p          Profile
+	slow       float64 // fixed per-rank latency factor, >= 1
+	consecMiss int
+}
+
+// Latency perturbs one in-flight latency: the per-rank slowdown factor
+// times a fresh jitter draw. The result is always >= base, so message
+// causality (arrival after send) is preserved; with jitter active,
+// per-source arrival stamps are no longer monotone, but delivery order
+// stays FIFO per source (the mailbox rings are structural).
+func (r *Rank) Latency(base float64) float64 {
+	lat := base * r.slow
+	if r.p.Jitter > 0 {
+		lat *= 1 + r.p.Jitter*r.jitterRng.float64()
+	}
+	return lat
+}
+
+// ForceMiss reports whether the next nonblocking probe should be forced
+// to report no message. Misses are bounded: after maxConsecMiss
+// consecutive forced misses the next probe is allowed through.
+func (r *Rank) ForceMiss() bool {
+	if r.p.ProbeMiss <= 0 {
+		return false
+	}
+	if r.consecMiss >= maxConsecMiss {
+		r.consecMiss = 0
+		return false
+	}
+	if r.probeRng.float64() < r.p.ProbeMiss {
+		r.consecMiss++
+		return true
+	}
+	r.consecMiss = 0
+	return false
+}
+
+// Ties reports whether wildcard-selection permutation is active.
+func (r *Rank) Ties() bool { return r.p.Ties }
+
+// Pick returns a uniform draw in [0, n), used to select among n
+// concurrently available wildcard candidates. n must be > 0.
+func (r *Rank) Pick(n int) int {
+	if n == 1 {
+		return 0
+	}
+	return r.tieRng.intn(n)
+}

@@ -15,11 +15,33 @@ package shape
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"strconv"
 
 	"repro/internal/harness"
 	"repro/internal/metrics"
 )
+
+// ParseScale interprets the SHAPE_SCALE environment value: empty means
+// the default, anything else must be a finite positive float. The two
+// failure modes get distinct messages — an unparseable string and a
+// parseable-but-useless scale (zero, negative, NaN, infinite) fail
+// differently so the operator knows whether to fix syntax or value.
+// Silent fallback to the default is exactly what this exists to prevent.
+func ParseScale(s string, def float64) (float64, error) {
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("SHAPE_SCALE=%q is not a number: %v (use a float like 0.5)", s, err)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+		return 0, fmt.Errorf("SHAPE_SCALE=%q must be a finite positive scale factor, got %v", s, v)
+	}
+	return v, nil
+}
 
 // Check is one executable paper claim.
 type Check struct {

@@ -3,11 +3,50 @@ package shape
 import (
 	"io"
 	"os"
-	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/harness"
 )
+
+// TestParseScale pins the SHAPE_SCALE contract: empty selects the
+// default, valid positive floats pass through, and both failure modes
+// (unparseable, and parseable-but-non-positive/non-finite) fail with a
+// message naming the offending value — never a silent default fallback.
+func TestParseScale(t *testing.T) {
+	for _, tc := range []struct {
+		in      string
+		want    float64
+		wantErr string // substring of the error, "" = success
+	}{
+		{"", 0.5, ""},
+		{"1", 1, ""},
+		{"0.25", 0.25, ""},
+		{"2e0", 2, ""},
+		{"half", 0, "not a number"},
+		{"0.5x", 0, "not a number"},
+		{"", 0.5, ""},
+		{"0", 0, "finite positive"},
+		{"-1", 0, "finite positive"},
+		{"NaN", 0, "finite positive"},
+		{"+Inf", 0, "finite positive"},
+	} {
+		got, err := ParseScale(tc.in, 0.5)
+		if tc.wantErr == "" {
+			if err != nil || got != tc.want {
+				t.Errorf("ParseScale(%q) = %v, %v; want %v, nil", tc.in, got, err, tc.want)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("ParseScale(%q) = %v, nil; want error containing %q", tc.in, got, tc.wantErr)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) || !strings.Contains(err.Error(), tc.in) {
+			t.Errorf("ParseScale(%q) error %q; want it to contain %q and name the value", tc.in, err, tc.wantErr)
+		}
+	}
+}
 
 // TestChecksWellFormed is the tier-1 guard over the suite itself: ids
 // unique, claims stated, artifacts registered, and at least the six
@@ -50,13 +89,9 @@ func TestPaperShapes(t *testing.T) {
 	if os.Getenv("RUN_SHAPE_CHECKS") == "" {
 		t.Skip("set RUN_SHAPE_CHECKS=1 (or run `make tier2`) to enable the paper-shape regression gate")
 	}
-	scale := 0.5
-	if s := os.Getenv("SHAPE_SCALE"); s != "" {
-		v, err := strconv.ParseFloat(s, 64)
-		if err != nil || v <= 0 {
-			t.Fatalf("bad SHAPE_SCALE %q: %v", s, err)
-		}
-		scale = v
+	scale, err := ParseScale(os.Getenv("SHAPE_SCALE"), 0.5)
+	if err != nil {
+		t.Fatal(err)
 	}
 	cfg := harness.DefaultConfig()
 	cfg.Scale = scale
