@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: tier1 tier2 perturb build test vet race bench bench-p2p bench-telemetry clean
+.PHONY: tier1 tier2 perturb build test vet race bench bench-smoke bench-graph bench-p2p bench-telemetry clean
 
 # tier1 is the gate every change must keep green: full build + vet +
 # full test suite.
@@ -44,6 +44,19 @@ race:
 # bench runs every benchmark once with allocation stats.
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./...
+
+# bench-smoke compiles and runs every benchmark for a single iteration:
+# a fast CI-grade check that no benchmark has rotted, without measuring
+# anything.
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime=1x ./...
+
+# bench-graph reproduces the ingest-path numbers recorded in
+# BENCH_graph.json: generator throughput, CSR build/permute/summary, and
+# the matching setup kernel.
+bench-graph:
+	$(GO) test -run xxx -bench . -benchmem ./internal/graph/ ./internal/gen/
+	$(GO) test -run xxx -bench 'Serial|Parallel' -benchmem ./internal/matching/
 
 # bench-p2p reproduces the point-to-point hot-path numbers recorded in
 # BENCH_p2p.json.

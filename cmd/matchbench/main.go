@@ -12,6 +12,7 @@
 //	matchbench -exp fig4a -json out.json      # machine-readable run records
 //	matchbench -exp fig4a -rounds             # per-round convergence tables
 //	matchbench -exp fig4a -perturb full -perturb-seed 0x2a  # perturbed schedules
+//	matchbench -exp fig6 -cpuprofile cpu.pb.gz -memprofile mem.pb.gz  # pprof profiles
 //
 // Each experiment prints the table or series corresponding to one figure
 // or table of Ghosh et al., IPDPS 2019, annotated with the shape the
@@ -28,6 +29,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/harness"
@@ -61,6 +64,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		roundCap = fs.Int("round-cap", 512, "per-rank round-log capacity when -json or -rounds is set")
 		perturb  = fs.String("perturb", "", "schedule-perturbation profile: off, full, or jitter=F,slowdown=F,ties,probemiss=F (see DESIGN §4)")
 		pseed    = fs.Uint64("perturb-seed", 1, "perturbation seed (replays the schedule decisions of a PERTURB_SEED repro)")
+		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+		memProf  = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -88,6 +93,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		ids = []string{*exp}
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(stderr, "matchbench: cpuprofile:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, "matchbench: cpuprofile:", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(stderr, "matchbench: cpuprofile:", err)
+			}
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			runtime.GC() // settle live-heap numbers before the snapshot
+			if err := writeArtifact(*memProf, pprof.WriteHeapProfile); err != nil {
+				fmt.Fprintln(stderr, "matchbench: memprofile:", err)
+			}
+		}()
 	}
 
 	cfg := harness.DefaultConfig()

@@ -124,6 +124,39 @@ func TestJSONWriteFailureIsReported(t *testing.T) {
 	}
 }
 
+// TestProfileFlagsWriteProfiles runs a tiny experiment with both pprof
+// flags and checks non-empty profile files appear.
+func TestProfileFlagsWriteProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pb.gz")
+	mem := filepath.Join(dir, "mem.pb.gz")
+	code, _, errb := runCLI(t, "-exp", "tab3", "-scale", "0.2", "-cpuprofile", cpu, "-memprofile", mem)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+// TestCPUProfileFailureIsReported points -cpuprofile at an unwritable
+// path (a directory): usage must fail with exit 1.
+func TestCPUProfileFailureIsReported(t *testing.T) {
+	code, _, errb := runCLI(t, "-exp", "tab3", "-scale", "0.2", "-cpuprofile", t.TempDir())
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb, "cpuprofile") {
+		t.Errorf("stderr does not mention the cpuprofile failure: %q", errb)
+	}
+}
+
 // TestTraceWriteFailureIsReported does the same for -trace.
 func TestTraceWriteFailureIsReported(t *testing.T) {
 	code, _, errb := runCLI(t, "-exp", "tab3", "-scale", "0.2", "-trace", t.TempDir())

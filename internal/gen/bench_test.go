@@ -8,6 +8,22 @@ func BenchmarkRGG(b *testing.B) {
 	}
 }
 
+// BenchmarkRGGLarge is the acceptance benchmark for end-to-end
+// generate+build on a ~1.6M-edge geometric graph.
+func BenchmarkRGGLarge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RGG(400000, RGGRadiusForDegree(400000, 8), int64(i))
+	}
+}
+
+// BenchmarkGraph500Large is the >=1M-edge RMAT end-to-end companion to
+// the graph package's Build-only acceptance benchmark.
+func BenchmarkGraph500Large(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Graph500(16, int64(i))
+	}
+}
+
 func BenchmarkGraph500(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		Graph500(14, int64(i))

@@ -1,0 +1,51 @@
+package gen
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestGeneratorsIndependentOfWorkerCount pins the chunked-stream
+// contract: every generator produces a bit-identical CSR under
+// GOMAXPROCS=1 and GOMAXPROCS=8. Sizes are chosen to exceed one sample
+// chunk (1<<14) so the multi-chunk path actually splits.
+func TestGeneratorsIndependentOfWorkerCount(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func() *graph.CSR
+	}{
+		{"RGG", func() *graph.CSR { return RGG(20000, RGGRadiusForDegree(20000, 8), 3) }},
+		{"RMAT", func() *graph.CSR { return RMAT(11, 10, 0.57, 0.19, 0.19, 0.05, 4) }},
+		{"SBP", func() *graph.CSR { return SBP(12000, 24, 10, 0.4, 5) }},
+		{"KMer", func() *graph.CSR { return KMerGrids(40, 4, 20, 6) }},
+		{"Social", func() *graph.CSR { return Social(15000, 8, 7) }},
+		{"Banded", func() *graph.CSR { return BandedMesh(20000, 16, 2, 0.01, 8) }},
+	}
+	at := func(procs int, f func() *graph.CSR) *graph.CSR {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		return f()
+	}
+	for _, tc := range cases {
+		a := at(1, tc.f)
+		b := at(8, tc.f)
+		if a.NumVertices() != b.NumVertices() || a.NumArcs() != b.NumArcs() {
+			t.Errorf("%s: sizes differ across worker counts: %d/%d arcs", tc.name, a.NumArcs(), b.NumArcs())
+			continue
+		}
+		for i := range a.Offsets {
+			if a.Offsets[i] != b.Offsets[i] {
+				t.Errorf("%s: offsets differ across worker counts", tc.name)
+				break
+			}
+		}
+		for i := range a.Adj {
+			if a.Adj[i] != b.Adj[i] || a.Weights[i] != b.Weights[i] {
+				t.Errorf("%s: graph differs across worker counts at arc %d", tc.name, i)
+				break
+			}
+		}
+	}
+}

@@ -18,21 +18,83 @@
 //   - Path/Grid2D — pathological uniform-weight instances motivating
 //     hashed tie-breaking (paper §III-A).
 //
-// All generators are pure functions of their parameters and seed.
+// All generators are pure functions of their parameters and seed, and
+// independent of GOMAXPROCS: the sample-index space is partitioned into
+// fixed-size chunks, each chunk draws from its own counter stream
+// derived from (seed, generator salt, chunk index), and chunks are
+// fanned out over workers. However the chunks land on workers, chunk c
+// always produces the same samples, so the edge multiset — and through
+// the canonicalizing CSR builder, the graph — is a pure function of
+// (params, seed).
 package gen
 
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/rng"
 )
 
+// Per-generator stream salts: every (generator, purpose) pair derives
+// its streams under a distinct salt so no two generators — and no two
+// sample classes within one generator — ever share a stream.
+const (
+	saltRGGPoint  = 0xa1 // RGG point coordinates
+	saltRGGWeight = 0xa2 // RGG per-edge weights (keyed by endpoint pair)
+	saltRMAT      = 0xa3 // RMAT edge samples
+	saltSBP       = 0xa4 // SBP edge samples
+	saltKMerDims  = 0xa5 // KMerGrids component dimensions
+	saltKMerW     = 0xa6 // KMerGrids per-component weights
+	saltCLPerm    = 0xa7 // ChungLu hub-scatter permutation
+	saltCLSample  = 0xa8 // ChungLu edge samples
+	saltMeshChain = 0xa9 // BandedMesh chain weights
+	saltMeshFill  = 0xaa // BandedMesh in-band fill samples
+	saltMeshFar   = 0xab // BandedMesh long-range samples
+	saltScramble  = 0xac // Scramble permutation
+)
+
+// sampleChunk is the fixed chunk width of the sample-index space. It is
+// a constant — never derived from the worker count — because the chunk
+// boundaries define which stream each sample draws from.
+const sampleChunk = 1 << 14
+
+// chunkStream returns the counter stream for chunk c of the sample
+// class identified by salt.
+func chunkStream(seed int64, salt uint64, c int) rng.Stream {
+	return rng.NewStream(rng.Derive(uint64(seed), salt, uint64(c)))
+}
+
+// forChunks partitions [0, m) into fixed sampleChunk-wide chunks and
+// fans the chunks out over workers: fn(c, lo, hi) handles samples
+// [lo, hi) of chunk c. Each worker processes a contiguous run of whole
+// chunks, so per-chunk streams never straddle workers.
+func forChunks(m int, fn func(c, lo, hi int)) {
+	nc := (m + sampleChunk - 1) / sampleChunk
+	par.Ranges(nc, 1, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			lo := c * sampleChunk
+			hi := lo + sampleChunk
+			if hi > m {
+				hi = m
+			}
+			fn(c, lo, hi)
+		}
+	})
+}
+
 // uniformWeight draws an edge weight in (0, 100].
-func uniformWeight(rng *rand.Rand) float64 {
-	return 100 * (1 - rng.Float64())
+func uniformWeight(s *rng.Stream) float64 {
+	return 100 * (1 - s.Float64())
+}
+
+// pairWeight is the pure-function form of uniformWeight for edges
+// discovered in parallel (RGG): the weight of edge {u,v} under seed,
+// independent of discovery order. Still in (0, 100].
+func pairWeight(seed int64, salt uint64, u, v int) float64 {
+	return 100 * (1 - rng.U01(rng.Derive(uint64(seed), salt, uint64(u), uint64(v))))
 }
 
 // RGG generates a random geometric graph: n points uniform in the unit
@@ -42,58 +104,116 @@ func uniformWeight(rng *rand.Rand) float64 {
 // radius < 1/P each rank's process neighborhood contains at most its two
 // adjacent strips — the property the paper's distributed RGG generator
 // guarantees.
+//
+// Points are sampled per chunk, neighbor search runs over a flat
+// counting-sorted cell grid, and edge discovery fans out over vertex
+// spans with pure per-pair weights — the discovered multiset is
+// worker-count independent even though per-span buffers are
+// concatenated in span order.
 func RGG(n int, radius float64, seed int64) *graph.CSR {
 	if radius <= 0 || radius > 1 {
 		panic(fmt.Sprintf("gen: RGG radius %g out of (0,1]", radius))
 	}
-	rng := rand.New(rand.NewSource(seed))
 	xs := make([]float64, n)
 	ys := make([]float64, n)
-	for i := range xs {
-		xs[i] = rng.Float64()
-		ys[i] = rng.Float64()
-	}
+	forChunks(n, func(c, lo, hi int) {
+		s := chunkStream(seed, saltRGGPoint, c)
+		for i := lo; i < hi; i++ {
+			xs[i] = s.Float64()
+			ys[i] = s.Float64()
+		}
+	})
 	sort.Sort(&pointSorter{xs, ys})
 
-	// Cell binning for O(n) expected neighbor search.
+	// Flat cell grid for O(n) expected neighbor search. Cell width is
+	// 1/cells >= radius (so 3x3 neighborhoods suffice); cells is capped
+	// near sqrt(n) to keep the grid O(n) even for tiny radii.
 	cells := int(1 / radius)
+	if cap := int(math.Sqrt(float64(n))) + 1; cells > cap {
+		cells = cap
+	}
 	if cells < 1 {
 		cells = 1
 	}
-	cellOf := func(i int) (int, int) {
-		cx := int(xs[i] / radius)
-		cy := int(ys[i] / radius)
+	cellOf := func(i int) int {
+		cx := int(xs[i] * float64(cells))
+		cy := int(ys[i] * float64(cells))
 		if cx >= cells {
 			cx = cells - 1
 		}
 		if cy >= cells {
 			cy = cells - 1
 		}
-		return cx, cy
+		return cy*cells + cx
 	}
-	bins := make(map[[2]int][]int)
+	// Counting-sort the point indices by cell (stable: ascending point id
+	// within each cell), replacing the old map-of-slices binning.
+	ncell := cells * cells
+	cell := make([]int32, n)
+	off := make([]int32, ncell+1)
 	for i := 0; i < n; i++ {
-		cx, cy := cellOf(i)
-		bins[[2]int{cx, cy}] = append(bins[[2]int{cx, cy}], i)
+		cid := cellOf(i)
+		cell[i] = int32(cid)
+		off[cid+1]++
 	}
-	b := graph.NewBuilder(n)
+	for c := 0; c < ncell; c++ {
+		off[c+1] += off[c]
+	}
+	binIdx := make([]int32, n)
+	cursor := make([]int32, ncell)
+	copy(cursor, off[:ncell])
+	for i := 0; i < n; i++ {
+		c := cell[i]
+		binIdx[cursor[c]] = int32(i)
+		cursor[c]++
+	}
+
+	// Parallel edge discovery over vertex spans. Weights are a pure
+	// function of (seed, i, j), so the multiset is span-independent; the
+	// builder canonicalizes away the concatenation order.
 	r2 := radius * radius
-	for i := 0; i < n; i++ {
-		cx, cy := cellOf(i)
-		for dx := -1; dx <= 1; dx++ {
+	spans := par.Split(n, 2048)
+	bufs := make([][]graph.Edge, len(spans))
+	par.Do(spans, func(si, lo, hi int) {
+		var buf []graph.Edge
+		for i := lo; i < hi; i++ {
+			cx, cy := int(cell[i])%cells, int(cell[i])/cells
 			for dy := -1; dy <= 1; dy++ {
-				for _, j := range bins[[2]int{cx + dx, cy + dy}] {
-					if j <= i {
+				ny := cy + dy
+				if ny < 0 || ny >= cells {
+					continue
+				}
+				for dx := -1; dx <= 1; dx++ {
+					nx := cx + dx
+					if nx < 0 || nx >= cells {
 						continue
 					}
-					ddx, ddy := xs[i]-xs[j], ys[i]-ys[j]
-					if ddx*ddx+ddy*ddy <= r2 {
-						b.AddEdge(i, j, uniformWeight(rng))
+					cid := ny*cells + nx
+					for _, j32 := range binIdx[off[cid]:off[cid+1]] {
+						j := int(j32)
+						if j <= i {
+							continue
+						}
+						ddx, ddy := xs[i]-xs[j], ys[i]-ys[j]
+						if ddx*ddx+ddy*ddy <= r2 {
+							buf = append(buf, graph.Edge{U: i, V: j, W: pairWeight(seed, saltRGGWeight, i, j)})
+						}
 					}
 				}
 			}
 		}
+		bufs[si] = buf
+	})
+	total := 0
+	for _, b := range bufs {
+		total += len(b)
 	}
+	edges := make([]graph.Edge, 0, total)
+	for _, b := range bufs {
+		edges = append(edges, b...)
+	}
+	b := graph.NewBuilder(n)
+	b.UseEdges(edges)
 	return b.Build()
 }
 
@@ -116,33 +236,38 @@ func RGGRadiusForDegree(n int, d float64) float64 {
 // vertices and edgeFactor*2^scale sampled edges, using quadrant
 // probabilities (a,b,c,d). Duplicate samples and self loops are dropped
 // by the builder, so the realized edge count is slightly lower, as in
-// Graph500 practice.
+// Graph500 practice. Samples fan out per chunk; sample e always lands at
+// edges[e].
 func RMAT(scale, edgeFactor int, a, bq, cq, dq float64, seed int64) *graph.CSR {
 	if s := a + bq + cq + dq; math.Abs(s-1) > 1e-9 {
 		panic(fmt.Sprintf("gen: RMAT probabilities sum to %g, want 1", s))
 	}
 	n := 1 << scale
 	m := edgeFactor * n
-	rng := rand.New(rand.NewSource(seed))
-	b := graph.NewBuilder(n)
-	for e := 0; e < m; e++ {
-		u, v := 0, 0
-		for bit := 0; bit < scale; bit++ {
-			r := rng.Float64()
-			switch {
-			case r < a:
-				// top-left: no bits set
-			case r < a+bq:
-				v |= 1 << bit
-			case r < a+bq+cq:
-				u |= 1 << bit
-			default:
-				u |= 1 << bit
-				v |= 1 << bit
+	edges := make([]graph.Edge, m)
+	forChunks(m, func(c, lo, hi int) {
+		s := chunkStream(seed, saltRMAT, c)
+		for e := lo; e < hi; e++ {
+			u, v := 0, 0
+			for bit := 0; bit < scale; bit++ {
+				r := s.Float64()
+				switch {
+				case r < a:
+					// top-left: no bits set
+				case r < a+bq:
+					v |= 1 << bit
+				case r < a+bq+cq:
+					u |= 1 << bit
+				default:
+					u |= 1 << bit
+					v |= 1 << bit
+				}
 			}
+			edges[e] = graph.Edge{U: u, V: v, W: uniformWeight(&s)}
 		}
-		b.AddEdge(u, v, uniformWeight(rng))
-	}
+	})
+	b := graph.NewBuilder(n)
+	b.UseEdges(edges)
 	return b.Build()
 }
 
@@ -166,36 +291,40 @@ func SBP(n, blocks int, avgDeg, overlap float64, seed int64) *graph.CSR {
 	if overlap < 0 || overlap >= 1 {
 		panic(fmt.Sprintf("gen: SBP overlap=%g out of [0,1)", overlap))
 	}
-	rng := rand.New(rand.NewSource(seed))
 	m := int(float64(n) * avgDeg / 2)
 	blockSize := (n + blocks - 1) / blocks
 	// Rounding can leave trailing blocks empty; only target real ones.
 	blocks = (n + blockSize - 1) / blockSize
 	blockOf := func(v int) int { return v / blockSize }
-	randIn := func(blk int) int {
+	randIn := func(s *rng.Stream, blk int) int {
 		lo := blk * blockSize
 		hi := lo + blockSize
 		if hi > n {
 			hi = n
 		}
-		return lo + rng.Intn(hi-lo)
+		return lo + s.Intn(hi-lo)
 	}
-	b := graph.NewBuilder(n)
-	for e := 0; e < m; e++ {
-		u := rng.Intn(n)
-		var v int
-		if rng.Float64() < overlap && blocks > 1 {
-			// Cross-block edge to a uniformly random other block.
-			blk := rng.Intn(blocks - 1)
-			if blk >= blockOf(u) {
-				blk++
+	edges := make([]graph.Edge, m)
+	forChunks(m, func(c, lo, hi int) {
+		s := chunkStream(seed, saltSBP, c)
+		for e := lo; e < hi; e++ {
+			u := s.Intn(n)
+			var v int
+			if s.Float64() < overlap && blocks > 1 {
+				// Cross-block edge to a uniformly random other block.
+				blk := s.Intn(blocks - 1)
+				if blk >= blockOf(u) {
+					blk++
+				}
+				v = randIn(&s, blk)
+			} else {
+				v = randIn(&s, blockOf(u))
 			}
-			v = randIn(blk)
-		} else {
-			v = randIn(blockOf(u))
+			edges[e] = graph.Edge{U: u, V: v, W: uniformWeight(&s)}
 		}
-		b.AddEdge(u, v, uniformWeight(rng))
-	}
+	})
+	b := graph.NewBuilder(n)
+	b.UseEdges(edges)
 	return b.Build()
 }
 
@@ -203,37 +332,49 @@ func SBP(n, blocks int, avgDeg, overlap float64, seed int64) *graph.CSR {
 // 2-D grid components whose side lengths are drawn from [minSide,
 // maxSide], numbered component by component in row-major order. The
 // paper notes these graphs "consist of grids of different sizes" whose
-// dense packing stresses neighborhood collectives (Fig 5).
+// dense packing stresses neighborhood collectives (Fig 5). Components
+// are independent — dimensions are drawn up front, then each component
+// fills its precomputed edge range in parallel under its own stream.
 func KMerGrids(components, minSide, maxSide int, seed int64) *graph.CSR {
 	if minSide < 1 || maxSide < minSide {
 		panic(fmt.Sprintf("gen: KMerGrids sides [%d,%d] invalid", minSide, maxSide))
 	}
-	rng := rand.New(rand.NewSource(seed))
-	type dims struct{ r, c int }
-	sizes := make([]dims, components)
-	total := 0
+	dims := chunkStream(seed, saltKMerDims, 0)
+	type grid struct{ r, c int }
+	sizes := make([]grid, components)
+	voff := make([]int, components+1)
+	eoff := make([]int, components+1)
 	for i := range sizes {
-		r := minSide + rng.Intn(maxSide-minSide+1)
-		c := minSide + rng.Intn(maxSide-minSide+1)
-		sizes[i] = dims{r, c}
-		total += r * c
+		r := minSide + dims.Intn(maxSide-minSide+1)
+		c := minSide + dims.Intn(maxSide-minSide+1)
+		sizes[i] = grid{r, c}
+		voff[i+1] = voff[i] + r*c
+		eoff[i+1] = eoff[i] + r*(c-1) + (r-1)*c
 	}
-	b := graph.NewBuilder(total)
-	base := 0
-	for _, d := range sizes {
-		id := func(i, j int) int { return base + i*d.c + j }
-		for i := 0; i < d.r; i++ {
-			for j := 0; j < d.c; j++ {
-				if j+1 < d.c {
-					b.AddEdge(id(i, j), id(i, j+1), uniformWeight(rng))
-				}
-				if i+1 < d.r {
-					b.AddEdge(id(i, j), id(i+1, j), uniformWeight(rng))
+	edges := make([]graph.Edge, eoff[components])
+	par.Ranges(components, 1, func(clo, chi int) {
+		for comp := clo; comp < chi; comp++ {
+			s := rng.NewStream(rng.Derive(uint64(seed), saltKMerW, uint64(comp)))
+			d := sizes[comp]
+			base := voff[comp]
+			id := func(i, j int) int { return base + i*d.c + j }
+			k := eoff[comp]
+			for i := 0; i < d.r; i++ {
+				for j := 0; j < d.c; j++ {
+					if j+1 < d.c {
+						edges[k] = graph.Edge{U: id(i, j), V: id(i, j+1), W: uniformWeight(&s)}
+						k++
+					}
+					if i+1 < d.r {
+						edges[k] = graph.Edge{U: id(i, j), V: id(i+1, j), W: uniformWeight(&s)}
+						k++
+					}
 				}
 			}
 		}
-		base += d.r * d.c
-	}
+	})
+	b := graph.NewBuilder(voff[components])
+	b.UseEdges(edges)
 	return b.Build()
 }
 
@@ -242,19 +383,30 @@ func KMerGrids(components, minSide, maxSide int, seed int64) *graph.CSR {
 // sampling endpoint pairs proportional to per-vertex weights. Heavy-tail
 // hubs connect distant id ranges, so block partitions of these graphs
 // produce near-complete process graphs — the paper's Friendster/Orkut
-// behavior (Table IV).
+// behavior (Table IV). The power-law weight table fans out over vertex
+// spans; edge samples fan out per chunk.
 func ChungLu(n int, avgDeg, gamma float64, seed int64) *graph.CSR {
 	if gamma <= 2 {
 		panic(fmt.Sprintf("gen: ChungLu gamma=%g must exceed 2", gamma))
 	}
-	rng := rand.New(rand.NewSource(seed))
 	// Desired expected degrees: w_i proportional to (i+i0)^(-1/(gamma-1)).
+	// math.Pow dominates setup, so the table is computed in parallel with
+	// per-span partial sums.
 	w := make([]float64, n)
 	exp := -1 / (gamma - 1)
+	spans := par.Split(n, 2048)
+	partial := make([]float64, len(spans))
+	par.Do(spans, func(si, lo, hi int) {
+		var sum float64
+		for i := lo; i < hi; i++ {
+			w[i] = math.Pow(float64(i+10), exp)
+			sum += w[i]
+		}
+		partial[si] = sum
+	})
 	var sum float64
-	for i := range w {
-		w[i] = math.Pow(float64(i+10), exp)
-		sum += w[i]
+	for _, p := range partial {
+		sum += p
 	}
 	scale := avgDeg * float64(n) / sum
 	cum := make([]float64, n+1)
@@ -263,19 +415,24 @@ func ChungLu(n int, avgDeg, gamma float64, seed int64) *graph.CSR {
 		cum[i+1] = cum[i] + w[i]
 	}
 	totalW := cum[n]
-	draw := func() int {
-		x := rng.Float64() * totalW
+	draw := func(s *rng.Stream) int {
+		x := s.Float64() * totalW
 		return sort.SearchFloat64s(cum[1:], x)
 	}
 	// Scatter hubs across the id space so hubs do not all land in rank 0's
 	// block: apply a deterministic hash shuffle of ids.
-	perm := rand.New(rand.NewSource(seed ^ 0x5bd1e995)).Perm(n)
+	perm := rng.Perm(n, rng.Derive(uint64(seed), saltCLPerm))
 	m := int(avgDeg * float64(n) / 2)
+	edges := make([]graph.Edge, m)
+	forChunks(m, func(c, lo, hi int) {
+		s := chunkStream(seed, saltCLSample, c)
+		for e := lo; e < hi; e++ {
+			u, v := draw(&s), draw(&s)
+			edges[e] = graph.Edge{U: perm[u], V: perm[v], W: uniformWeight(&s)}
+		}
+	})
 	b := graph.NewBuilder(n)
-	for e := 0; e < m; e++ {
-		u, v := draw(), draw()
-		b.AddEdge(perm[u], perm[v], uniformWeight(rng))
-	}
+	b.UseEdges(edges)
 	return b.Build()
 }
 
@@ -288,33 +445,53 @@ func Social(n int, avgDeg float64, seed int64) *graph.CSR {
 // BandedMesh generates a Cage15/HV15R-style banded mesh: a Hamiltonian
 // chain plus fill random edges per vertex within +-band, plus a fraction
 // longRange of uniformly random long edges that give the "irregular block
-// structures" the paper observes along the diagonal (Fig 9).
+// structures" the paper observes along the diagonal (Fig 9). The three
+// sample classes (chain, fill, far) each chunk their own index space;
+// fill samples that would fall off both ends of the id range become
+// {0,0} self-loop sentinels, which the builder drops.
 func BandedMesh(n, band int, fill, longRange float64, seed int64) *graph.CSR {
 	if band < 1 {
 		panic("gen: BandedMesh band must be >= 1")
 	}
-	rng := rand.New(rand.NewSource(seed))
-	b := graph.NewBuilder(n)
-	for v := 0; v+1 < n; v++ {
-		b.AddEdge(v, v+1, uniformWeight(rng))
+	chain := n - 1
+	if chain < 0 {
+		chain = 0
 	}
 	extra := int(fill * float64(n))
-	for e := 0; e < extra; e++ {
-		u := rng.Intn(n)
-		off := 1 + rng.Intn(band)
-		v := u + off
-		if v >= n {
-			v = u - off
+	far := int(longRange * float64(n))
+	edges := make([]graph.Edge, chain+extra+far)
+	forChunks(chain, func(c, lo, hi int) {
+		s := chunkStream(seed, saltMeshChain, c)
+		for v := lo; v < hi; v++ {
+			edges[v] = graph.Edge{U: v, V: v + 1, W: uniformWeight(&s)}
+		}
+	})
+	forChunks(extra, func(c, lo, hi int) {
+		s := chunkStream(seed, saltMeshFill, c)
+		for e := lo; e < hi; e++ {
+			u := s.Intn(n)
+			off := 1 + s.Intn(band)
+			w := uniformWeight(&s)
+			v := u + off
+			if v >= n {
+				v = u - off
+			}
 			if v < 0 {
+				edges[chain+e] = graph.Edge{} // dead sample: dropped self loop
 				continue
 			}
+			edges[chain+e] = graph.Edge{U: u, V: v, W: w}
 		}
-		b.AddEdge(u, v, uniformWeight(rng))
-	}
-	far := int(longRange * float64(n))
-	for e := 0; e < far; e++ {
-		b.AddEdge(rng.Intn(n), rng.Intn(n), uniformWeight(rng))
-	}
+	})
+	forChunks(far, func(c, lo, hi int) {
+		s := chunkStream(seed, saltMeshFar, c)
+		for e := lo; e < hi; e++ {
+			u, v := s.Intn(n), s.Intn(n)
+			edges[chain+extra+e] = graph.Edge{U: u, V: v, W: uniformWeight(&s)}
+		}
+	})
+	b := graph.NewBuilder(n)
+	b.UseEdges(edges)
 	return b.Build()
 }
 
@@ -354,12 +531,14 @@ func Grid2D(r, c int) *graph.CSR {
 // interleaves degrees along BFS levels.
 func OrderByDegree(g *graph.CSR) *graph.CSR {
 	n := g.NumVertices()
+	deg := make([]int, n)
 	byDeg := make([]int, n)
 	for i := range byDeg {
+		deg[i] = g.Degree(i)
 		byDeg[i] = i
 	}
 	sort.Slice(byDeg, func(a, b int) bool {
-		da, db := g.Degree(byDeg[a]), g.Degree(byDeg[b])
+		da, db := deg[byDeg[a]], deg[byDeg[b]]
 		if da != db {
 			return da > db
 		}
@@ -377,6 +556,6 @@ func OrderByDegree(g *graph.CSR) *graph.CSR {
 // experiments scramble a banded mesh to obtain the "original" (poorly
 // ordered) input that reordering then repairs.
 func Scramble(g *graph.CSR, seed int64) (*graph.CSR, []int) {
-	perm := rand.New(rand.NewSource(seed)).Perm(g.NumVertices())
+	perm := rng.Perm(g.NumVertices(), rng.Derive(uint64(seed), saltScramble))
 	return g.Permute(perm), perm
 }

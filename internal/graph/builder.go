@@ -3,6 +3,8 @@ package graph
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/par"
 )
 
 // Edge is one undirected weighted edge for builder input.
@@ -43,22 +45,217 @@ func (b *Builder) AddEdge(u, v int, w float64) {
 	b.edges = append(b.edges, Edge{U: u, V: v, W: w})
 }
 
-// NumEdgesAdded returns how many AddEdge calls were recorded (before
-// dedup).
+// UseEdges adopts es as the builder's edge list without copying — the
+// bulk path the parallel generators use after writing samples directly
+// into a preallocated slice. Endpoints are range-checked here; unlike
+// AddEdge, entries need not be canonicalized: Build swaps U>V pairs and
+// drops U==V self loops itself, so generators may leave dead samples as
+// self loops. The builder owns es afterwards.
+func (b *Builder) UseEdges(es []Edge) {
+	for k := range es {
+		e := &es[k]
+		if e.U < 0 || e.U >= b.n || e.V < 0 || e.V >= b.n {
+			panic(fmt.Sprintf("graph: UseEdges: edge {%d,%d} out of range [0,%d)", e.U, e.V, b.n))
+		}
+	}
+	b.edges = es
+}
+
+// NumEdgesAdded returns how many edges were recorded (before dedup).
 func (b *Builder) NumEdgesAdded() int { return len(b.edges) }
 
-// Build produces the CSR. The builder may be reused afterwards; Build
+// Grain sizes for the parallel ingest passes: coarse enough that span
+// bookkeeping is noise, fine enough that real inputs fan out.
+const (
+	edgeGrain   = 8192
+	vertexGrain = 1024
+)
+
+// Build produces the CSR with a parallel LSD radix sort over the arcs,
+// O(m) with no comparison sort anywhere: (1) per-span per-vertex arc
+// counts, (2) placement into rows — which, read arcs-as-(dst, src), is
+// exactly the arcs sorted by destination — (3) a stable counting
+// scatter of that sequence by source, after which every row is sorted
+// by neighbor, then a max-weight dedup scan and a final compaction to
+// the deduplicated offsets. Every pass fans out over par.Workers().
+//
+// The result is a pure function of the edge *multiset* — duplicate
+// (src, dst) arcs land adjacently in span-dependent order, but the
+// commutative max-weight merge erases it — so the CSR is bit-identical
+// for any GOMAXPROCS, and bit-identical to the retained serial
+// reference (buildSerial). The builder may be reused afterwards; Build
 // does not clear it.
 func (b *Builder) Build() *CSR {
-	// Dedup on canonicalized (u,v), keeping max weight.
-	sort.Slice(b.edges, func(i, j int) bool {
-		if b.edges[i].U != b.edges[j].U {
-			return b.edges[i].U < b.edges[j].U
+	n, m := b.n, len(b.edges)
+	g := &CSR{Offsets: make([]int64, n+1), Adj: []int32{}, Weights: []float64{}}
+	if m == 0 || n == 0 {
+		return g
+	}
+
+	// Pass 1: per-span arc counts per vertex. Self loops are dropped;
+	// both endpoints of every other edge count one arc.
+	spans := par.Split(m, edgeGrain)
+	w := len(spans)
+	cnt := make([]int32, w*n)
+	par.Do(spans, func(si, lo, hi int) {
+		c := cnt[si*n : si*n+n]
+		for k := lo; k < hi; k++ {
+			e := &b.edges[k]
+			if e.U == e.V {
+				continue
+			}
+			c[e.U]++
+			c[e.V]++
 		}
-		return b.edges[i].V < b.edges[j].V
 	})
-	uniq := b.edges[:0:0]
+
+	// Turn the counts into per-span write bases: for each vertex, an
+	// exclusive prefix across spans (so span si writes its arcs for v at
+	// poff[v]+cnt[si*n+v]...), and the duplicate-inclusive row width into
+	// the provisional offsets.
+	poff := make([]int64, n+1)
+	par.Ranges(n, vertexGrain, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			var s int32
+			for si := 0; si < w; si++ {
+				c := &cnt[si*n+v]
+				s, *c = s+*c, s
+			}
+			poff[v+1] = int64(s)
+		}
+	})
+	for v := 0; v < n; v++ {
+		poff[v+1] += poff[v]
+	}
+
+	// Pass 2: placement with duplicates, same span partition as pass 1
+	// so the per-span bases line up. Row u of tmp holds u's neighbors in
+	// arbitrary order — equivalently, reading the rows in order, tmp is
+	// the arc sequence (dst=u, src=tmpAdj[i]) sorted by destination: the
+	// first key pass of an LSD radix sort by (src, dst).
+	tmpAdj := make([]int32, poff[n])
+	tmpWts := make([]float64, poff[n])
+	par.Do(spans, func(si, lo, hi int) {
+		c := cnt[si*n : si*n+n]
+		for k := lo; k < hi; k++ {
+			e := &b.edges[k]
+			u, v := e.U, e.V
+			if u == v {
+				continue
+			}
+			i := poff[u] + int64(c[u])
+			c[u]++
+			tmpAdj[i], tmpWts[i] = int32(v), e.W
+			j := poff[v] + int64(c[v])
+			c[v]++
+			tmpAdj[j], tmpWts[j] = int32(u), e.W
+		}
+	})
+
+	// Pass 3: stable counting scatter of the dst-sorted arc sequence by
+	// source — the second radix pass. Stability preserves the ascending
+	// destination order within each source row, so rows come out sorted
+	// by neighbor with no comparison sort. The graph is symmetric, so
+	// per-source row widths equal the pass-1 widths and poff serves as
+	// the base offsets again; only the per-span sub-counts are new.
+	vspans := par.Split(n, vertexGrain)
+	w2 := len(vspans)
+	cnt2 := make([]int32, w2*n)
+	par.Do(vspans, func(si, lo, hi int) {
+		c := cnt2[si*n : si*n+n]
+		for i := poff[lo]; i < poff[hi]; i++ {
+			c[tmpAdj[i]]++
+		}
+	})
+	par.Ranges(n, vertexGrain, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			var s int32
+			for si := 0; si < w2; si++ {
+				c := &cnt2[si*n+v]
+				s, *c = s+*c, s
+			}
+		}
+	})
+	adj := make([]int32, poff[n])
+	wts := make([]float64, poff[n])
+	par.Do(vspans, func(si, lo, hi int) {
+		c := cnt2[si*n : si*n+n]
+		for v := lo; v < hi; v++ {
+			for i := poff[v]; i < poff[v+1]; i++ {
+				s := tmpAdj[i]
+				j := poff[s] + int64(c[s])
+				c[s]++
+				adj[j], wts[j] = int32(v), tmpWts[i]
+			}
+		}
+	})
+
+	// Pass 4: max-weight dedup, in place. Duplicate (src, dst) arcs are
+	// adjacent now; their relative order still depends on the pass-2
+	// span partition, but max is commutative, so the compacted row is a
+	// pure function of the multiset.
+	uniq := make([]int32, n)
+	par.Ranges(n, vertexGrain, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			ra := adj[poff[v]:poff[v+1]]
+			rw := wts[poff[v]:poff[v+1]]
+			k := 0
+			for i := range ra {
+				if k > 0 && ra[k-1] == ra[i] {
+					if rw[i] > rw[k-1] {
+						rw[k-1] = rw[i]
+					}
+					continue
+				}
+				ra[k], rw[k] = ra[i], rw[i]
+				k++
+			}
+			uniq[v] = int32(k)
+		}
+	})
+
+	// Final offsets over the deduplicated widths, then compact.
+	for v := 0; v < n; v++ {
+		g.Offsets[v+1] = g.Offsets[v] + int64(uniq[v])
+	}
+	g.Adj = make([]int32, g.Offsets[n])
+	g.Weights = make([]float64, g.Offsets[n])
+	par.Ranges(n, vertexGrain, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			o, k := g.Offsets[v], int64(uniq[v])
+			copy(g.Adj[o:o+k], adj[poff[v]:])
+			copy(g.Weights[o:o+k], wts[poff[v]:])
+		}
+	})
+	return g
+}
+
+// buildSerial is the retained serial reference: the original global-sort
+// construction (O(m log m) with interface comparators). It is kept so
+// the property suite can assert the parallel Build is bit-identical to
+// it on arbitrary edge lists; it is not on any hot path.
+func (b *Builder) buildSerial() *CSR {
+	// AddEdge canonicalizes eagerly, UseEdges defers to Build; normalize
+	// here so the reference accepts both input forms.
+	canon := make([]Edge, 0, len(b.edges))
 	for _, e := range b.edges {
+		if e.U == e.V {
+			continue
+		}
+		if e.U > e.V {
+			e.U, e.V = e.V, e.U
+		}
+		canon = append(canon, e)
+	}
+	// Dedup on canonicalized (u,v), keeping max weight.
+	sort.Slice(canon, func(i, j int) bool {
+		if canon[i].U != canon[j].U {
+			return canon[i].U < canon[j].U
+		}
+		return canon[i].V < canon[j].V
+	})
+	uniq := canon[:0:0]
+	for _, e := range canon {
 		if k := len(uniq) - 1; k >= 0 && uniq[k].U == e.U && uniq[k].V == e.V {
 			if e.W > uniq[k].W {
 				uniq[k].W = e.W

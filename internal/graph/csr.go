@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/par"
 )
 
 // CSR is an undirected weighted graph in compressed sparse row format.
@@ -43,15 +45,27 @@ func (g *CSR) NumArcs() int64 { return int64(len(g.Adj)) }
 // NumEdges returns the number of undirected edges, counting self loops
 // once.
 func (g *CSR) NumEdges() int64 {
+	return edgesFromLoops(g.NumArcs(), g.countLoops(0, g.NumVertices()))
+}
+
+// countLoops counts self arcs in rows [lo,hi) with one flat walk over
+// Adj — no per-vertex Neighbors slicing. Summary reuses it per span.
+func (g *CSR) countLoops(lo, hi int) int64 {
 	var loops int64
-	for v := 0; v < g.NumVertices(); v++ {
-		for _, a := range g.Neighbors(v) {
-			if int(a) == v {
+	for v := lo; v < hi; v++ {
+		for k := g.Offsets[v]; k < g.Offsets[v+1]; k++ {
+			if g.Adj[k] == int32(v) {
 				loops++
 			}
 		}
 	}
-	return (g.NumArcs()-loops)/2 + loops
+	return loops
+}
+
+// edgesFromLoops converts an arc count to an undirected edge count:
+// every non-loop edge is stored as two arcs, every self loop as one.
+func edgesFromLoops(arcs, loops int64) int64 {
+	return (arcs-loops)/2 + loops
 }
 
 // Degree returns the number of arcs out of v.
@@ -89,7 +103,9 @@ func (g *CSR) EdgeWeight(u, v int) (w float64, ok bool) {
 
 // Validate checks structural invariants: monotone offsets, in-range
 // neighbor ids, sorted rows, and symmetry (u in Adj[v] iff v in Adj[u]
-// with equal weights). It returns the first violation found.
+// with equal weights). Both phases fan out over vertex ranges; the
+// violation at the lowest vertex of the failing phase is returned, as in
+// the serial scan.
 func (g *CSR) Validate() error {
 	n := g.NumVertices()
 	if len(g.Offsets) > 0 && g.Offsets[0] != 0 {
@@ -98,7 +114,9 @@ func (g *CSR) Validate() error {
 	if len(g.Adj) != len(g.Weights) {
 		return fmt.Errorf("graph: len(Adj)=%d != len(Weights)=%d", len(g.Adj), len(g.Weights))
 	}
-	for v := 0; v < n; v++ {
+	// Structure phase: every row's offsets guard its own slicing, so
+	// spans are independently safe even on corrupt inputs.
+	if err := g.firstError(n, func(v int) error {
 		if g.Offsets[v+1] < g.Offsets[v] {
 			return fmt.Errorf("graph: Offsets not monotone at %d", v)
 		}
@@ -115,11 +133,16 @@ func (g *CSR) Validate() error {
 				return fmt.Errorf("graph: vertex %d row not strictly sorted at position %d", v, i)
 			}
 		}
+		return nil
+	}); err != nil {
+		return err
 	}
-	if int(g.Offsets[n]) != len(g.Adj) {
+	if len(g.Offsets) > 0 && int(g.Offsets[n]) != len(g.Adj) {
 		return fmt.Errorf("graph: Offsets[n]=%d != len(Adj)=%d", g.Offsets[n], len(g.Adj))
 	}
-	for v := 0; v < n; v++ {
+	// Symmetry phase: runs only on structurally sound graphs, so the
+	// binary searches cannot index out of range.
+	return g.firstError(n, func(v int) error {
 		ws := g.NeighborWeights(v)
 		for i, a := range g.Neighbors(v) {
 			if int(a) == v {
@@ -132,6 +155,28 @@ func (g *CSR) Validate() error {
 			if w != ws[i] {
 				return fmt.Errorf("graph: edge {%d,%d} weight mismatch: %g vs %g", v, a, ws[i], w)
 			}
+		}
+		return nil
+	})
+}
+
+// firstError runs check over all vertices in parallel spans and returns
+// the error of the lowest-vertex violation (spans stop at their first
+// hit; span order recovers global order).
+func (g *CSR) firstError(n int, check func(v int) error) error {
+	spans := par.Split(n, vertexGrain)
+	errs := make([]error, len(spans))
+	par.Do(spans, func(si, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if err := check(v); err != nil {
+				errs[si] = err
+				return
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
 	}
 	return nil
@@ -204,23 +249,57 @@ func (g *CSR) Profile() int64 {
 	return p
 }
 
-// Permute relabels vertices: newID = perm[oldID]. It returns a new graph;
-// perm must be a permutation of [0,N).
+// Permute relabels vertices: newID = perm[oldID]. It returns a new
+// graph; perm must be a permutation of [0,N). The relabeling is direct
+// CSR-to-CSR — each old row lands as one new row, in parallel over
+// vertex ranges, with a per-row sort restoring neighbor order — instead
+// of a round trip through the edge-list builder. Self loops (possible
+// only in hand-decoded graphs) are dropped, as the builder path did.
 func (g *CSR) Permute(perm []int) *CSR {
 	n := g.NumVertices()
 	if len(perm) != n {
 		panic(fmt.Sprintf("graph: Permute: len(perm)=%d, want %d", len(perm), n))
 	}
-	b := NewBuilder(n)
-	for v := 0; v < n; v++ {
-		ws := g.NeighborWeights(v)
-		for i, a := range g.Neighbors(v) {
-			if int(a) >= v {
-				b.AddEdge(perm[v], perm[int(a)], ws[i])
-			}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || p >= n || seen[p] {
+			panic(fmt.Sprintf("graph: Permute: perm is not a permutation of [0,%d)", n))
 		}
+		seen[p] = true
 	}
-	return b.Build()
+	ng := &CSR{Offsets: make([]int64, n+1)}
+	// New row widths: perm is a bijection, so writes are disjoint.
+	par.Ranges(n, vertexGrain, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			d := int64(0)
+			for k := g.Offsets[v]; k < g.Offsets[v+1]; k++ {
+				if g.Adj[k] != int32(v) {
+					d++
+				}
+			}
+			ng.Offsets[perm[v]+1] = d
+		}
+	})
+	for v := 0; v < n; v++ {
+		ng.Offsets[v+1] += ng.Offsets[v]
+	}
+	ng.Adj = make([]int32, ng.Offsets[n])
+	ng.Weights = make([]float64, ng.Offsets[n])
+	par.Ranges(n, vertexGrain, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			o := ng.Offsets[perm[v]]
+			i := int64(0)
+			for k := g.Offsets[v]; k < g.Offsets[v+1]; k++ {
+				if a := g.Adj[k]; a != int32(v) {
+					ng.Adj[o+i] = int32(perm[a])
+					ng.Weights[o+i] = g.Weights[k]
+					i++
+				}
+			}
+			sortArcs(ng.Adj[o:o+i], ng.Weights[o:o+i])
+		}
+	})
+	return ng
 }
 
 // DegreeHistogram returns counts[d] = number of vertices of degree d,
@@ -245,27 +324,70 @@ type Stats struct {
 	MaxW      float64
 }
 
-// Summary computes Stats in one pass over the graph.
+// Summary computes Stats in one parallel pass over vertex ranges. Each
+// span reads its rows once — degree comes straight off Offsets (the old
+// code called Degree three times per vertex), bandwidth, weight extrema
+// and the self-loop count for the edge total (the NumEdges identity,
+// via countLoops per span) all ride the same walk — and the span
+// partials merge exactly.
 func (g *CSR) Summary() Stats {
 	n := g.NumVertices()
-	st := Stats{Vertices: n, Edges: g.NumEdges(), Bandwidth: g.Bandwidth(), MinW: math.Inf(1), MaxW: math.Inf(-1)}
+	st := Stats{Vertices: n, MinW: math.Inf(1), MaxW: math.Inf(-1)}
+	type partial struct {
+		sum, sumSq float64
+		maxDeg, bw int
+		loops      int64
+		minW, maxW float64
+	}
+	spans := par.Split(n, vertexGrain)
+	parts := make([]partial, len(spans))
+	par.Do(spans, func(si, lo, hi int) {
+		p := partial{minW: math.Inf(1), maxW: math.Inf(-1)}
+		for v := lo; v < hi; v++ {
+			d := g.Offsets[v+1] - g.Offsets[v]
+			p.sum += float64(d)
+			p.sumSq += float64(d) * float64(d)
+			if int(d) > p.maxDeg {
+				p.maxDeg = int(d)
+			}
+			for k := g.Offsets[v]; k < g.Offsets[v+1]; k++ {
+				if s := v - int(g.Adj[k]); s > p.bw {
+					p.bw = s
+				} else if -s > p.bw {
+					p.bw = -s
+				}
+				w := g.Weights[k]
+				if w < p.minW {
+					p.minW = w
+				}
+				if w > p.maxW {
+					p.maxW = w
+				}
+			}
+		}
+		p.loops = g.countLoops(lo, hi)
+		parts[si] = p
+	})
 	var sum, sumSq float64
-	for v := 0; v < n; v++ {
-		d := float64(g.Degree(v))
-		sum += d
-		sumSq += d * d
-		if g.Degree(v) > st.MaxDeg {
-			st.MaxDeg = g.Degree(v)
+	var loops int64
+	for _, p := range parts {
+		sum += p.sum
+		sumSq += p.sumSq
+		loops += p.loops
+		if p.maxDeg > st.MaxDeg {
+			st.MaxDeg = p.maxDeg
+		}
+		if p.bw > st.Bandwidth {
+			st.Bandwidth = p.bw
+		}
+		if p.minW < st.MinW {
+			st.MinW = p.minW
+		}
+		if p.maxW > st.MaxW {
+			st.MaxW = p.maxW
 		}
 	}
-	for _, w := range g.Weights {
-		if w < st.MinW {
-			st.MinW = w
-		}
-		if w > st.MaxW {
-			st.MaxW = w
-		}
-	}
+	st.Edges = edgesFromLoops(g.NumArcs(), loops)
 	if len(g.Weights) == 0 {
 		st.MinW, st.MaxW = 0, 0
 	}

@@ -1,0 +1,75 @@
+package graph
+
+// sortArcs sorts the parallel (neighbor id, weight) arrays ascending by
+// (id, weight). It is the concrete-typed row sort on the ingest hot
+// path: no interface comparator, no closure — a three-way quicksort with
+// median-of-three pivoting, falling back to insertion sort on small
+// slices. The (id, weight) order is total for comparable weights, so the
+// sorted row is independent of the input permutation — the property the
+// parallel builder's determinism rests on.
+func sortArcs(a []int32, w []float64) {
+	for len(a) > 24 {
+		// Median-of-three pivot, moved to position 0.
+		n := len(a)
+		m := n / 2
+		if arcLess(a[m], w[m], a[0], w[0]) {
+			arcSwap(a, w, m, 0)
+		}
+		if arcLess(a[n-1], w[n-1], a[0], w[0]) {
+			arcSwap(a, w, n-1, 0)
+		}
+		if arcLess(a[n-1], w[n-1], a[m], w[m]) {
+			arcSwap(a, w, n-1, m)
+		}
+		arcSwap(a, w, 0, m)
+		pa, pw := a[0], w[0]
+
+		// Three-way partition: [0,lt) < pivot, [lt,gt) == pivot, [gt,n) >
+		// pivot. Duplicate-heavy rows stay linear.
+		lt, i, gt := 0, 1, n
+		for i < gt {
+			switch {
+			case arcLess(a[i], w[i], pa, pw):
+				arcSwap(a, w, i, lt)
+				lt++
+				i++
+			case arcLess(pa, pw, a[i], w[i]):
+				gt--
+				arcSwap(a, w, i, gt)
+			default:
+				i++
+			}
+		}
+		// Recurse into the smaller side, loop on the larger.
+		if lt < n-gt {
+			sortArcs(a[:lt], w[:lt])
+			a, w = a[gt:], w[gt:]
+		} else {
+			sortArcs(a[gt:], w[gt:])
+			a, w = a[:lt], w[:lt]
+		}
+	}
+	// Insertion sort tail, shifting rather than swapping: the displaced
+	// run moves one store per element instead of a full dual-array swap.
+	for i := 1; i < len(a); i++ {
+		ka, kw := a[i], w[i]
+		j := i
+		for j > 0 && arcLess(ka, kw, a[j-1], w[j-1]) {
+			a[j], w[j] = a[j-1], w[j-1]
+			j--
+		}
+		a[j], w[j] = ka, kw
+	}
+}
+
+func arcLess(a1 int32, w1 float64, a2 int32, w2 float64) bool {
+	if a1 != a2 {
+		return a1 < a2
+	}
+	return w1 < w2
+}
+
+func arcSwap(a []int32, w []float64, i, j int) {
+	a[i], a[j] = a[j], a[i]
+	w[i], w[j] = w[j], w[i]
+}

@@ -1,5 +1,7 @@
 package graph
 
+import "repro/internal/rng"
+
 // Tie-breaking for edge weights.
 //
 // The locally-dominant matching algorithm stalls into long sequential
@@ -27,24 +29,16 @@ func (k EdgeKey) Less(o EdgeKey) bool {
 }
 
 // KeyOf returns the comparison key of edge {u,v} with weight w. The key
-// is symmetric in u and v.
+// is symmetric in u and v. The mixer is the shared SplitMix64 (rng.Mix),
+// bit-identical to the local copy this package used to carry.
 func KeyOf(u, v int, w float64) EdgeKey {
 	a, b := uint64(u), uint64(v)
 	if a > b {
 		a, b = b, a
 	}
-	return EdgeKey{W: w, H: splitmix64(a*0x9E3779B97F4A7C15 ^ splitmix64(b))}
-}
-
-// splitmix64 is the SplitMix64 finalizer: a fast, high-quality bijective
-// mixer, adequate for breaking weight ties without statistical artifacts.
-func splitmix64(x uint64) uint64 {
-	x += 0x9E3779B97F4A7C15
-	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
-	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
-	return x ^ (x >> 31)
+	return EdgeKey{W: w, H: rng.Mix(a*0x9E3779B97F4A7C15 ^ rng.Mix(b))}
 }
 
 // HashID mixes a single vertex id (exported for generators that want
 // reproducible pseudo-random weights keyed by structure).
-func HashID(v int) uint64 { return splitmix64(uint64(v)) }
+func HashID(v int) uint64 { return rng.Mix(uint64(v)) }

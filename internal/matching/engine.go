@@ -51,14 +51,14 @@ type engine struct {
 	// DESIGN.md §3); used as an ablation.
 	eagerReject bool
 
-	lo, hi     int
-	sortedArcs [][]int32 // per owned vertex: row positions by descending key
-	ptr        []int32
-	cand       []int64 // global candidate id, or -1
-	state      []uint8
-	mate       []int64 // global partner id, or -1
-	arcFlags   []uint8 // indexed by global arc index - arcBase
-	arcBase    int64
+	lo, hi   int
+	order    []int32 // shared whole-graph arena: row v's arc positions by descending key at Offsets[v]
+	ptr      []int32
+	cand     []int64 // global candidate id, or -1
+	state    []uint8
+	mate     []int64 // global partner id, or -1
+	arcFlags []uint8 // indexed by global arc index - arcBase
+	arcBase  int64
 
 	pending  int64   // unresolved cross arcs owned by this rank (the paper's nghosts sum)
 	work     []int32 // stack of owned-vertex local indices to re-point
@@ -68,47 +68,41 @@ type engine struct {
 	nmatched int64    // owned vertices currently matched
 }
 
-func newEngine(c *mpi.Comm, l *distgraph.Local, tr transport.Sender, eagerReject bool) *engine {
+// newEngine builds one rank's engine around the shared read-only
+// sorted-adjacency arena (buildSortedAdjacency), which replaces the old
+// per-rank per-vertex row sorts. The rank still charges the setup to its
+// virtual clock exactly as before — the arena rows it consumes represent
+// the same O(local arcs) of sorting work an MPI rank would do locally.
+func newEngine(c *mpi.Comm, l *distgraph.Local, tr transport.Sender, eagerReject bool, order []int32) *engine {
 	g := l.Graph()
 	nOwned := l.NumOwned()
 	e := &engine{
 		c: c, l: l, g: g, tr: tr,
 		eagerReject: eagerReject,
 		lo:          l.Lo, hi: l.Hi,
-		sortedArcs: make([][]int32, nOwned),
-		ptr:        make([]int32, nOwned),
-		cand:       make([]int64, nOwned),
-		state:      make([]uint8, nOwned),
-		mate:       make([]int64, nOwned),
-		arcBase:    g.Offsets[l.Lo],
-		arcFlags:   make([]uint8, g.Offsets[l.Hi]-g.Offsets[l.Lo]),
-		pending:    l.TotalCrossArcs,
+		order:    order,
+		ptr:      make([]int32, nOwned),
+		cand:     make([]int64, nOwned),
+		state:    make([]uint8, nOwned),
+		mate:     make([]int64, nOwned),
+		arcBase:  g.Offsets[l.Lo],
+		arcFlags: make([]uint8, g.Offsets[l.Hi]-g.Offsets[l.Lo]),
+		pending:  l.TotalCrossArcs,
 	}
 	for i := range e.cand {
 		e.cand[i] = -1
 		e.mate[i] = -1
 	}
-	// Sort each owned row by descending edge key, as the serial
-	// algorithm does; charge the setup like the local compute it is.
-	for v := e.lo; v < e.hi; v++ {
-		nbrs := g.Neighbors(v)
-		ws := g.NeighborWeights(v)
-		pos := make([]int32, len(nbrs))
-		for i := range pos {
-			pos[i] = int32(i)
-		}
-		v := v
-		sort.Slice(pos, func(i, j int) bool {
-			ki := graph.KeyOf(v, int(nbrs[pos[i]]), ws[pos[i]])
-			kj := graph.KeyOf(v, int(nbrs[pos[j]]), ws[pos[j]])
-			return kj.Less(ki)
-		})
-		e.sortedArcs[v-e.lo] = pos
-	}
 	c.Compute(float64(l.LocalArcs))
 	// Per-vertex protocol state memory (mirrors what an MPI rank holds).
 	c.AccountAlloc(int64(nOwned)*(4+8+1+8) + int64(len(e.arcFlags)))
 	return e
+}
+
+// sortedAt returns the row position of the i-th heaviest neighbor of
+// owned vertex v (global id), reading the shared arena.
+func (e *engine) sortedAt(v int, i int32) int32 {
+	return e.order[e.g.Offsets[v]+int64(i)]
 }
 
 // owns reports whether global vertex v is owned here.
@@ -178,13 +172,13 @@ func (e *engine) findMate(vi int32) {
 	v := int(vi) + e.lo
 	row := e.g.Neighbors(v)
 	if c := e.cand[vi]; c >= 0 {
-		if e.availableArc(v, e.sortedArcs[vi][e.ptr[vi]]) {
+		if e.availableArc(v, e.sortedAt(v, e.ptr[vi])) {
 			return
 		}
 	}
 	for e.ptr[vi] < int32(len(row)) {
 		e.c.Compute(1)
-		if e.availableArc(v, e.sortedArcs[vi][e.ptr[vi]]) {
+		if e.availableArc(v, e.sortedAt(v, e.ptr[vi])) {
 			break
 		}
 		e.ptr[vi]++
@@ -193,7 +187,7 @@ func (e *engine) findMate(vi int32) {
 		e.die(vi)
 		return
 	}
-	pos := e.sortedArcs[vi][e.ptr[vi]]
+	pos := e.sortedAt(v, e.ptr[vi])
 	u := int64(row[pos])
 	e.cand[vi] = u
 	if e.owns(u) {

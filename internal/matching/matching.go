@@ -126,37 +126,16 @@ func VerifyLocallyDominant(g *graph.CSR, r *Result) error {
 	return nil
 }
 
-// sortedAdjacency returns, for each vertex, its arc positions (0-based
-// within the CSR row) ordered by decreasing edge key: the heaviest
-// available neighbor is found by a monotone pointer scan.
-func sortedAdjacency(g *graph.CSR) [][]int32 {
-	n := g.NumVertices()
-	out := make([][]int32, n)
-	for v := 0; v < n; v++ {
-		nbrs := g.Neighbors(v)
-		ws := g.NeighborWeights(v)
-		pos := make([]int32, len(nbrs))
-		for i := range pos {
-			pos[i] = int32(i)
-		}
-		sort.Slice(pos, func(i, j int) bool {
-			ki := graph.KeyOf(v, int(nbrs[pos[i]]), ws[pos[i]])
-			kj := graph.KeyOf(v, int(nbrs[pos[j]]), ws[pos[j]])
-			return kj.Less(ki)
-		})
-		out[v] = pos
-	}
-	return out
-}
-
 // Serial computes the locally-dominant half-approximate matching with
 // the pointer-based algorithm of Manne & Bisseling (paper Algorithm 2):
 // every vertex points at its heaviest available neighbor, mutually
 // pointing pairs match, and neighbors of newly matched or exhausted
-// vertices re-point. Runs in O(|E| log dmax) expected time.
+// vertices re-point. Runs in O(|E| log dmax) expected time. The sorted
+// adjacency comes from the same flattened arena the distributed engines
+// share (buildSortedAdjacency).
 func Serial(g *graph.CSR) *Result {
 	n := g.NumVertices()
-	sorted := sortedAdjacency(g)
+	sorted := buildSortedAdjacency(g)
 	ptr := make([]int32, n)
 	cand := make([]int32, n)
 	state := make([]uint8, n) // 0 unmatched, 1 matched, 2 dead
@@ -188,9 +167,10 @@ func Serial(g *graph.CSR) *Result {
 		if cand[v] >= 0 && state[cand[v]] == unmatched {
 			return
 		}
+		rlo := g.Offsets[v]
 		row := g.Neighbors(int(v))
 		for ptr[v] < int32(len(row)) {
-			u := row[sorted[v][ptr[v]]]
+			u := row[sorted[rlo+int64(ptr[v])]]
 			if state[u] == unmatched {
 				break
 			}
@@ -202,7 +182,7 @@ func Serial(g *graph.CSR) *Result {
 			repoint(v)
 			return
 		}
-		u := row[sorted[v][ptr[v]]]
+		u := row[sorted[rlo+int64(ptr[v])]]
 		cand[v] = u
 		if cand[u] == v {
 			state[v], state[u] = matched, matched

@@ -111,11 +111,17 @@ func TestEagerRejectPerturbedStillValid(t *testing.T) {
 // captureSender records pushed protocol messages so the engine can be
 // driven directly, message by message, in adversarial orders.
 type captureSender struct {
-	recs []struct{ dst int; ctx, x, y int64 }
+	recs []struct {
+		dst       int
+		ctx, x, y int64
+	}
 }
 
 func (s *captureSender) Send(dst int, ctx, x, y int64) {
-	s.recs = append(s.recs, struct{ dst int; ctx, x, y int64 }{dst, ctx, x, y})
+	s.recs = append(s.recs, struct {
+		dst       int
+		ctx, x, y int64
+	}{dst, ctx, x, y})
 }
 
 // TestEngineAdversarialInterleavings drives one rank's engine directly
@@ -150,7 +156,7 @@ func TestEngineAdversarialInterleavings(t *testing.T) {
 		}
 		defer c.Barrier()
 		tr := &captureSender{}
-		e := newEngine(c, d.BuildLocal(0), tr, false)
+		e := newEngine(c, d.BuildLocal(0), tr, false, buildSortedAdjacency(g))
 		e.start() // vertex 0 points at ghost 3 and requests; 1-2 match locally
 		if e.cand[0] != 3 {
 			t.Errorf("after start: cand[0] = %d, want ghost 3", e.cand[0])

@@ -115,6 +115,11 @@ func Run(g *graph.CSR, opt Options) (*ParallelResult, error) {
 		return nil, fmt.Errorf("matching: Procs = %d", opt.Procs)
 	}
 	d := distgraph.NewBlockDist(g, opt.Procs)
+	// The sorted-adjacency arena is a pure function of the graph; build
+	// it once, in parallel, outside the simulated world — every rank's
+	// engine then shares the read-only arena (and still charges its local
+	// share of the setup to its virtual clock, as before).
+	order := buildSortedAdjacency(g)
 	mates := make([]int64, g.NumVertices())
 	rounds := make([]int, opt.Procs)
 	sent := make([]int64, opt.Procs)
@@ -135,27 +140,27 @@ func Run(g *graph.CSR, opt Options) (*ParallelResult, error) {
 		switch opt.Model {
 		case NSR, MBP:
 			t := transport.NewP2P(c, opt.Model == MBP)
-			e = newEngine(c, l, t, opt.EagerReject)
+			e = newEngine(c, l, t, opt.EagerReject, order)
 			runAsync(e, t, log)
 		case NSRA:
 			t := transport.NewP2PAgg(c, aggBatchRecords)
-			e = newEngine(c, l, t, opt.EagerReject)
+			e = newEngine(c, l, t, opt.EagerReject, order)
 			runAsync(e, t, log)
 		case NCL:
 			topo := c.CreateGraphTopo(l.NeighborRanks)
 			t := transport.NewNCL(c, topo, l, MaxMessagesPerCrossEdge)
-			e = newEngine(c, l, t, opt.EagerReject)
+			e = newEngine(c, l, t, opt.EagerReject, order)
 			runRounds(e, t, log)
 		case RMA:
 			topo := c.CreateGraphTopo(l.NeighborRanks)
 			t := transport.NewRMA(c, topo, l, MaxMessagesPerCrossEdge)
-			e = newEngine(c, l, t, opt.EagerReject)
+			e = newEngine(c, l, t, opt.EagerReject, order)
 			runRounds(e, t, log)
 			t.Free()
 		case NCLI:
 			topo := c.CreateGraphTopo(l.NeighborRanks)
 			t := transport.NewNCLI(c, topo, l, MaxMessagesPerCrossEdge)
-			e = newEngine(c, l, t, opt.EagerReject)
+			e = newEngine(c, l, t, opt.EagerReject, order)
 			runRounds(e, t, log)
 		default:
 			return fmt.Errorf("matching: unknown model %v", opt.Model)

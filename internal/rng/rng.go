@@ -1,0 +1,97 @@
+// Package rng is the repository's shared counter-based PRNG: the
+// SplitMix64 mixing function (Steele, Lea & Flood, OOPSLA 2014) exposed
+// both as a stateless bijection (Mix) and as a tiny counter stream
+// (Stream). It is the randomness substrate for every deterministic
+// parallel pipeline in the repo:
+//
+//   - the graph generators partition their sample-index space into
+//     fixed-size chunks and derive one Stream per chunk (Derive), so the
+//     sampled edge set is a pure function of (params, seed) no matter how
+//     many workers process the chunks;
+//   - the schedule-perturbation engine (internal/sched) derives one
+//     stream per rank per jitter class, so perturbed schedules replay
+//     bit-exactly from a seed;
+//   - edge-weight tie-breaking (graph.KeyOf) uses Mix directly.
+//
+// Because Stream is counter-based — the state advances by a fixed Weyl
+// increment and the output is a stateless finalization of the counter —
+// streams can be split, skipped and derived without any of the
+// correlation hazards of seeding linear generators with nearby seeds.
+// The package is a leaf: it imports nothing, so every layer may depend
+// on it.
+package rng
+
+// gamma is the Weyl-sequence increment (the golden ratio in fixed
+// point), the standard SplitMix64 stream constant.
+const gamma = 0x9e3779b97f4a7c15
+
+// finalize is the SplitMix64 output function: a bijective avalanche over
+// uint64. It passes BigCrush when applied to a Weyl counter.
+func finalize(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Mix advances x by one gamma step and finalizes it: a stateless,
+// bijective hash suitable for decorrelating derived seeds and for
+// keyed per-element draws (Mix(seed^Mix(element)) style). Mix(x) equals
+// the first Next() of a Stream seeded with x.
+func Mix(x uint64) uint64 { return finalize(x + gamma) }
+
+// Derive folds vals into seed one Mix at a time, producing a
+// decorrelated sub-seed: nearby seeds or nearby vals give unrelated
+// outputs, and the fold is order- and role-sensitive (Derive(a, b) !=
+// Derive(b, a)). Use it to give each (generator, chunk) pair its own
+// stream.
+func Derive(seed uint64, vals ...uint64) uint64 {
+	acc := Mix(seed)
+	for _, v := range vals {
+		acc = Mix(Mix(acc) ^ v)
+	}
+	return acc
+}
+
+// U01 maps one mixed word to a uniform float64 in [0, 1) using the top
+// 53 bits, for pure-function draws that bypass a Stream.
+func U01(x uint64) float64 { return float64(x>>11) / (1 << 53) }
+
+// Stream is a SplitMix64 counter stream. The zero value is a valid
+// (seed-0) stream. Streams are values: copying one forks the sequence.
+type Stream struct{ state uint64 }
+
+// NewStream returns a stream seeded with seed. Seeds need no
+// preconditioning — the finalizer decorrelates consecutive seeds — but
+// derived streams should still go through Derive so chunk and class
+// indices do not alias.
+func NewStream(seed uint64) Stream { return Stream{state: seed} }
+
+// Next returns the next word of the stream.
+func (s *Stream) Next() uint64 {
+	s.state += gamma
+	return finalize(s.state)
+}
+
+// Float64 returns a uniform draw in [0, 1).
+func (s *Stream) Float64() float64 {
+	return float64(s.Next()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform draw in [0, n). n must be > 0. (The modulo
+// bias is below 2^-32 for any n this repository draws; acceptable for
+// workload synthesis and schedule exploration.)
+func (s *Stream) Intn(n int) int {
+	return int(s.Next() % uint64(n))
+}
+
+// Perm returns a seeded Fisher-Yates permutation of [0, n).
+func Perm(n int, seed uint64) []int {
+	s := NewStream(seed)
+	p := make([]int, n)
+	for i := range p {
+		j := s.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}

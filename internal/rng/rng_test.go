@@ -1,0 +1,123 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMixMatchesStream pins the contract generators rely on: Mix(x) is
+// the first draw of a stream seeded x, so pure-function draws and
+// stream draws interleave consistently.
+func TestMixMatchesStream(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42, 1 << 63, math.MaxUint64} {
+		s := NewStream(seed)
+		if got, want := s.Next(), Mix(seed); got != want {
+			t.Errorf("seed %#x: first Next() = %#x, Mix = %#x", seed, got, want)
+		}
+	}
+}
+
+// TestKnownSplitMix64Vector pins the exact bit-stream against the
+// reference SplitMix64 output for seed 1234567 (Vigna's splitmix64.c):
+// changing these values silently would invalidate every golden artifact
+// downstream.
+func TestKnownSplitMix64Vector(t *testing.T) {
+	want := []uint64{
+		0x599ed017fb08fc85, // 6457827717110365317
+		0x2c73f08458540fa5, // 3203168211198807973
+		0x883ebce5a3f27c77, // 9817491932198370423
+	}
+	s := NewStream(1234567)
+	for i, w := range want {
+		if got := s.Next(); got != w {
+			t.Fatalf("draw %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestStreamsAreValues(t *testing.T) {
+	a := NewStream(99)
+	a.Next()
+	b := a // fork
+	if a.Next() != b.Next() {
+		t.Fatal("copied stream diverged from original")
+	}
+}
+
+func TestDeriveDecorrelates(t *testing.T) {
+	seen := map[uint64]string{}
+	for seed := uint64(0); seed < 8; seed++ {
+		for chunk := uint64(0); chunk < 8; chunk++ {
+			v := Derive(seed, 7, chunk)
+			if prev, dup := seen[v]; dup {
+				t.Fatalf("Derive collision: (%d,%d) and %s -> %#x", seed, chunk, prev, v)
+			}
+			seen[v] = "earlier pair"
+		}
+	}
+	if Derive(1, 2) == Derive(2, 1) {
+		t.Error("Derive must not be symmetric in (seed, val)")
+	}
+}
+
+func TestU01AndFloat64Bounds(t *testing.T) {
+	s := NewStream(7)
+	for i := 0; i < 1000; i++ {
+		if f := s.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %g", f)
+		}
+	}
+	if U01(0) != 0 {
+		t.Error("U01(0) != 0")
+	}
+	if f := U01(math.MaxUint64); f >= 1 {
+		// top 53 bits all set -> just below 1
+	} else if f < 0.999 {
+		t.Errorf("U01(max) = %g, want just below 1", f)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := NewStream(3)
+	counts := make([]int, 7)
+	for i := 0; i < 7000; i++ {
+		v := s.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("Intn(7) value %d drawn %d/7000 times, want near 1000", v, c)
+		}
+	}
+}
+
+func TestPermIsPermutationAndSeeded(t *testing.T) {
+	p := Perm(100, 5)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+	q := Perm(100, 5)
+	for i := range p {
+		if p[i] != q[i] {
+			t.Fatal("same seed, different permutations")
+		}
+	}
+	r := Perm(100, 6)
+	same := true
+	for i := range p {
+		if p[i] != r[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical permutations")
+	}
+}

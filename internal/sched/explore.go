@@ -3,6 +3,8 @@ package sched
 import (
 	"fmt"
 	"strconv"
+
+	"repro/internal/rng"
 )
 
 // Outcome is the schedule-independent summary a RunFunc distills from
@@ -53,7 +55,7 @@ func (f *Failure) Error() string {
 // sequence rooted at seed0. Hashing rather than incrementing keeps the
 // per-rank streams of successive seeds decorrelated.
 func SeedAt(seed0 uint64, i int) uint64 {
-	return splitmix64(seed0 + uint64(i)*0x9e3779b97f4a7c15)
+	return rng.Mix(seed0 + uint64(i)*0x9e3779b97f4a7c15)
 }
 
 // Explore runs the protocol once unperturbed to establish the baseline

@@ -1,38 +1,11 @@
 package sched
 
-// splitmix64 is the SplitMix64 mixing function (Steele, Lea & Flood,
-// OOPSLA 2014): a bijective avalanche over uint64 used both to step the
-// per-rank streams and to decorrelate derived seeds. It is tiny, has no
-// state beyond the counter, and passes BigCrush when used as a
-// counter-based generator — more than enough for schedule exploration.
-func splitmix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
+import "repro/internal/rng"
 
-// prng is a SplitMix64 counter stream. The zero value is a valid
-// (seed-0) stream.
-type prng struct{ state uint64 }
-
-func (r *prng) next() uint64 {
-	r.state += 0x9e3779b97f4a7c15
-	x := r.state
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
-
-// float64 returns a uniform draw in [0, 1).
-func (r *prng) float64() float64 {
-	return float64(r.next()>>11) / (1 << 53)
-}
-
-// intn returns a uniform draw in [0, n). n must be > 0.
-func (r *prng) intn(n int) int {
-	return int(r.next() % uint64(n))
-}
+// Randomness comes from the shared SplitMix64 package (repro/internal/rng):
+// rng.Mix decorrelates derived seeds, rng.Stream is the per-class counter
+// stream. The streams are bit-identical to the local prng this package
+// used to carry, so historical (seed, profile) pairs replay unchanged.
 
 // Perturb is one instantiated perturbation: a profile plus one
 // deterministic PRNG stream per rank. Streams are strictly per-rank —
@@ -62,15 +35,14 @@ func New(seed uint64, p Profile, nranks int) *Perturb {
 		// candidate counts), and separate streams keep one class's
 		// consumption from desynchronizing another's draws between
 		// replays of the same seed.
-		rkSeed := splitmix64(seed ^ splitmix64(uint64(r)+1))
-		rk.jitterRng.state = splitmix64(rkSeed ^ 0x6a09e667f3bcc908) // sqrt(2) frac
-		rk.probeRng.state = splitmix64(rkSeed ^ 0xbb67ae8584caa73b)  // sqrt(3) frac
-		rk.tieRng.state = splitmix64(rkSeed ^ 0x3c6ef372fe94f82b)    // sqrt(5) frac
+		rkSeed := rng.Mix(seed ^ rng.Mix(uint64(r)+1))
+		rk.jitterRng = rng.NewStream(rng.Mix(rkSeed ^ 0x6a09e667f3bcc908)) // sqrt(2) frac
+		rk.probeRng = rng.NewStream(rng.Mix(rkSeed ^ 0xbb67ae8584caa73b))  // sqrt(3) frac
+		rk.tieRng = rng.NewStream(rng.Mix(rkSeed ^ 0x3c6ef372fe94f82b))    // sqrt(5) frac
 		rk.slow = 1
 		if p.Slowdown > 0 {
-			var slowRng prng
-			slowRng.state = rkSeed
-			rk.slow = 1 + p.Slowdown*slowRng.float64()
+			slowRng := rng.NewStream(rkSeed)
+			rk.slow = 1 + p.Slowdown*slowRng.Float64()
 		}
 	}
 	return pt
@@ -95,9 +67,9 @@ const maxConsecMiss = 8
 // rank may call them (the mailbox hooks run on the receiving rank's
 // goroutine under its mailbox lock).
 type Rank struct {
-	jitterRng  prng // consumed per send (Latency)
-	probeRng   prng // consumed per nonblocking probe (ForceMiss)
-	tieRng     prng // consumed per wildcard tie decision (Pick)
+	jitterRng  rng.Stream // consumed per send (Latency)
+	probeRng   rng.Stream // consumed per nonblocking probe (ForceMiss)
+	tieRng     rng.Stream // consumed per wildcard tie decision (Pick)
 	p          Profile
 	slow       float64 // fixed per-rank latency factor, >= 1
 	consecMiss int
@@ -111,7 +83,7 @@ type Rank struct {
 func (r *Rank) Latency(base float64) float64 {
 	lat := base * r.slow
 	if r.p.Jitter > 0 {
-		lat *= 1 + r.p.Jitter*r.jitterRng.float64()
+		lat *= 1 + r.p.Jitter*r.jitterRng.Float64()
 	}
 	return lat
 }
@@ -127,7 +99,7 @@ func (r *Rank) ForceMiss() bool {
 		r.consecMiss = 0
 		return false
 	}
-	if r.probeRng.float64() < r.p.ProbeMiss {
+	if r.probeRng.Float64() < r.p.ProbeMiss {
 		r.consecMiss++
 		return true
 	}
@@ -144,5 +116,5 @@ func (r *Rank) Pick(n int) int {
 	if n == 1 {
 		return 0
 	}
-	return r.tieRng.intn(n)
+	return r.tieRng.Intn(n)
 }

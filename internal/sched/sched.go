@@ -23,8 +23,8 @@
 //
 // Explore runs a protocol body under many seeds, checks that results
 // and run-invariants are schedule-independent, and shrinks any failure
-// to a minimal replayable reproduction. The package is a leaf: it
-// imports nothing from the repository, so every layer (including the
+// to a minimal replayable reproduction. The package depends only on the
+// leaf PRNG package (repro/internal/rng), so every layer (including the
 // runtime itself) may depend on it.
 package sched
 

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+
+	"repro/internal/rng"
 )
 
 func TestProfileStringParseRoundTrip(t *testing.T) {
@@ -126,7 +128,7 @@ func TestPickInRange(t *testing.T) {
 func orderRun(seed uint64, p Profile) (Outcome, error) {
 	fp := uint64(0xfeed)
 	if p.Ties {
-		fp = splitmix64(seed | 1)
+		fp = rng.Mix(seed | 1)
 	}
 	return Outcome{Fingerprint: fp, Desc: fmt.Sprintf("fp=%#x", fp)}, nil
 }
