@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: tier1 tier2 perturb build test vet race bench bench-smoke bench-graph bench-p2p bench-telemetry clean
+.PHONY: tier1 tier2 perturb build test vet race bench bench-smoke bench-graph bench-p2p bench-ranks bench-telemetry scale-smoke clean
 
 # tier1 is the gate every change must keep green: full build + vet +
 # full test suite.
@@ -62,6 +62,20 @@ bench-graph:
 # BENCH_p2p.json.
 bench-p2p:
 	$(GO) test -run xxx -bench 'PingPong|MailboxBacklog|IprobeBacklogMiss|AnySourceFanIn64' -benchmem ./internal/mpi/
+
+# bench-ranks reproduces the ranks-scaling curve recorded in
+# BENCH_p2p.json: the 4-round ring + allreduce world at 1K..RANKS ranks
+# under both scheduler modes, plus the pooled world-setup cost.
+RANKS ?= 65536
+bench-ranks:
+	BENCH_RANKS=$(RANKS) $(GO) test -run xxx -bench 'RanksRing|WorldSetup' -benchmem -timeout 60m ./internal/mpi/
+
+# scale-smoke is the large-world CI gate: a 16K-rank world (ring
+# exchange + collectives) and the rank-count scaling experiment capped
+# at 4K ranks must complete within CI budgets.
+scale-smoke:
+	$(GO) test -run 'TestLargeWorldSmoke' -v -timeout 10m ./internal/mpi/
+	$(GO) run ./cmd/matchbench -exp ranks -ranks 4096 -json ranks_records.json
 
 # bench-telemetry reproduces the round-telemetry observer-cost numbers
 # recorded in BENCH_telemetry.json.

@@ -22,6 +22,9 @@ func TestUsageErrors(t *testing.T) {
 		{"bad app", []string{"-app", "sorting"}},
 		{"bad family", []string{"-family", "hypercube"}},
 		{"bad model", []string{"-family", "rmat", "-scale", "8", "-p", "2", "-model", "smoke-signals"}},
+		{"ranks too small", []string{"-family", "rmat", "-scale", "8", "-ranks", "1"}},
+		{"ranks too large", []string{"-family", "rmat", "-scale", "8", "-ranks", "2097152"}},
+		{"p too small", []string{"-family", "rmat", "-scale", "8", "-p", "0"}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			if code, _, errb := runCLI(t, tc.args...); code != 2 {
@@ -60,8 +63,10 @@ func TestTinyBothEndToEnd(t *testing.T) {
 	}
 }
 
+// TestDensityPlotEndToEnd also exercises -ranks, the validated alias
+// of -p: three plot rows means three ranks.
 func TestDensityPlotEndToEnd(t *testing.T) {
-	code, out, errb := runCLI(t, "-family", "sbp", "-n", "2000", "-p", "3", "-app", "matching", "-model", "ncl")
+	code, out, errb := runCLI(t, "-family", "sbp", "-n", "2000", "-ranks", "3", "-app", "matching", "-model", "ncl")
 	if code != 0 {
 		t.Fatalf("exit %d, stderr %q", code, errb)
 	}

@@ -12,6 +12,7 @@
 //	matchbench -exp fig4a -json out.json      # machine-readable run records
 //	matchbench -exp fig4a -rounds             # per-round convergence tables
 //	matchbench -exp fig4a -perturb full -perturb-seed 0x2a  # perturbed schedules
+//	matchbench -exp ranks -ranks 65536        # scheduler scaling curve up to 64K ranks
 //	matchbench -exp fig6 -cpuprofile cpu.pb.gz -memprofile mem.pb.gz  # pprof profiles
 //
 // Each experiment prints the table or series corresponding to one figure
@@ -50,7 +51,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("matchbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp      = fs.String("exp", "", "experiment id (fig2, fig4a..c, tab3, fig5, fig6, tab4, fig7, tab5, tab6, fig8, fig9, tab7, fig10, tab8, fig11) or 'all'")
+		exp      = fs.String("exp", "", "experiment id (fig2, fig4a..c, tab3, fig5, fig6, tab4, fig7, tab5, tab6, fig8, fig9, tab7, fig10, tab8, fig11, ranks, ...) or 'all'")
 		scale    = fs.Float64("scale", 1.0, "workload scale factor")
 		list     = fs.Bool("list", false, "list experiments and exit")
 		verbose  = fs.Bool("v", false, "log progress")
@@ -62,6 +63,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut  = fs.String("json", "", "write tables and run records as schema-versioned JSON")
 		rounds   = fs.Bool("rounds", false, "print a per-round convergence table after each run")
 		roundCap = fs.Int("round-cap", 512, "per-rank round-log capacity when -json or -rounds is set")
+		ranks    = fs.Int("ranks", 0, "rank-count cap for the 'ranks' scaling experiment (0 = default 16384; 65536 runs the full curve)")
 		perturb  = fs.String("perturb", "", "schedule-perturbation profile: off, full, or jitter=F,slowdown=F,ties,probemiss=F (see DESIGN §4)")
 		pseed    = fs.Uint64("perturb-seed", 1, "perturbation seed (replays the schedule decisions of a PERTURB_SEED repro)")
 		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
@@ -122,10 +124,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}()
 	}
 
+	if *ranks != 0 && (*ranks < 2 || *ranks > 1<<20) {
+		fmt.Fprintf(stderr, "matchbench: -ranks %d out of range (want 0 or 2..%d)\n", *ranks, 1<<20)
+		return 2
+	}
+
 	cfg := harness.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.Deadline = *timeout
 	cfg.Profile = *profile
+	cfg.Ranks = *ranks
 	if *verbose {
 		cfg.Out = stderr
 	}

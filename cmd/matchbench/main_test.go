@@ -61,6 +61,60 @@ func TestBadFlagIsUsageError(t *testing.T) {
 	}
 }
 
+func TestBadRanksIsUsageError(t *testing.T) {
+	for _, v := range []string{"1", "-3", "2097152"} {
+		code, _, errb := runCLI(t, "-exp", "ranks", "-ranks", v)
+		if code != 2 {
+			t.Errorf("-ranks %s: exit %d, want 2", v, code)
+		}
+		if !strings.Contains(errb, "-ranks") {
+			t.Errorf("-ranks %s: stderr does not name the flag: %q", v, errb)
+		}
+	}
+}
+
+// TestRanksExperimentCapped drives the scaling experiment end-to-end
+// with a cap below the smallest ladder rung: exactly one row at the cap
+// itself, with both a ring record and a matching record in the JSON.
+func TestRanksExperimentCapped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ranks.json")
+	code, out, errb := runCLI(t, "-exp", "ranks", "-ranks", "64", "-json", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	if !strings.Contains(out, "== ranks") {
+		t.Fatalf("stdout missing ranks table:\n%s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc harness.Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Experiments) != 1 || doc.Experiments[0].ID != "ranks" {
+		t.Fatalf("experiments = %+v", doc.Experiments)
+	}
+	e := doc.Experiments[0]
+	if len(e.Tables) != 1 || len(e.Tables[0].Rows) != 1 {
+		t.Fatalf("want 1 table with 1 row, got %+v", e.Tables)
+	}
+	if got := e.Tables[0].Rows[0][0]; got != "64" {
+		t.Errorf("row rank count = %s, want 64", got)
+	}
+	apps := map[string]bool{}
+	for _, r := range e.Runs {
+		apps[r.App] = true
+		if r.Procs != 64 {
+			t.Errorf("%s: procs = %d, want 64", r.Label, r.Procs)
+		}
+	}
+	if !apps["ring"] || !apps["matching"] {
+		t.Errorf("runs missing ring or matching record: %+v", apps)
+	}
+}
+
 func TestBadModelsIsUsageError(t *testing.T) {
 	code, _, errb := runCLI(t, "-exp", "fig4a", "-models", "bogus")
 	if code != 2 {

@@ -295,7 +295,10 @@ func Run(g *graph.CSR, opt Options) (*ParallelResult, error) {
 			if opt.Model == matching.NSRA {
 				t = transport.NewP2PAgg(c, 64)
 			}
-			vol := volumeOf(t)
+			var vol []int64
+			if log != nil {
+				vol = volumeOf(t) // O(P) ledger: only when telemetry records
+			}
 			e = newJPEngine(c, l, t)
 			e.start()
 			e.record(log, vol)
@@ -326,7 +329,10 @@ func Run(g *graph.CSR, opt Options) (*ParallelResult, error) {
 			default:
 				t = transport.NewNCLI(c, topo, l, maxMessagesPerCrossArc)
 			}
-			vol := volumeOf(t)
+			var vol []int64
+			if log != nil {
+				vol = volumeOf(t) // O(P) ledger: only when telemetry records
+			}
 			e = newJPEngine(c, l, t)
 			e.start()
 			e.record(log, vol)

@@ -50,6 +50,12 @@ type Config struct {
 	// OnRun, if set, observes every successful runtime launch. Used to
 	// collect Chrome traces and the machine-readable run records.
 	OnRun func(info RunInfo)
+	// Ranks caps the world sizes the rank-count scaling experiment
+	// ("ranks") sweeps: the ladder 1024/4096/16384/65536 is filtered to
+	// sizes <= Ranks. 0 means the experiment default (16384, CI-sized);
+	// 65536 runs the full curve. Other experiments ignore it — their
+	// rank counts are paper artifacts scaled by Scale.
+	Ranks int
 	// Perturb, when enabled, runs every matching launch under seeded
 	// schedule perturbation with PerturbSeed (matchbench -perturb /
 	// -perturb-seed; see internal/sched). Results are unchanged for the

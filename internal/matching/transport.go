@@ -19,6 +19,9 @@ const aggBatchRecords = 64
 
 // volumeOf returns a transport's live per-destination byte ledger for
 // round telemetry (all in-repo backends implement transport.Volumer).
+// Only call it when telemetry is actually recording: VolumeByDest
+// allocates an O(world size) ledger per rank on first use, which an
+// untelemetered 64K-rank run must not pay.
 func volumeOf(t transport.Sender) []int64 {
 	if v, ok := t.(transport.Volumer); ok {
 		return v.VolumeByDest()
@@ -34,7 +37,10 @@ func volumeOf(t transport.Sender) []int64 {
 // the round log is the state after the initial pointing phase; one row
 // follows per poll iteration.
 func runAsync(e *engine, t transport.Async, log *telemetry.RoundLog) {
-	vol := volumeOf(t)
+	var vol []int64
+	if log != nil {
+		vol = volumeOf(t)
+	}
 	e.start()
 	e.record(log, vol)
 	for e.pending > 0 {
@@ -60,7 +66,10 @@ func runAsync(e *engine, t transport.Async, log *telemetry.RoundLog) {
 // (§V-D). Row 0 of the round log is the state after the initial pointing
 // phase; one row follows per exchange round.
 func runRounds(e *engine, t transport.Round, log *telemetry.RoundLog) {
-	vol := volumeOf(t)
+	var vol []int64
+	if log != nil {
+		vol = volumeOf(t)
+	}
 	e.start()
 	e.record(log, vol)
 	for {

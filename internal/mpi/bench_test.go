@@ -1,6 +1,9 @@
 package mpi
 
 import (
+	"fmt"
+	"os"
+	"strconv"
 	"testing"
 	"time"
 )
@@ -151,6 +154,73 @@ func BenchmarkAnySourceFanIn64(b *testing.B) {
 		}
 		return nil
 	})
+}
+
+// BenchmarkWorldSetup measures the fixed per-Run cost (world
+// construction and teardown) with an empty body. Clean worlds are
+// pooled across Run invocations, so steady-state setup reuses the
+// mailboxes, tasks and comms of the previous run at the same size.
+func BenchmarkWorldSetup(b *testing.B) {
+	for _, procs := range []int{2, 64, 1024} {
+		b.Run(fmt.Sprintf("p%d", procs), func(b *testing.B) {
+			b.ReportAllocs()
+			body := func(c *Comm) error { return nil }
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(procs, body); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchRanksLadder returns the world sizes for the ranks-scaling curve.
+// The BENCH_RANKS environment variable caps the ladder (default 16384;
+// `make bench-ranks` raises it to 65536).
+func benchRanksLadder() []int {
+	cap := 16384
+	if s := os.Getenv("BENCH_RANKS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v >= 2 {
+			cap = v
+		}
+	}
+	var out []int
+	for _, p := range []int{1024, 4096, 16384, 65536} {
+		if p <= cap {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// BenchmarkRanksRing is the ranks-scaling curve recorded in
+// BENCH_p2p.json: one world per op running a 4-round neighbor ring
+// exchange plus a scalar allreduce, at 1K-64K ranks under both
+// scheduler modes. Wall-clock per op is the headline number; direct
+// mode's slope shows the runnable-set bottleneck the worker pool
+// removes.
+func BenchmarkRanksRing(b *testing.B) {
+	for _, procs := range benchRanksLadder() {
+		for _, mode := range []SchedMode{SchedDirect, SchedWorkers} {
+			b.Run(fmt.Sprintf("p%d/%s", procs, mode), func(b *testing.B) {
+				b.ReportAllocs()
+				body := func(c *Comm) error {
+					r, n := c.Rank(), c.Size()
+					for k := 0; k < 4; k++ {
+						c.Isend((r+1)%n, 0, []int64{int64(r), int64(k)})
+						c.Recv((r+n-1)%n, 0)
+					}
+					c.AllreduceScalarInt64(OpMax, int64(r))
+					return nil
+				}
+				for i := 0; i < b.N; i++ {
+					if _, err := Run(procs, body, WithScheduler(mode), WithDeadline(10*time.Minute)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
 }
 
 func BenchmarkRMAPutFlush(b *testing.B) {

@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // ReduceOp selects the combining operation for reductions.
@@ -86,102 +87,192 @@ func (op ReduceOp) foldFloat64(a, b float64) float64 {
 	panic("mpi: ReduceOp " + op.String() + " not supported for float64")
 }
 
-// collHub is the rendezvous point for global collectives. All ranks must
-// invoke the same sequence of collective operations (the standard MPI
-// contract); each operation performs a deposit barrier, a read phase, and
-// a release barrier, so the hub's scratch space can be reused immediately.
-type collHub struct {
-	mu       sync.Mutex
-	cv       *sync.Cond
-	n        int
-	count    int
-	gen      int64
-	poisoned bool
+const collAbort = "mpi: collective aborted: a peer rank failed"
 
+// hubShardShift sets the collective hub's shard width: ranks are mapped
+// to shards in contiguous blocks of 1<<hubShardShift, so a barrier
+// arrival touches one shard-local lock and the per-rank virtual clocks
+// are folded into one running maximum per shard. Only the single
+// last-to-arrive rank walks all shards.
+const hubShardShift = 6
+
+// collShard is one block of ranks' arrival state within a collHub.
+type collShard struct {
+	mu     sync.Mutex
+	count  int     // arrivals this round
+	size   int     // ranks mapped to this shard
+	maxNow float64 // running max of deposited clocks this round
+	// waiters collects every arrived task this round (capacity size, so
+	// steady state never allocates); the releaser unparks them.
+	waiters []*task
+	_       [8]byte // round up to a cache line
+}
+
+// collHub is the rendezvous point for a communicator's collectives. All
+// member ranks must invoke the same sequence of collective operations
+// (the standard MPI contract); each operation performs a deposit
+// barrier, a read phase, and a release barrier, so the hub's scratch
+// space can be reused immediately.
+//
+// The barrier is sharded: a rank folds its virtual clock into its own
+// shard under that shard's lock — never a hub-global one — and parks.
+// The shard's last arrival decrements pendingShards; whoever drives it
+// to zero becomes the releaser: it folds the per-shard clock maxima
+// into roundMax, resets every shard for the next round, advances gen
+// and unparks all collected waiters. Waiters observe the new gen (an
+// acquire load ordered after the releaser's roundMax write and shard
+// resets) and read roundMax and the deposit slots race-free.
+//
+// A subtle ordering keeps this correct: the shard-last rank appends
+// itself to its shard's waiter list under the shard lock BEFORE
+// decrementing pendingShards. Decrementing first would let a
+// concurrent releaser reset the shard in between, and the late
+// self-append would land in the next round's waiter list — a rank
+// asleep in round r but only woken by round r+1's releaser, which
+// round r+1 can then never reach.
+//
+// Only one releaser can be live at a time: round r+1 cannot complete
+// until the round-r releaser's own await returns (it is a member rank),
+// so the shared relbuf scratch needs no lock.
+type collHub struct {
+	shards []collShard
+	n      int
+	// pendingShards counts shards that have not yet filled this round;
+	// the decrement to zero elects the releaser.
+	pendingShards atomic.Int32
+	// gen is the round number; advancing it (after roundMax and the
+	// shard resets are written) is the release signal waiters poll.
+	gen      atomic.Int64
+	poisoned atomic.Bool
+	roundMax float64 // max deposited clock of the released round
+	relbuf   []*task // releaser scratch (capacity n)
+
+	// Deposit slots, one per member rank, written by plain stores before
+	// the deposit barrier and read between the barriers.
 	ideps [][]int64
 	fdeps [][]float64
 	vdeps [][][]int64
 	adeps []any
-	times []float64
 }
 
 func newCollHub(n int) *collHub {
+	nshard := (n + (1 << hubShardShift) - 1) >> hubShardShift
 	h := &collHub{
-		n:     n,
-		ideps: make([][]int64, n),
-		fdeps: make([][]float64, n),
-		vdeps: make([][][]int64, n),
-		adeps: make([]any, n),
-		times: make([]float64, n),
+		shards: make([]collShard, nshard),
+		n:      n,
+		relbuf: make([]*task, 0, n),
+		ideps:  make([][]int64, n),
+		fdeps:  make([][]float64, n),
+		vdeps:  make([][][]int64, n),
+		adeps:  make([]any, n),
 	}
-	h.cv = sync.NewCond(&h.mu)
+	for i := range h.shards {
+		size := n - i<<hubShardShift
+		if size > 1<<hubShardShift {
+			size = 1 << hubShardShift
+		}
+		h.shards[i].size = size
+		h.shards[i].waiters = make([]*task, 0, size)
+	}
+	h.pendingShards.Store(int32(nshard))
 	return h
 }
 
+// poison marks the hub failed. It only raises the flag; World.poison
+// performs the one unpark sweep over all tasks afterwards, which covers
+// ranks parked here (flag first, then wake, so a rank cannot re-park
+// without observing the flag).
 func (h *collHub) poison() {
-	h.mu.Lock()
-	h.poisoned = true
-	h.mu.Unlock()
-	h.cv.Broadcast()
+	h.poisoned.Store(true)
 }
 
-// await is a reusable full barrier over the world.
-func (h *collHub) await() {
-	h.mu.Lock()
-	if h.poisoned {
-		h.mu.Unlock()
-		panic("mpi: collective aborted: a peer rank failed")
-	}
-	gen := h.gen
-	h.count++
-	if h.count == h.n {
-		h.count = 0
-		h.gen++
-		h.mu.Unlock()
-		h.cv.Broadcast()
-		return
-	}
-	for h.gen == gen && !h.poisoned {
-		h.cv.Wait()
-	}
-	poisoned := h.poisoned
-	h.mu.Unlock()
-	if poisoned {
-		panic("mpi: collective aborted: a peer rank failed")
+// clearDeps drops deposit-slot references so a pooled hub does not pin
+// caller buffers across runs.
+func (h *collHub) clearDeps() {
+	clear(h.ideps)
+	clear(h.fdeps)
+	clear(h.vdeps)
+	clear(h.adeps)
+}
+
+// waitGen blocks the task until the hub's round advances past gen.
+// Wakeups may be spurious (a banked notification from unrelated
+// traffic), hence the re-check loop.
+func (h *collHub) waitGen(t *task, gen int64) {
+	for h.gen.Load() == gen {
+		if h.poisoned.Load() {
+			panic(collAbort)
+		}
+		t.park()
 	}
 }
 
-// maxTime returns the maximum deposited clock; callable between the two
-// barriers of a collective (deposits are stable there).
-func (h *collHub) maxTime() float64 {
-	t := h.times[0]
-	for _, v := range h.times[1:] {
-		if v > t {
-			t = v
+// await is a reusable full barrier over the communicator that also folds
+// now across all ranks: every caller returns max(now_r). Task t must be
+// the goroutine's own task and rank its rank within this hub.
+func (h *collHub) await(t *task, rank int, now float64) float64 {
+	sh := &h.shards[rank>>hubShardShift]
+	sh.mu.Lock()
+	if h.poisoned.Load() {
+		sh.mu.Unlock()
+		panic(collAbort)
+	}
+	gen := h.gen.Load()
+	if now > sh.maxNow {
+		sh.maxNow = now
+	}
+	sh.count++
+	last := sh.count == sh.size
+	sh.waiters = append(sh.waiters, t) // self-append BEFORE the decrement below
+	sh.mu.Unlock()
+	if !last || h.pendingShards.Add(-1) > 0 {
+		h.waitGen(t, gen)
+		return h.roundMax
+	}
+	// This rank completed the last pending shard: release the round.
+	maxNow := 0.0
+	buf := h.relbuf[:0]
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		if s.maxNow > maxNow {
+			maxNow = s.maxNow
+		}
+		buf = append(buf, s.waiters...)
+		clear(s.waiters)
+		s.waiters = s.waiters[:0]
+		s.count = 0
+		s.maxNow = 0
+		s.mu.Unlock()
+	}
+	h.roundMax = maxNow
+	h.pendingShards.Store(int32(len(h.shards)))
+	h.gen.Add(1) // publishes roundMax + resets; waiters may now proceed
+	for _, wt := range buf {
+		if wt != t {
+			wt.unpark()
 		}
 	}
-	return t
+	return maxNow
 }
 
-// enter deposits this rank's clock and runs the deposit barrier.
-func (c *Comm) enterColl(dep func(h *collHub)) *collHub {
+// enterColl deposits this rank's payload (dep performs plain writes to
+// the rank's own slots; no lock needed, the barrier orders them) and
+// runs the deposit barrier. It returns the synchronized clock: the
+// maximum virtual time across all ranks at entry.
+func (c *Comm) enterColl(dep func(h *collHub)) (*collHub, float64) {
 	c.ps.collStart = c.ps.now
 	h := c.hub
-	h.mu.Lock()
-	h.times[c.rank] = c.ps.now
-	h.mu.Unlock()
 	if dep != nil {
 		dep(h)
 	}
-	h.await()
-	return h
+	return h, h.await(c.ps.task, c.rank, c.ps.now)
 }
 
 // exitColl runs the release barrier and applies the synchronized clock.
-func (c *Comm) exitColl(h *collHub, bytes int64) {
-	t := h.maxTime()
-	h.await()
-	end := t + c.w.cost.collCost(c.size(), bytes)
+func (c *Comm) exitColl(h *collHub, tmax float64, bytes int64) {
+	h.await(c.ps.task, c.rank, 0)
+	end := tmax + c.w.cost.collCost(c.size(), bytes)
 	c.waitUntil(end)
 	c.ps.rs.CollCount++
 	c.ps.rs.CollBytes += bytes
@@ -190,18 +281,16 @@ func (c *Comm) exitColl(h *collHub, bytes int64) {
 
 // Barrier blocks until all ranks have entered it.
 func (c *Comm) Barrier() {
-	h := c.enterColl(nil)
-	c.exitColl(h, 8)
+	h, tmax := c.enterColl(nil)
+	c.exitColl(h, tmax, 8)
 }
 
 // AllreduceInt64 combines in element-wise across all ranks with op and
 // returns the combined vector on every rank. All ranks must pass vectors
 // of the same length.
 func (c *Comm) AllreduceInt64(op ReduceOp, in []int64) []int64 {
-	h := c.enterColl(func(h *collHub) {
-		h.mu.Lock()
+	h, tmax := c.enterColl(func(h *collHub) {
 		h.ideps[c.rank] = in
-		h.mu.Unlock()
 	})
 	if len(h.ideps[0]) != len(in) {
 		panic(fmt.Sprintf("mpi: AllreduceInt64 length mismatch: rank %d has %d, rank 0 has %d", c.rank, len(in), len(h.ideps[0])))
@@ -212,7 +301,7 @@ func (c *Comm) AllreduceInt64(op ReduceOp, in []int64) []int64 {
 			out[i] = op.foldInt64(out[i], v)
 		}
 	}
-	c.exitColl(h, int64(8*len(in)))
+	c.exitColl(h, tmax, int64(8*len(in)))
 	return out
 }
 
@@ -225,16 +314,14 @@ func (c *Comm) AllreduceInt64(op ReduceOp, in []int64) []int64 {
 // path.
 func (c *Comm) AllreduceScalarInt64(op ReduceOp, v int64) int64 {
 	c.ps.collScratch[0] = v
-	h := c.enterColl(func(h *collHub) {
-		h.mu.Lock()
+	h, tmax := c.enterColl(func(h *collHub) {
 		h.ideps[c.rank] = c.ps.collScratch[:]
-		h.mu.Unlock()
 	})
 	out := h.ideps[0][0]
 	for r := 1; r < c.size(); r++ {
 		out = op.foldInt64(out, h.ideps[r][0])
 	}
-	c.exitColl(h, 8)
+	c.exitColl(h, tmax, 8)
 	return out
 }
 
@@ -242,10 +329,8 @@ func (c *Comm) AllreduceScalarInt64(op ReduceOp, v int64) int64 {
 // performed in rank order on every rank, so the result is deterministic
 // and identical everywhere.
 func (c *Comm) AllreduceFloat64(op ReduceOp, in []float64) []float64 {
-	h := c.enterColl(func(h *collHub) {
-		h.mu.Lock()
+	h, tmax := c.enterColl(func(h *collHub) {
 		h.fdeps[c.rank] = in
-		h.mu.Unlock()
 	})
 	out := append([]float64(nil), h.fdeps[0]...)
 	for r := 1; r < c.size(); r++ {
@@ -253,7 +338,7 @@ func (c *Comm) AllreduceFloat64(op ReduceOp, in []float64) []float64 {
 			out[i] = op.foldFloat64(out[i], v)
 		}
 	}
-	c.exitColl(h, int64(8*len(in)))
+	c.exitColl(h, tmax, int64(8*len(in)))
 	return out
 }
 
@@ -264,16 +349,14 @@ func (c *Comm) AlltoallInt64(send []int64, chunk int) []int64 {
 	if len(send) != c.size()*chunk {
 		panic(fmt.Sprintf("mpi: AlltoallInt64: len(send)=%d, want %d*%d", len(send), c.size(), chunk))
 	}
-	h := c.enterColl(func(h *collHub) {
-		h.mu.Lock()
+	h, tmax := c.enterColl(func(h *collHub) {
 		h.ideps[c.rank] = send
-		h.mu.Unlock()
 	})
 	out := make([]int64, c.size()*chunk)
 	for r := 0; r < c.size(); r++ {
 		copy(out[r*chunk:(r+1)*chunk], h.ideps[r][c.rank*chunk:(c.rank+1)*chunk])
 	}
-	c.exitColl(h, int64(8*len(send)))
+	c.exitColl(h, tmax, int64(8*len(send)))
 	return out
 }
 
@@ -284,10 +367,8 @@ func (c *Comm) AlltoallvInt64(send [][]int64) [][]int64 {
 	if len(send) != c.size() {
 		panic(fmt.Sprintf("mpi: AlltoallvInt64: len(send)=%d, want %d", len(send), c.size()))
 	}
-	h := c.enterColl(func(h *collHub) {
-		h.mu.Lock()
+	h, tmax := c.enterColl(func(h *collHub) {
 		h.vdeps[c.rank] = send
-		h.mu.Unlock()
 	})
 	out := make([][]int64, c.size())
 	var bytes int64
@@ -295,7 +376,7 @@ func (c *Comm) AlltoallvInt64(send [][]int64) [][]int64 {
 		out[r] = append([]int64(nil), h.vdeps[r][c.rank]...)
 		bytes += int64(8 * len(send[r]))
 	}
-	c.exitColl(h, bytes)
+	c.exitColl(h, tmax, bytes)
 	return out
 }
 
@@ -303,16 +384,14 @@ func (c *Comm) AlltoallvInt64(send [][]int64) [][]int64 {
 // rank r's contribution. Contributions may differ in length (MPI's
 // Allgatherv generality).
 func (c *Comm) AllgatherInt64(mine []int64) [][]int64 {
-	h := c.enterColl(func(h *collHub) {
-		h.mu.Lock()
+	h, tmax := c.enterColl(func(h *collHub) {
 		h.ideps[c.rank] = mine
-		h.mu.Unlock()
 	})
 	out := make([][]int64, c.size())
 	for r := 0; r < c.size(); r++ {
 		out[r] = append([]int64(nil), h.ideps[r]...)
 	}
-	c.exitColl(h, int64(8*len(mine)))
+	c.exitColl(h, tmax, int64(8*len(mine)))
 	return out
 }
 
@@ -320,15 +399,13 @@ func (c *Comm) AllgatherInt64(mine []int64) [][]int64 {
 // private copy. Non-root ranks' data argument is ignored (may be nil).
 func (c *Comm) BcastInt64(root int, data []int64) []int64 {
 	c.checkRank(root, "bcast")
-	h := c.enterColl(func(h *collHub) {
+	h, tmax := c.enterColl(func(h *collHub) {
 		if c.rank == root {
-			h.mu.Lock()
 			h.ideps[root] = data
-			h.mu.Unlock()
 		}
 	})
 	out := append([]int64(nil), h.ideps[root]...)
-	c.exitColl(h, int64(8*len(out)))
+	c.exitColl(h, tmax, int64(8*len(out)))
 	return out
 }
 
@@ -336,10 +413,8 @@ func (c *Comm) BcastInt64(root int, data []int64) []int64 {
 // receives the result; other ranks return nil.
 func (c *Comm) ReduceInt64(root int, op ReduceOp, in []int64) []int64 {
 	c.checkRank(root, "reduce")
-	h := c.enterColl(func(h *collHub) {
-		h.mu.Lock()
+	h, tmax := c.enterColl(func(h *collHub) {
 		h.ideps[c.rank] = in
-		h.mu.Unlock()
 	})
 	var out []int64
 	if c.rank == root {
@@ -350,7 +425,7 @@ func (c *Comm) ReduceInt64(root int, op ReduceOp, in []int64) []int64 {
 			}
 		}
 	}
-	c.exitColl(h, int64(8*len(in)))
+	c.exitColl(h, tmax, int64(8*len(in)))
 	return out
 }
 
@@ -358,10 +433,8 @@ func (c *Comm) ReduceInt64(root int, op ReduceOp, in []int64) []int64 {
 // rank r's contribution, other ranks return nil.
 func (c *Comm) GatherInt64(root int, mine []int64) [][]int64 {
 	c.checkRank(root, "gather")
-	h := c.enterColl(func(h *collHub) {
-		h.mu.Lock()
+	h, tmax := c.enterColl(func(h *collHub) {
 		h.ideps[c.rank] = mine
-		h.mu.Unlock()
 	})
 	var out [][]int64
 	if c.rank == root {
@@ -370,6 +443,6 @@ func (c *Comm) GatherInt64(root int, mine []int64) [][]int64 {
 			out[r] = append([]int64(nil), h.ideps[r]...)
 		}
 	}
-	c.exitColl(h, int64(8*len(mine)))
+	c.exitColl(h, tmax, int64(8*len(mine)))
 	return out
 }

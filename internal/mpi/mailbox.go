@@ -43,6 +43,15 @@ import (
 // O(#messages) — which preserves the earliest-virtual-arrival selection
 // the timing model depends on (see the comment on matchUserLocked).
 //
+// Buckets are stored densely (an indexed array) for worlds of up to
+// denseSrcLimit ranks and sparsely (a lazily populated map keyed by
+// source) above that: a graph-topology rank hears from its process-graph
+// neighbors, not from all P peers, so dense bucket tables would cost
+// O(P) per mailbox = O(P^2) per world — about 10 GB of empty buckets at
+// 16K ranks. Either way, buckets holding live user traffic are also
+// linked into an active list of bucket pointers, so wildcard scans never
+// touch the map.
+//
 // Messages themselves are pooled: see message.release. Payloads of up to
 // inlineWords words (covering the 3-word protocol records that dominate
 // matching traffic) live inline in the struct; larger payloads use a
@@ -52,6 +61,12 @@ import (
 // message struct. Four words cover the {ctx, x, y} protocol records and
 // the one-word control messages that dominate the runtime's traffic.
 const inlineWords = 4
+
+// denseSrcLimit is the world size up to which a mailbox keeps its
+// source buckets in a dense array. Above it buckets are allocated
+// per-source on first traffic, bounding mailbox memory by the rank's
+// in-degree instead of the world size.
+const denseSrcLimit = 1024
 
 // message is an in-flight payload. itag != 0 marks runtime-internal
 // traffic (neighborhood collectives, RMA control) which is invisible to
@@ -175,24 +190,28 @@ type srcBucket struct {
 	user  map[int32]*msgq  // mctx -> user messages in arrival order
 	tags  map[tagKey]*msgq // (mctx, tag) -> user messages with that tag
 	intl  map[int64]*msgq  // itag -> internal messages
+	src   int32            // source rank this bucket indexes
 	nUser int              // live user-level messages in this bucket
-	alive int              // position in mailbox.activeSrcs, or -1
+	alive int              // position in mailbox.active, or -1
+	used  bool             // touched since the last reset (dense mode)
 }
 
 // mailbox is one rank's receive queue. Senders push under mu; the single
-// owning rank matches and dequeues. Exactly one goroutine ever waits on
-// cv, so pushes use a Signal-based wakeup gated on parked instead of
-// broadcasting to nobody.
+// owning rank matches and dequeues. The owner parks its task (not a
+// condvar) when nothing matches; push unparks it, so a sender's wakeup
+// is one CAS plus, in pooled mode, a shard-local enqueue.
 type mailbox struct {
 	mu       sync.Mutex
-	cv       *sync.Cond
-	buckets  []srcBucket
-	active   []int32 // source ranks with nUser > 0, unordered
-	nUser    int     // live user-level messages across all buckets
-	qfree    []*msgq // recycled internal queues (itags are sequence-numbered)
-	parked   bool    // the owner is blocked in cv.Wait
-	queued   int64   // bytes currently queued (eager-buffer occupancy)
-	hw       int64   // high-water of queued
+	owner    *task
+	dense    []srcBucket          // index by src; non-nil for small worlds
+	sparse   map[int32]*srcBucket // lazily populated for large worlds
+	used     []*srcBucket         // buckets touched since the last reset
+	active   []*srcBucket         // buckets with nUser > 0, unordered
+	nUser    int                  // live user-level messages across all buckets
+	qfree    []*msgq              // recycled internal queues (itags are sequence-numbered)
+	parked   bool                 // the owner's task is parked on this mailbox
+	queued   int64                // bytes currently queued (eager-buffer occupancy)
+	hw       int64                // high-water of queued
 	poisoned bool
 	// pert, when non-nil, permutes wildcard selection among concurrently
 	// available bucket fronts (sched Ties class). It is the owning
@@ -204,18 +223,57 @@ type mailbox struct {
 // newMailbox returns a mailbox accepting traffic from up to n sources
 // (communicator ranks are always < the world size n).
 func newMailbox(n int) *mailbox {
-	mb := &mailbox{buckets: make([]srcBucket, n)}
-	for i := range mb.buckets {
-		mb.buckets[i].alive = -1
+	mb := &mailbox{}
+	if n <= denseSrcLimit {
+		mb.dense = make([]srcBucket, n)
+	} else {
+		mb.sparse = make(map[int32]*srcBucket)
 	}
-	mb.cv = sync.NewCond(&mb.mu)
 	return mb
 }
 
-// push enqueues m, indexing it by source and tag, and wakes the owner if
-// it is parked. On a poisoned mailbox push is a no-op (the run is already
-// failing and the owner may have unwound), so queued/hw stay frozen at
-// their poison-time snapshot for the memory reports.
+// compatible reports whether a pooled mailbox can serve a world of n
+// ranks: sparse mailboxes fit any n; dense ones need a big enough table.
+func (mb *mailbox) compatible(n int) bool {
+	return mb.dense == nil || len(mb.dense) >= n
+}
+
+// bucket returns (creating if needed) the bucket for source src. Caller
+// holds mb.mu.
+func (mb *mailbox) bucket(src int32) *srcBucket {
+	if mb.dense != nil {
+		b := &mb.dense[src]
+		if !b.used {
+			b.used, b.src, b.alive = true, src, -1
+			mb.used = append(mb.used, b)
+		}
+		return b
+	}
+	b := mb.sparse[src]
+	if b == nil {
+		b = &srcBucket{src: src, alive: -1, used: true}
+		mb.sparse[src] = b
+		mb.used = append(mb.used, b)
+	}
+	return b
+}
+
+// peek returns the bucket for src without creating one, or nil.
+func (mb *mailbox) peek(src int32) *srcBucket {
+	if mb.dense != nil {
+		b := &mb.dense[src]
+		if !b.used {
+			return nil
+		}
+		return b
+	}
+	return mb.sparse[src]
+}
+
+// push enqueues m, indexing it by source and tag, and unparks the owner
+// if it is parked. On a poisoned mailbox push is a no-op (the run is
+// already failing and the owner may have unwound), so queued/hw stay
+// frozen at their poison-time snapshot for the memory reports.
 func (mb *mailbox) push(m *message) {
 	mb.mu.Lock()
 	if mb.poisoned {
@@ -223,7 +281,7 @@ func (mb *mailbox) push(m *message) {
 		m.release()
 		return
 	}
-	b := &mb.buckets[m.src]
+	b := mb.bucket(int32(m.src))
 	if m.itag != 0 {
 		if b.intl == nil {
 			b.intl = make(map[int64]*msgq)
@@ -263,7 +321,7 @@ func (mb *mailbox) push(m *message) {
 		mb.nUser++
 		if b.alive < 0 {
 			b.alive = len(mb.active)
-			mb.active = append(mb.active, int32(m.src))
+			mb.active = append(mb.active, b)
 		}
 	}
 	mb.queued += m.bytes
@@ -272,10 +330,22 @@ func (mb *mailbox) push(m *message) {
 	}
 	wake := mb.parked
 	mb.parked = false
+	owner := mb.owner
 	mb.mu.Unlock()
 	if wake {
-		mb.cv.Signal()
+		owner.unpark()
 	}
+}
+
+// parkLocked parks the owning task on the mailbox until the next push.
+// The caller holds mb.mu with nothing matched; on return the lock is
+// held again and the caller re-checks its predicate (wakeups may be
+// spurious).
+func (mb *mailbox) parkLocked(t *task) {
+	mb.parked = true
+	mb.mu.Unlock()
+	t.park()
+	mb.mu.Lock()
 }
 
 // take finalizes the dequeue of a user-level message found by
@@ -284,14 +354,15 @@ func (mb *mailbox) push(m *message) {
 func (mb *mailbox) take(m *message) {
 	m.gen.Add(1)
 	mb.queued -= m.bytes
-	b := &mb.buckets[m.src]
+	b := mb.peek(int32(m.src))
 	b.nUser--
 	mb.nUser--
 	if b.nUser == 0 && b.alive >= 0 {
 		last := len(mb.active) - 1
 		moved := mb.active[last]
 		mb.active[b.alive] = moved
-		mb.buckets[moved].alive = b.alive
+		moved.alive = b.alive
+		mb.active[last] = nil
 		mb.active = mb.active[:last]
 		b.alive = -1
 	}
@@ -346,16 +417,15 @@ func (mb *mailbox) matchUserLocked(src, tag int, mctx int32, remove bool, now fl
 		bestq *msgq
 	)
 	if src != AnySource {
-		b := &mb.buckets[src]
-		if b.user == nil {
+		b := mb.peek(int32(src))
+		if b == nil || b.user == nil {
 			return nil
 		}
 		best, bestq = b.userFront(tag, mctx)
 	} else if mb.pert != nil && mb.pert.Ties() {
 		best, bestq = mb.pickAnySourceLocked(tag, mctx, now)
 	} else {
-		for _, s := range mb.active {
-			b := &mb.buckets[s]
+		for _, b := range mb.active {
 			m, q := b.userFront(tag, mctx)
 			if m == nil {
 				continue
@@ -388,8 +458,8 @@ func (mb *mailbox) pickAnySourceLocked(tag int, mctx int32, now float64) (*messa
 	// never exclude it.
 	first := false
 	minArrive := 0.0
-	for _, s := range mb.active {
-		m, _ := mb.buckets[s].userFront(tag, mctx)
+	for _, b := range mb.active {
+		m, _ := b.userFront(tag, mctx)
 		if m == nil {
 			continue
 		}
@@ -406,8 +476,8 @@ func (mb *mailbox) pickAnySourceLocked(tag int, mctx int32, now float64) (*messa
 	}
 	// Pass 2: count the available candidates and draw one.
 	k := 0
-	for _, s := range mb.active {
-		if m, _ := mb.buckets[s].userFront(tag, mctx); m != nil && m.arrive <= thr {
+	for _, b := range mb.active {
+		if m, _ := b.userFront(tag, mctx); m != nil && m.arrive <= thr {
 			k++
 		}
 	}
@@ -415,14 +485,14 @@ func (mb *mailbox) pickAnySourceLocked(tag int, mctx int32, now float64) (*messa
 	// Pass 3: select the pick-th candidate in (arrive, src) order by
 	// counting, for each candidate, how many others precede it. O(k^2)
 	// in the candidate count, which is bounded by the source count.
-	for _, s := range mb.active {
-		m, q := mb.buckets[s].userFront(tag, mctx)
+	for _, b := range mb.active {
+		m, q := b.userFront(tag, mctx)
 		if m == nil || m.arrive > thr {
 			continue
 		}
 		ord := 0
-		for _, s2 := range mb.active {
-			m2, _ := mb.buckets[s2].userFront(tag, mctx)
+		for _, b2 := range mb.active {
+			m2, _ := b2.userFront(tag, mctx)
 			if m2 == nil || m2 == m || m2.arrive > thr {
 				continue
 			}
@@ -440,8 +510,8 @@ func (mb *mailbox) pickAnySourceLocked(tag int, mctx int32, now float64) (*messa
 // matchInternalLocked finds (and, if remove is set, dequeues) the oldest
 // internal message from src with the exact itag. The caller holds mb.mu.
 func (mb *mailbox) matchInternalLocked(src int, itag int64, remove bool) *message {
-	b := &mb.buckets[src]
-	if b.intl == nil {
+	b := mb.peek(int32(src))
+	if b == nil || b.intl == nil {
 		return nil
 	}
 	q := b.intl[itag]
@@ -465,6 +535,50 @@ func (mb *mailbox) matchInternalLocked(src int, itag int64, remove bool) *messag
 	return m
 }
 
+// drainQueue releases every live message still in q and zeroes the
+// ring. front() discards dead entries (zeroing their slots) as it
+// walks, so after it returns nil the ring holds no message pointers.
+func drainQueue(q *msgq) {
+	for m := q.front(); m != nil; m = q.front() {
+		q.popFront()
+		m.release()
+	}
+}
+
+// reset drains and reinitializes a mailbox for reuse by the next run.
+// Live messages (protocols like the Send-Recv matcher legally finish
+// with stale traffic queued) go back to the message pool; the bucket
+// maps and index rings are retained, since communicator ids and
+// internal tags restart identically in a fresh world, so a pooled
+// mailbox's steady state carries over. Only mailboxes from clean runs
+// are reset — failed or poisoned runs discard the whole world state.
+func (mb *mailbox) reset() {
+	for _, b := range mb.used {
+		for _, q := range b.user {
+			drainQueue(q) // primary index: releases each live message
+		}
+		for _, q := range b.tags {
+			drainQueue(q) // secondary index: all entries now dead
+		}
+		for itag, q := range b.intl {
+			drainQueue(q)
+			delete(b.intl, itag)
+			mb.qfree = append(mb.qfree, q)
+		}
+		b.nUser = 0
+		b.alive = -1
+	}
+	clear(mb.active)
+	mb.active = mb.active[:0]
+	mb.nUser = 0
+	mb.owner = nil
+	mb.parked = false
+	mb.poisoned = false
+	mb.pert = nil
+	mb.queued = 0
+	mb.hw = 0
+}
+
 // pendingUser returns the number of live user-level messages queued.
 func (mb *mailbox) pendingUser() int {
 	mb.mu.Lock()
@@ -475,9 +589,13 @@ func (mb *mailbox) pendingUser() int {
 func (mb *mailbox) poison() {
 	mb.mu.Lock()
 	mb.poisoned = true
+	wake := mb.parked
 	mb.parked = false
+	owner := mb.owner
 	mb.mu.Unlock()
-	mb.cv.Broadcast()
+	if wake && owner != nil {
+		owner.unpark()
+	}
 }
 
 // queuedBytes snapshots the current eager-buffer occupancy. Unlike hw it

@@ -47,6 +47,7 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -94,6 +95,12 @@ type Config struct {
 	// perturbation entirely.
 	Perturb     sched.Profile
 	PerturbSeed uint64
+
+	// Sched selects how rank goroutines are scheduled (see SchedMode).
+	// The default, SchedAuto, uses the sharded worker pool for large
+	// worlds and direct goroutine scheduling for small ones. Results are
+	// bit-identical across modes.
+	Sched SchedMode
 }
 
 // World holds the shared state of one runtime instance. A World is created
@@ -105,6 +112,17 @@ type World struct {
 	mailboxes []*mailbox
 	hub       *collHub
 	stats     []*RankStats
+	// tasks holds every rank's scheduler task; poison unparks them all.
+	tasks []*task
+	// pool is the worker pool in SchedWorkers mode, nil in SchedDirect.
+	pool *workerPool
+
+	// hubs registers every collective hub in the world — the world hub
+	// plus any sub-communicator hubs created by Split — so poison can
+	// flag them all before the wakeup sweep. Guarded by hubMu (Split may
+	// run concurrently on several ranks).
+	hubMu sync.Mutex
+	hubs  []*collHub
 
 	topoMu  sync.Mutex
 	topoSeq int
@@ -123,6 +141,15 @@ type procState struct {
 	now   float64
 	rs    *RankStats
 	trace *[]WaitSpan
+	// task is this rank's scheduler task: the unit that parks when the
+	// rank blocks in the runtime and is unparked when progress becomes
+	// possible.
+	task *task
+	// pollMisses counts consecutive unfruitful non-blocking polls
+	// (Iprobe, NbrRequest.Test). Every pollYieldEvery-th miss yields the
+	// scheduler so a full worker pool cannot be starved by spinning
+	// pollers; any successful match resets it.
+	pollMisses int
 	// ev is the structured event ring, nil when tracing is off; the nil
 	// check is the entire cost of a disabled instrumentation point.
 	ev *eventRing
@@ -228,6 +255,65 @@ func RunConfig(cfg Config, body func(c *Comm) error) (*Report, error) {
 	return runConfig(cfg, body)
 }
 
+// worldState is the reusable skeleton of a run: every per-rank object
+// whose lifetime ends with Run and whose contents do not escape into the
+// Report. Benchmark and experiment loops call Run thousands of times
+// with the same world size; recycling the skeleton removes the dominant
+// per-run setup cost (mailbox shells, bucket tables, task structs, the
+// collective hub's shard and deposit arrays). Statistics ledgers, trace
+// buffers and the Report are always fresh — they outlive the run.
+//
+// Only skeletons from clean runs are recycled: a failed or poisoned
+// world may hold ranks unwinding concurrently with Run's return, so it
+// is simply dropped for the GC.
+type worldState struct {
+	n         int
+	mailboxes []*mailbox
+	tasks     []*task
+	comms     []*Comm
+	procs     []procState
+	hub       *collHub
+}
+
+var worldPool sync.Pool
+
+// acquireWorldState returns a pooled skeleton for n ranks, or a fresh
+// one. Pooled skeletons are only reused at the exact same world size:
+// the hub's shard layout and the dense mailbox tables are sized to n,
+// and repeat callers (benchmarks, Explore sweeps) keep n fixed.
+func acquireWorldState(n int) *worldState {
+	if v := worldPool.Get(); v != nil {
+		ws := v.(*worldState)
+		if ws.n == n {
+			return ws
+		}
+		// Wrong size: drop it and build fresh below.
+	}
+	ws := &worldState{
+		n:         n,
+		mailboxes: make([]*mailbox, n),
+		tasks:     make([]*task, n),
+		comms:     make([]*Comm, n),
+		procs:     make([]procState, n),
+		hub:       newCollHub(n),
+	}
+	for i := range ws.mailboxes {
+		ws.mailboxes[i] = newMailbox(n)
+		ws.tasks[i] = newTask()
+		ws.comms[i] = new(Comm)
+	}
+	return ws
+}
+
+// releaseWorldState drains the skeleton and returns it to the pool.
+func releaseWorldState(ws *worldState) {
+	for _, mb := range ws.mailboxes {
+		mb.reset()
+	}
+	ws.hub.clearDeps()
+	worldPool.Put(ws)
+}
+
 func runConfig(cfg Config, body func(c *Comm) error) (*Report, error) {
 	if cfg.Procs < 1 {
 		panic(fmt.Sprintf("mpi: Config.Procs must be >= 1, got %d", cfg.Procs))
@@ -236,16 +322,26 @@ func runConfig(cfg Config, body func(c *Comm) error) (*Report, error) {
 	if cost == nil {
 		cost = DefaultCostModel()
 	}
+	ws := acquireWorldState(cfg.Procs)
 	w := &World{
 		n:         cfg.Procs,
 		cost:      cost,
 		matrices:  cfg.TrackMatrices,
-		mailboxes: make([]*mailbox, cfg.Procs),
-		hub:       newCollHub(cfg.Procs),
+		mailboxes: ws.mailboxes,
+		hub:       ws.hub,
+		tasks:     ws.tasks,
 		stats:     make([]*RankStats, cfg.Procs),
 	}
-	for i := range w.mailboxes {
-		w.mailboxes[i] = newMailbox(cfg.Procs)
+	w.hubs = append(w.hubs, ws.hub)
+	mode := resolveSched(cfg.Sched, cfg.Procs)
+	if mode == SchedWorkers {
+		w.pool = newWorkerPool(workerCount(cfg.Procs))
+	}
+	nworkers := 1
+	if w.pool != nil {
+		nworkers = len(w.pool.workers)
+	}
+	for i := range w.stats {
 		w.stats[i] = newRankStats(i, cfg.Procs, cfg.TrackMatrices)
 	}
 	// New returns nil for a disabled profile, so the hot-path hooks stay
@@ -256,7 +352,7 @@ func runConfig(cfg Config, body func(c *Comm) error) (*Report, error) {
 		wg     sync.WaitGroup
 		errMu  sync.Mutex
 		errs   []error
-		comms  = make([]*Comm, cfg.Procs)
+		comms  = ws.comms
 		start  = time.Now()
 		doneCh = make(chan struct{})
 	)
@@ -271,28 +367,53 @@ func runConfig(cfg Config, body func(c *Comm) error) (*Report, error) {
 			events[i] = newEventRing(cfg.TraceEvents)
 		}
 	}
+	// Set up every rank before spawning any: in direct mode an early
+	// rank's body may immediately send into a later rank's mailbox, and
+	// that push reads mb.owner and task state. The `go` statements below
+	// happen-after this whole loop, so all setup writes are visible to
+	// every rank goroutine.
 	for r := 0; r < cfg.Procs; r++ {
-		ps := &procState{rs: w.stats[r]}
+		t := ws.tasks[r]
+		// Ranks map to scheduler shards in contiguous blocks so ring and
+		// mesh neighborhoods stay shard-local.
+		t.reset(int32(r), int32(r*nworkers/cfg.Procs), w.pool)
+		ps := &ws.procs[r]
+		*ps = procState{rs: w.stats[r], task: t}
 		if waits != nil {
 			ps.trace = &waits[r]
 		}
 		if events != nil {
 			ps.ev = events[r]
 		}
+		mb := ws.mailboxes[r]
+		mb.owner = t
 		if pt != nil {
 			ps.pert = pt.Rank(r)
 			if cfg.Perturb.Ties {
 				// The mailbox needs the stream too, for wildcard-selection
 				// permutation; matchUserLocked is only ever called by the
 				// owning rank, so the single-goroutine discipline holds.
-				w.mailboxes[r].pert = ps.pert
+				mb.pert = ps.pert
 			}
 		}
-		c := &Comm{w: w, wrank: r, rank: r, hub: w.hub, ps: ps}
-		comms[r] = c
+		*comms[r] = Comm{w: w, wrank: r, rank: r, hub: w.hub, ps: ps}
+	}
+	for r := 0; r < cfg.Procs; r++ {
+		t := ws.tasks[r]
+		c := comms[r]
 		wg.Add(1)
 		go func() {
+			// Defer order matters in pooled mode: the worker ticket must be
+			// yielded (second defer) before wg.Done (first defer, runs last)
+			// lets Run proceed to pool.stop, or stop joins a worker that is
+			// still waiting for this task's ticket. The recover (third
+			// defer, runs first) fires while the ticket is still held, so
+			// poisoning may unpark peers freely.
 			defer wg.Done()
+			if w.pool != nil {
+				defer t.yieldTicket()
+				t.w = <-t.wake // wait for the initial ticket
+			}
 			defer func() {
 				if p := recover(); p != nil {
 					buf := make([]byte, 16<<10)
@@ -308,8 +429,22 @@ func runConfig(cfg Config, body func(c *Comm) error) (*Report, error) {
 				errMu.Lock()
 				errs = append(errs, fmt.Errorf("rank %d: %w", c.wrank, err))
 				errMu.Unlock()
+				// A failed rank will never send or deposit again, so any
+				// peer waiting on it would block forever and an undeadlined
+				// Run would hang. Poison the world: blocked peers unwind
+				// with "a peer rank failed" panics, which the error report
+				// ranks below the root cause.
+				w.poison()
 			}
 		}()
+	}
+	if w.pool != nil {
+		// Seed every task into its shard, then start the workers; each
+		// rank goroutine begins running when a worker hands it a ticket.
+		for _, t := range ws.tasks {
+			w.pool.ready(t)
+		}
+		w.pool.start()
 	}
 	go func() { wg.Wait(); close(doneCh) }()
 
@@ -338,6 +473,13 @@ func runConfig(cfg Config, body func(c *Comm) error) (*Report, error) {
 	} else {
 		<-doneCh
 	}
+	if w.pool != nil {
+		// All rank goroutines have yielded their tickets (wg.Done ordering
+		// above), so the queues are drained and no further ready() can
+		// occur: the workers exit and are joined before Run returns, which
+		// keeps CheckGoroutines exact.
+		w.pool.stop()
+	}
 
 	for i, mb := range w.mailboxes {
 		w.stats[i].QueueHighWater = mb.highWater()
@@ -350,6 +492,9 @@ func runConfig(cfg Config, body func(c *Comm) error) (*Report, error) {
 	}
 	errMu.Lock()
 	defer errMu.Unlock()
+	if deadlineErr == nil && len(errs) == 0 {
+		releaseWorldState(ws)
+	}
 	if deadlineErr != nil {
 		// The per-rank "aborted: a peer rank failed" panics that the
 		// poison provoked are a consequence, not the cause; report the
@@ -357,7 +502,17 @@ func runConfig(cfg Config, body func(c *Comm) error) (*Report, error) {
 		return rep, fmt.Errorf("%w (%d rank(s) were still blocked)", deadlineErr, len(errs))
 	}
 	if len(errs) > 0 {
-		sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+		// "a peer rank failed" unwinds are consequences of the poison, not
+		// causes; sort them after the originating failures.
+		consequence := func(e error) bool {
+			return strings.Contains(e.Error(), "a peer rank failed")
+		}
+		sort.Slice(errs, func(i, j int) bool {
+			if ci, cj := consequence(errs[i]), consequence(errs[j]); ci != cj {
+				return cj
+			}
+			return errs[i].Error() < errs[j].Error()
+		})
 		if len(errs) > 3 {
 			errs = errs[:3]
 		}

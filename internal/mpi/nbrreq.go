@@ -93,6 +93,7 @@ func (r *NbrRequest) Test() ([][]int64, bool) {
 	// when everything has arrived; bounded, so Test/Wait loops progress.
 	if pt := c.ps.pert; pt != nil && pt.ForceMiss() {
 		c.event(EvProbe, -1, int(r.seq), 0, start)
+		c.pollMiss()
 		return nil, false
 	}
 	mb := c.mbox()
@@ -101,9 +102,11 @@ func (r *NbrRequest) Test() ([][]int64, bool) {
 		if mb.matchInternalLocked(nb, r.t.itag(r.seq), false) == nil {
 			mb.mu.Unlock()
 			c.event(EvProbe, -1, int(r.seq), 0, start)
+			c.pollMiss()
 			return nil, false
 		}
 	}
 	mb.mu.Unlock()
+	c.ps.pollMisses = 0
 	return r.Wait(), true
 }

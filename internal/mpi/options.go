@@ -54,3 +54,11 @@ func WithEventTrace(capacity int) Option {
 func WithPerturb(seed uint64, p sched.Profile) Option {
 	return func(cfg *Config) { cfg.PerturbSeed, cfg.Perturb = seed, p }
 }
+
+// WithScheduler selects the rank scheduling mode (see SchedMode). The
+// default SchedAuto picks the sharded worker pool for large worlds and
+// direct goroutine scheduling for small ones; results are bit-identical
+// either way, so the choice is purely a wall-clock/memory trade.
+func WithScheduler(m SchedMode) Option {
+	return func(cfg *Config) { cfg.Sched = m }
+}

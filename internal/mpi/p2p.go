@@ -10,11 +10,40 @@ type Status struct {
 }
 
 // poison unblocks every rank in the world after a failure so the run can
-// unwind instead of deadlocking.
+// unwind instead of deadlocking. All poisoned flags — every collective
+// hub's (the world's and any Split sub-communicators') and every
+// mailbox's — are raised first, and only then is every task unparked
+// once. The flag-before-wake order means a rank that is about to park
+// re-checks its predicate under the relevant lock (or atomic) and sees
+// the flag, so no rank can sleep through the teardown; a wakeup landing
+// on a healthy running rank just banks a notification its next park
+// consumes harmlessly.
 func (w *World) poison() {
-	w.hub.poison()
+	w.hubMu.Lock()
+	for _, h := range w.hubs {
+		h.poison()
+	}
+	w.hubMu.Unlock()
 	for _, mb := range w.mailboxes {
 		mb.poison()
+	}
+	for _, t := range w.tasks {
+		t.unpark()
+	}
+}
+
+// pollYieldEvery bounds how long a non-blocking poll loop (Iprobe,
+// NbrRequest.Test) may spin without yielding the scheduler. In pooled
+// mode a handful of spinning pollers could otherwise hold every worker
+// ticket and starve the very ranks whose sends they are polling for.
+const pollYieldEvery = 64
+
+// pollMiss records an unfruitful non-blocking poll, periodically
+// rescheduling the rank to the back of its run queue.
+func (c *Comm) pollMiss() {
+	c.ps.pollMisses++
+	if c.ps.pollMisses%pollYieldEvery == 0 {
+		c.ps.task.yieldNow()
 	}
 }
 
@@ -79,8 +108,7 @@ func (c *Comm) recvMsg(src, tag int, what string) *message {
 			mb.mu.Unlock()
 			panic("mpi: " + what + " aborted: a peer rank failed")
 		}
-		mb.parked = true
-		mb.cv.Wait()
+		mb.parkLocked(c.ps.task)
 	}
 	mb.mu.Unlock()
 	c.completeRecv(m)
@@ -152,6 +180,7 @@ func (c *Comm) Iprobe(src, tag int) (bool, Status) {
 	// so polling loops keep making progress.
 	if pt := c.ps.pert; pt != nil && pt.ForceMiss() {
 		c.event(EvProbe, -1, tag, 0, start)
+		c.pollMiss()
 		return false, Status{}
 	}
 	mb := c.mbox()
@@ -160,9 +189,11 @@ func (c *Comm) Iprobe(src, tag int) (bool, Status) {
 	mb.mu.Unlock()
 	if m == nil {
 		c.event(EvProbe, -1, tag, 0, start)
+		c.pollMiss()
 		return false, Status{}
 	}
 	c.ps.rs.ProbeHits++
+	c.ps.pollMisses = 0
 	if c.ps.ev != nil {
 		c.event(EvProbe, c.worldRank(m.src), m.tag, m.bytes, start)
 	}
@@ -192,8 +223,7 @@ func (c *Comm) Probe(src, tag int) Status {
 			mb.mu.Unlock()
 			panic("mpi: Probe aborted: a peer rank failed")
 		}
-		mb.parked = true
-		mb.cv.Wait()
+		mb.parkLocked(c.ps.task)
 	}
 	mb.mu.Unlock()
 	c.ps.rs.ProbeHits++
@@ -247,8 +277,7 @@ func (c *Comm) internalRecvMsg(src int, itag int64) *message {
 			mb.mu.Unlock()
 			panic("mpi: internal recv aborted: a peer rank failed")
 		}
-		mb.parked = true
-		mb.cv.Wait()
+		mb.parkLocked(c.ps.task)
 	}
 	mb.mu.Unlock()
 	c.waitUntil(m.arrive)

@@ -1,0 +1,8 @@
+//go:build !race
+
+package mpi
+
+// raceEnabled reports whether the race detector is compiled in; large-world
+// tests size themselves down under it (the detector multiplies both memory
+// and time per goroutine by an order of magnitude).
+const raceEnabled = false

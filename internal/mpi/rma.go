@@ -60,10 +60,8 @@ func (c *Comm) WinCreate(localSize int) WinHandle {
 	c.AccountAlloc(int64(8 * localSize))
 
 	// Share buffer references through the hub.
-	h := c.enterColl(func(h *collHub) {
-		h.mu.Lock()
+	h, tmax := c.enterColl(func(h *collHub) {
 		h.adeps[c.rank] = buf
-		h.mu.Unlock()
 	})
 	var win *Win
 	if c.rank == 0 {
@@ -73,15 +71,16 @@ func (c *Comm) WinCreate(localSize int) WinHandle {
 		for r := 0; r < c.size(); r++ {
 			win.bufs[r] = h.adeps[r].([]int64)
 		}
-		h.mu.Lock()
+		// Republish the assembled Win in rank 0's slot; the release
+		// barrier of exitColl orders this write before the second
+		// rendezvous's reads.
 		h.adeps[0] = win
-		h.mu.Unlock()
 	}
-	c.exitColl(h, 8)
+	c.exitColl(h, tmax, 8)
 	// Second rendezvous so non-root ranks can pick up the Win object.
-	h = c.enterColl(nil)
+	h, tmax = c.enterColl(nil)
 	win = h.adeps[0].(*Win)
-	c.exitColl(h, 8)
+	c.exitColl(h, tmax, 8)
 
 	return &winView{win: win, c: c, pendingTargets: make(map[int]struct{})}
 }

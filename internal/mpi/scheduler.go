@@ -1,0 +1,274 @@
+package mpi
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// SchedMode selects how rank goroutines are scheduled (see WithScheduler).
+type SchedMode int
+
+const (
+	// SchedAuto picks SchedWorkers for worlds of at least
+	// pooledMinProcs ranks and SchedDirect below that, where per-run
+	// pool setup would dominate.
+	SchedAuto SchedMode = iota
+	// SchedDirect is the legacy mode: every rank goroutine is runnable
+	// whenever the Go scheduler pleases. Simple and fastest for small
+	// worlds; at tens of thousands of ranks the runnable set itself
+	// becomes the bottleneck.
+	SchedDirect
+	// SchedWorkers multiplexes rank tasks over a sharded worker pool of
+	// at most min(GOMAXPROCS, 64) workers: a rank goroutine runs only
+	// while it holds a worker ticket and parks (releasing the ticket)
+	// whenever it blocks in the runtime. Both modes execute the same
+	// deterministic virtual-time matching logic, so results are
+	// bit-identical across them.
+	SchedWorkers
+)
+
+func (m SchedMode) String() string {
+	switch m {
+	case SchedAuto:
+		return "auto"
+	case SchedDirect:
+		return "direct"
+	case SchedWorkers:
+		return "workers"
+	}
+	return "SchedMode(?)"
+}
+
+// pooledMinProcs is the world size at which SchedAuto switches to the
+// worker pool. Below it, spawning the pool costs more than it saves.
+const pooledMinProcs = 256
+
+// maxWorkers bounds the pool so the idle set fits one atomic word.
+const maxWorkers = 64
+
+func resolveSched(mode SchedMode, procs int) SchedMode {
+	if mode == SchedAuto {
+		if procs >= pooledMinProcs {
+			return SchedWorkers
+		}
+		return SchedDirect
+	}
+	return mode
+}
+
+func workerCount(procs int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > procs {
+		w = procs
+	}
+	if w > maxWorkers {
+		w = maxWorkers
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// taskq is a growable FIFO ring of tasks (one per shard).
+type taskq struct {
+	buf  []*task
+	head int
+	n    int
+}
+
+func (q *taskq) push(t *task) {
+	if q.n == len(q.buf) {
+		grown := make([]*task, max(16, 2*len(q.buf)))
+		for i := 0; i < q.n; i++ {
+			grown[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+		}
+		q.buf, q.head = grown, 0
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = t
+	q.n++
+}
+
+func (q *taskq) pop() *task {
+	if q.n == 0 {
+		return nil
+	}
+	t := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return t
+}
+
+// schedShard is one worker's run queue. Ranks map to shards in blocks
+// (rank*W/n), so ring and mesh neighborhoods mostly wake tasks on their
+// own shard and senders from other shards contend only on that shard's
+// lock, never on a global one.
+type schedShard struct {
+	mu sync.Mutex
+	q  taskq
+	// pad keeps neighboring shards' locks off one cache line.
+	_ [40]byte
+}
+
+type worker struct {
+	id   int
+	pool *workerPool
+	// yield receives the ticket back from the task this worker resumed.
+	yield chan struct{}
+	// wakeCh receives an idle-wakeup token from ready()/stop().
+	wakeCh chan struct{}
+}
+
+// workerPool schedules rank tasks over a fixed set of workers, one
+// shard (run queue) per worker, with work stealing. Lost wakeups are
+// impossible by a standard two-sided protocol: a worker publishes
+// itself idle and then re-scans every shard before sleeping, while
+// ready() enqueues first and then claims+wakes an idle worker; tokens
+// are sticky (capacity-1 channels), so a racing token is consumed by a
+// harmless extra scan.
+type workerPool struct {
+	shards   []schedShard
+	workers  []*worker
+	idleMask atomic.Uint64 // bit i set: worker i is (about to be) asleep
+	stopping atomic.Bool
+	wg       sync.WaitGroup
+}
+
+func newWorkerPool(nworkers int) *workerPool {
+	p := &workerPool{
+		shards:  make([]schedShard, nworkers),
+		workers: make([]*worker, nworkers),
+	}
+	for i := range p.workers {
+		p.workers[i] = &worker{
+			id:     i,
+			pool:   p,
+			yield:  make(chan struct{}, 1),
+			wakeCh: make(chan struct{}, 1),
+		}
+	}
+	return p
+}
+
+func (p *workerPool) start() {
+	p.wg.Add(len(p.workers))
+	for _, w := range p.workers {
+		go w.loop()
+	}
+}
+
+// ready enqueues t on its shard and wakes an idle worker if any.
+func (p *workerPool) ready(t *task) {
+	sh := &p.shards[t.shard]
+	sh.mu.Lock()
+	sh.q.push(t)
+	sh.mu.Unlock()
+	p.wakeIdle(int(t.shard))
+}
+
+// wakeIdle claims one idle worker (preferring the shard's owner) and
+// sends it a token. Non-blocking: if the claimed worker still holds an
+// unconsumed token, that token already guarantees a future re-scan.
+func (p *workerPool) wakeIdle(prefer int) {
+	for {
+		mask := p.idleMask.Load()
+		if mask == 0 {
+			return
+		}
+		id := prefer
+		if mask&(1<<uint(id)) == 0 {
+			id = bits.TrailingZeros64(mask)
+		}
+		if p.idleMask.CompareAndSwap(mask, mask&^(1<<uint(id))) {
+			select {
+			case p.workers[id].wakeCh <- struct{}{}:
+			default:
+			}
+			return
+		}
+	}
+}
+
+// stop asks all workers to exit once their queues drain and joins them.
+// Callers must ensure no further ready() calls can occur.
+func (p *workerPool) stop() {
+	p.stopping.Store(true)
+	for _, w := range p.workers {
+		select {
+		case w.wakeCh <- struct{}{}:
+		default:
+		}
+	}
+	p.wg.Wait()
+}
+
+// grab pops a task from w's own shard, stealing from the others when
+// it is empty.
+func (p *workerPool) grab(w *worker) *task {
+	n := len(p.shards)
+	for i := 0; i < n; i++ {
+		sh := &p.shards[(w.id+i)%n]
+		sh.mu.Lock()
+		t := sh.q.pop()
+		sh.mu.Unlock()
+		if t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+func (w *worker) loop() {
+	p := w.pool
+	defer p.wg.Done()
+	for {
+		t := p.grab(w)
+		if t == nil {
+			if p.stopping.Load() {
+				return
+			}
+			// Publish idle, then re-scan: a ready() that missed the bit
+			// has already pushed, so this scan finds its task; a ready()
+			// that saw the bit sends a token below.
+			atomicOr(&p.idleMask, 1<<uint(w.id))
+			if t = p.grab(w); t == nil {
+				if p.stopping.Load() {
+					atomicAnd(&p.idleMask, ^uint64(1<<uint(w.id)))
+					return
+				}
+				<-w.wakeCh
+				atomicAnd(&p.idleMask, ^uint64(1<<uint(w.id)))
+				continue
+			}
+			atomicAnd(&p.idleMask, ^uint64(1<<uint(w.id)))
+		}
+		// Hand the ticket to the task and wait for it back (park, yield
+		// or exit). The task may be resumed later by any worker.
+		t.wake <- w
+		<-w.yield
+	}
+}
+
+// atomicOr and atomicAnd are CAS loops standing in for the
+// atomic.Uint64.Or/And methods, which require a go1.23 module.
+
+func atomicOr(u *atomic.Uint64, bitsToSet uint64) {
+	for {
+		old := u.Load()
+		if old&bitsToSet == bitsToSet || u.CompareAndSwap(old, old|bitsToSet) {
+			return
+		}
+	}
+}
+
+func atomicAnd(u *atomic.Uint64, mask uint64) {
+	for {
+		old := u.Load()
+		if old&^mask == 0 || u.CompareAndSwap(old, old&mask) {
+			return
+		}
+	}
+}

@@ -29,8 +29,8 @@ func (c *Comm) Split(color, key int) *Comm {
 	}
 	if color < 0 {
 		// Still participate in the publication rendezvous below.
-		h := c.enterColl(nil)
-		c.exitColl(h, 8)
+		h, tmax := c.enterColl(nil)
+		c.exitColl(h, tmax, 8)
 		return nil
 	}
 
@@ -67,15 +67,20 @@ func (c *Comm) Split(color, key int) *Comm {
 		hub *collHub
 	}
 	var mine *subComm
-	h := c.enterColl(func(h *collHub) {
+	h, tmax := c.enterColl(func(h *collHub) {
 		if c.rank == leader {
 			c.w.ctxMu.Lock()
 			c.w.ctxSeq++
 			ctx := c.w.ctxSeq
 			c.w.ctxMu.Unlock()
-			h.mu.Lock()
-			h.adeps[c.rank] = &subComm{ctx: ctx, hub: newCollHub(len(group))}
-			h.mu.Unlock()
+			sub := &subComm{ctx: ctx, hub: newCollHub(len(group))}
+			// Register the sub-hub so World.poison can flag it: a rank
+			// parked in a sub-communicator collective must observe the
+			// teardown too.
+			c.w.hubMu.Lock()
+			c.w.hubs = append(c.w.hubs, sub.hub)
+			c.w.hubMu.Unlock()
+			h.adeps[c.rank] = sub
 		}
 	})
 	v, ok := h.adeps[leader].(*subComm)
@@ -83,7 +88,7 @@ func (c *Comm) Split(color, key int) *Comm {
 		panic(fmt.Sprintf("mpi: Split: leader %d published nothing", leader))
 	}
 	mine = v
-	c.exitColl(h, 8)
+	c.exitColl(h, tmax, 8)
 
 	return &Comm{
 		w:     c.w,

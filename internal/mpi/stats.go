@@ -60,9 +60,14 @@ type RankStats struct {
 	// MPI implementation allocates for every peer a rank exchanges
 	// point-to-point traffic with (the reason the paper's Send-Recv
 	// variant is the memory hog at scale, Table VIII). Counted once per
-	// distinct destination at EagerBufPerPeer bytes.
+	// distinct destination at EagerBufPerPeer bytes. Peers are tracked
+	// densely for small worlds and in a lazily allocated set above
+	// denseSrcLimit ranks, for the same reason mailboxes bucket sparsely
+	// there: a rank talks to its process-graph neighbors, and a dense
+	// []bool per rank would cost O(P^2) across the world.
 	PeerBufBytes int64
 	peerSeen     []bool
+	peerSet      map[int]struct{}
 
 	// RecvWaitTime totals the virtual time this rank spent blocked
 	// waiting for messages to arrive; MaxRecvWait is the largest single
@@ -84,12 +89,34 @@ type RankStats struct {
 const EagerBufPerPeer = 64 << 10
 
 func newRankStats(rank, n int, matrices bool) *RankStats {
-	rs := &RankStats{Rank: rank, peerSeen: make([]bool, n)}
+	rs := &RankStats{Rank: rank}
+	if n <= denseSrcLimit {
+		rs.peerSeen = make([]bool, n)
+	}
 	if matrices {
 		rs.MsgRow = make([]int64, n)
 		rs.ByteRow = make([]int64, n)
 	}
 	return rs
+}
+
+// notePeer charges the per-peer connection pool the first time dst is
+// targeted.
+func (rs *RankStats) notePeer(dst int) {
+	if rs.peerSeen != nil {
+		if !rs.peerSeen[dst] {
+			rs.peerSeen[dst] = true
+			rs.PeerBufBytes += EagerBufPerPeer
+		}
+		return
+	}
+	if _, ok := rs.peerSet[dst]; !ok {
+		if rs.peerSet == nil {
+			rs.peerSet = make(map[int]struct{})
+		}
+		rs.peerSet[dst] = struct{}{}
+		rs.PeerBufBytes += EagerBufPerPeer
+	}
 }
 
 func (rs *RankStats) accountAlloc(bytes int64) {
@@ -102,10 +129,7 @@ func (rs *RankStats) accountAlloc(bytes int64) {
 func (rs *RankStats) noteSend(dst int, bytes int64) {
 	rs.SendCount++
 	rs.SendBytes += bytes
-	if !rs.peerSeen[dst] {
-		rs.peerSeen[dst] = true
-		rs.PeerBufBytes += EagerBufPerPeer
-	}
+	rs.notePeer(dst)
 	if rs.MsgRow != nil {
 		rs.MsgRow[dst]++
 		rs.ByteRow[dst] += bytes

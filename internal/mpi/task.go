@@ -1,0 +1,122 @@
+package mpi
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// A task is the scheduler's view of one rank: a resumable unit of work
+// that parks when it cannot make progress (empty mailbox, barrier not
+// yet full) and is unparked by the event that makes progress possible
+// (a message push, a barrier release, a poison sweep). The rank body
+// still runs on its own goroutine — arbitrary Go code needs a real
+// stack — but in pooled mode the goroutine only runs while it holds a
+// worker ticket, so at most workerCount ranks are runnable at once and
+// the Go scheduler never sees a 64K-wide runnable set.
+//
+// Park/unpark is a saturating one-slot notification (the futex/eventcount
+// shape): unpark on a running task sets a sticky "notified" token that
+// the next park consumes without blocking. Callers therefore tolerate
+// spurious wakeups by construction — every blocking site re-checks its
+// predicate under the relevant lock after park returns.
+type task struct {
+	// status is one of taskRunning/taskNotified/taskParked (below).
+	status atomic.Int32
+	rank   int32
+	shard  int32
+	// pool is nil in direct (legacy) scheduling mode; park/unpark then
+	// degrade to a plain channel handoff with no ticket accounting.
+	pool *workerPool
+	// wake delivers the worker ticket that resumes this task. Buffered
+	// so an unparker never blocks handing the task to a worker, and so
+	// a worker can publish the ticket before the task reaches its
+	// receive. In direct mode the value is nil.
+	wake chan *worker
+	// w is the ticket currently held (pooled mode, while running).
+	w *worker
+}
+
+const (
+	taskRunning  = int32(iota) // running, no wakeup pending
+	taskNotified               // running, a wakeup arrived and is banked
+	taskParked                 // blocked in park awaiting unpark
+)
+
+func newTask() *task {
+	return &task{wake: make(chan *worker, 1)}
+}
+
+// reset prepares a pooled task for a new run.
+func (t *task) reset(rank, shard int32, pool *workerPool) {
+	t.rank, t.shard, t.pool = rank, shard, pool
+	t.status.Store(taskRunning)
+	select { // drop any ticket stranded by an abandoned run
+	case <-t.wake:
+	default:
+	}
+}
+
+// park blocks the calling task until unpark, consuming a banked
+// notification instead of blocking when one is pending. Only the task's
+// own goroutine may call it, and never while holding a runtime lock.
+func (t *task) park() {
+	if t.status.CompareAndSwap(taskNotified, taskRunning) {
+		return // wakeup already banked: consume it, don't block
+	}
+	if !t.status.CompareAndSwap(taskRunning, taskParked) {
+		// An unpark slipped in between the two CASes and set Notified.
+		t.status.Store(taskRunning)
+		return
+	}
+	if t.pool != nil {
+		t.yieldTicket()
+	}
+	t.w = <-t.wake
+}
+
+// unpark makes a parked task runnable (enqueuing it on its shard in
+// pooled mode) or banks a notification if the task is running. Safe
+// from any goroutine, idempotent, non-blocking.
+func (t *task) unpark() {
+	for {
+		switch s := t.status.Load(); s {
+		case taskParked:
+			if t.status.CompareAndSwap(taskParked, taskRunning) {
+				if p := t.pool; p != nil {
+					p.ready(t)
+				} else {
+					t.wake <- nil
+				}
+				return
+			}
+		default: // running or already notified: bank (or keep) the token
+			if t.status.CompareAndSwap(s, taskNotified) {
+				return
+			}
+		}
+	}
+}
+
+// yieldTicket returns the held worker ticket to its worker loop. The
+// worker resumes scheduling other tasks; this task must next block on
+// t.wake (or exit).
+func (t *task) yieldTicket() {
+	w := t.w
+	t.w = nil
+	w.yield <- struct{}{}
+}
+
+// yieldNow reschedules the task to the back of its shard's run queue,
+// giving other ranks a turn. Poll loops that spin without blocking
+// (Iprobe under a miss streak) call it so a full worker pool cannot
+// starve the ranks whose messages the poller is waiting for.
+func (t *task) yieldNow() {
+	p := t.pool
+	if p == nil {
+		runtime.Gosched()
+		return
+	}
+	p.ready(t) // requeue self; a worker will hand back a ticket on t.wake
+	t.yieldTicket()
+	t.w = <-t.wake
+}

@@ -50,21 +50,44 @@ func (c *Comm) CreateGraphTopo(neighbors []int) *Topo {
 	}
 	id = c.BcastInt64(0, []int64{id})[0]
 
-	mine := make([]int64, len(neighbors))
-	for i, nb := range neighbors {
-		mine[i] = int64(nb)
-	}
-	all := c.AllgatherInt64(mine)
-	for _, nb := range neighbors {
-		found := false
-		for _, v := range all[nb] {
-			if int(v) == c.rank {
-				found = true
-				break
+	if c.size() <= topoVerifyDenseLimit {
+		// Small worlds: gather every adjacency list and cross-check
+		// directly, yielding a precise panic naming the asymmetric pair.
+		mine := make([]int64, len(neighbors))
+		for i, nb := range neighbors {
+			mine[i] = int64(nb)
+		}
+		all := c.AllgatherInt64(mine)
+		for _, nb := range neighbors {
+			found := false
+			for _, v := range all[nb] {
+				if int(v) == c.rank {
+					found = true
+					break
+				}
+			}
+			if !found {
+				panic(fmt.Sprintf("mpi: CreateGraphTopo: asymmetric topology: rank %d lists %d but not vice versa", c.rank, nb))
 			}
 		}
-		if !found {
-			panic(fmt.Sprintf("mpi: CreateGraphTopo: asymmetric topology: rank %d lists %d but not vice versa", c.rank, nb))
+	} else {
+		// Large worlds: the allgather materializes every adjacency list on
+		// every rank — O(P * E_p) memory, which at 16K+ ranks dwarfs the
+		// topology itself. Verify symmetry pairwise instead: each rank
+		// sends a zero-cost handshake to every listed neighbor on a
+		// reserved internal tag (below this topology's itag sequence) and
+		// then receives one from each. Total traffic is O(E_p). An
+		// asymmetric listing means some handshake never arrives; that
+		// surfaces as a deadline-watchdog deadlock naming the blocked
+		// ranks rather than a pinpointed panic — the price of scalability.
+		hs := 1 + id<<32 + topoHandshakeSeq
+		var one [1]int64
+		one[0] = int64(c.rank)
+		for _, nb := range neighbors {
+			c.internalSend(nb, hs, one[:], 0, 0, nil)
+		}
+		for _, nb := range neighbors {
+			c.internalRecvMsg(nb, hs).release()
 		}
 	}
 
@@ -92,6 +115,18 @@ func (t *Topo) NeighborIndex(nb int) int {
 
 // itag derives the internal message tag for call number seq on this topo.
 func (t *Topo) itag(seq int64) int64 { return 1 + t.id<<32 + seq }
+
+// topoHandshakeSeq is the reserved pseudo-sequence for the symmetry
+// handshake: itag(-1) sits below every real call's tag for this topology
+// id and above the previous id's space, so handshakes can never match
+// collective traffic.
+const topoHandshakeSeq = -1
+
+// topoVerifyDenseLimit is the world size up to which CreateGraphTopo
+// verifies symmetry via a full adjacency allgather (precise diagnostics,
+// O(P*E_p) memory). Larger worlds use the pairwise handshake. A variable
+// so tests can exercise the handshake path at small sizes.
+var topoVerifyDenseLimit = 2048
 
 // NeighborAlltoallInt64 is MPI_Neighbor_alltoall: each rank sends a
 // fixed-size chunk to every neighbor and receives one from each. send

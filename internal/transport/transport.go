@@ -70,6 +70,12 @@ type Round interface {
 // pushed toward rank d through Send since construction. The slice is
 // live backend state — the round-telemetry layer snapshots it once per
 // round; callers must not retain or modify it.
+//
+// The ledger is O(world size) per rank, so backends allocate it lazily
+// on the first VolumeByDest call: an untelemetered 64K-rank run carries
+// no ledgers at all, while the telemetry layer (which calls VolumeByDest
+// before the backend's first Send) still observes every byte. Sends
+// before the first VolumeByDest call are deliberately not back-filled.
 type Volumer interface {
 	VolumeByDest() []int64
 }
@@ -89,15 +95,22 @@ type P2P struct {
 
 // NewP2P returns a Send-Recv backend.
 func NewP2P(c *mpi.Comm, synchronous bool) *P2P {
-	return &P2P{C: c, Synchronous: synchronous, vol: make([]int64, c.Size())}
+	return &P2P{C: c, Synchronous: synchronous}
 }
 
-// VolumeByDest implements Volumer.
-func (t *P2P) VolumeByDest() []int64 { return t.vol }
+// VolumeByDest implements Volumer; first call allocates the ledger.
+func (t *P2P) VolumeByDest() []int64 {
+	if t.vol == nil {
+		t.vol = make([]int64, t.C.Size())
+	}
+	return t.vol
+}
 
 // Send implements Sender.
 func (t *P2P) Send(dst int, ctx, x, y int64) {
-	t.vol[dst] += recordBytes
+	if t.vol != nil {
+		t.vol[dst] += recordBytes
+	}
 	t.sbuf[0], t.sbuf[1] = x, y
 	if t.Synchronous {
 		t.C.Ssend(dst, int(ctx), t.sbuf[:])
@@ -155,7 +168,6 @@ func NewNCL(c *mpi.Comm, topo *mpi.Topo, l *distgraph.Local, maxPerArc int64) *N
 	t := &NCL{
 		c: c, topo: topo, l: l,
 		out:      make([][]int64, deg),
-		vol:      make([]int64, c.Size()),
 		counts:   make([]int64, deg),
 		incoming: make([]int64, deg),
 		in:       make([][]int64, deg),
@@ -169,8 +181,13 @@ func NewNCL(c *mpi.Comm, topo *mpi.Topo, l *distgraph.Local, maxPerArc int64) *N
 	return t
 }
 
-// VolumeByDest implements Volumer.
-func (t *NCL) VolumeByDest() []int64 { return t.vol }
+// VolumeByDest implements Volumer; first call allocates the ledger.
+func (t *NCL) VolumeByDest() []int64 {
+	if t.vol == nil {
+		t.vol = make([]int64, t.c.Size())
+	}
+	return t.vol
+}
 
 // Send implements Sender.
 func (t *NCL) Send(dst int, ctx, x, y int64) {
@@ -178,7 +195,9 @@ func (t *NCL) Send(dst int, ctx, x, y int64) {
 	if i < 0 {
 		panic(fmt.Sprintf("transport: NCL send to non-neighbor rank %d", dst))
 	}
-	t.vol[dst] += recordBytes
+	if t.vol != nil {
+		t.vol[dst] += recordBytes
+	}
 	if len(t.out[i])+recordWords > cap(t.out[i]) {
 		panic(fmt.Sprintf("transport: NCL buffer overflow to rank %d (per-edge message bound violated)", dst))
 	}
@@ -267,7 +286,6 @@ func NewRMA(c *mpi.Comm, topo *mpi.Topo, l *distgraph.Local, maxPerArc int64) *R
 		writeCursor: make([]int64, deg),
 		roundMark:   make([]int64, deg),
 		readCursor:  make([]int64, deg),
-		vol:         make([]int64, c.Size()),
 		delta:       make([]int64, deg),
 		incoming:    make([]int64, deg),
 	}
@@ -282,8 +300,13 @@ func NewRMA(c *mpi.Comm, topo *mpi.Topo, l *distgraph.Local, maxPerArc int64) *R
 	return t
 }
 
-// VolumeByDest implements Volumer.
-func (t *RMA) VolumeByDest() []int64 { return t.vol }
+// VolumeByDest implements Volumer; first call allocates the ledger.
+func (t *RMA) VolumeByDest() []int64 {
+	if t.vol == nil {
+		t.vol = make([]int64, t.c.Size())
+	}
+	return t.vol
+}
 
 // Send implements Sender with a one-sided put at the precomputed
 // displacement.
@@ -292,7 +315,9 @@ func (t *RMA) Send(dst int, ctx, x, y int64) {
 	if i < 0 {
 		panic(fmt.Sprintf("transport: RMA send to non-neighbor rank %d", dst))
 	}
-	t.vol[dst] += recordBytes
+	if t.vol != nil {
+		t.vol[dst] += recordBytes
+	}
 	if t.writeCursor[i] >= t.l.CrossArcs[i]*t.maxPerArc {
 		panic(fmt.Sprintf("transport: RMA region overflow to rank %d (per-edge message bound violated)", dst))
 	}
@@ -355,7 +380,6 @@ func NewNCLI(c *mpi.Comm, topo *mpi.Topo, l *distgraph.Local, maxPerArc int64) *
 		out:   make([][]int64, len(l.NeighborRanks)),
 		spare: make([][]int64, len(l.NeighborRanks)),
 		in:    make([][]int64, len(l.NeighborRanks)),
-		vol:   make([]int64, c.Size()),
 	}
 	for i, arcs := range l.CrossArcs {
 		cap := arcs * maxPerArc * recordWords
@@ -367,8 +391,13 @@ func NewNCLI(c *mpi.Comm, topo *mpi.Topo, l *distgraph.Local, maxPerArc int64) *
 	return t
 }
 
-// VolumeByDest implements Volumer.
-func (t *NCLI) VolumeByDest() []int64 { return t.vol }
+// VolumeByDest implements Volumer; first call allocates the ledger.
+func (t *NCLI) VolumeByDest() []int64 {
+	if t.vol == nil {
+		t.vol = make([]int64, t.c.Size())
+	}
+	return t.vol
+}
 
 // Send implements Sender.
 func (t *NCLI) Send(dst int, ctx, x, y int64) {
@@ -376,7 +405,9 @@ func (t *NCLI) Send(dst int, ctx, x, y int64) {
 	if i < 0 {
 		panic(fmt.Sprintf("transport: NCLI send to non-neighbor rank %d", dst))
 	}
-	t.vol[dst] += recordBytes
+	if t.vol != nil {
+		t.vol[dst] += recordBytes
+	}
 	if len(t.out[i])+recordWords > cap(t.out[i]) {
 		panic(fmt.Sprintf("transport: NCLI buffer overflow to rank %d (per-edge message bound violated)", dst))
 	}
@@ -454,16 +485,23 @@ func NewP2PAgg(c *mpi.Comm, batch int) *P2PAgg {
 	if batch < 1 {
 		panic(fmt.Sprintf("transport: P2PAgg batch = %d", batch))
 	}
-	return &P2PAgg{c: c, batch: batch, out: make(map[int][]int64), vol: make([]int64, c.Size())}
+	return &P2PAgg{c: c, batch: batch, out: make(map[int][]int64)}
 }
 
-// VolumeByDest implements Volumer.
-func (t *P2PAgg) VolumeByDest() []int64 { return t.vol }
+// VolumeByDest implements Volumer; first call allocates the ledger.
+func (t *P2PAgg) VolumeByDest() []int64 {
+	if t.vol == nil {
+		t.vol = make([]int64, t.c.Size())
+	}
+	return t.vol
+}
 
 // Send implements Sender: append to the destination's batch, flushing
 // when full.
 func (t *P2PAgg) Send(dst int, ctx, x, y int64) {
-	t.vol[dst] += recordBytes
+	if t.vol != nil {
+		t.vol[dst] += recordBytes
+	}
 	t.c.Pack(1)
 	buf := append(t.out[dst], ctx, x, y)
 	if len(buf) >= t.batch*recordWords {

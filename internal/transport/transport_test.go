@@ -212,7 +212,10 @@ func TestSendToNonNeighborPanics(t *testing.T) {
 
 // TestVolumeByDest asserts the per-destination byte ledger every backend
 // exposes for round telemetry: one 3-word record costs recordBytes
-// toward its destination, uniformly across models.
+// toward its destination, uniformly across models. The ledger is lazy —
+// allocated by the first VolumeByDest call, exactly how the telemetry
+// layer uses it (snapshot before any Send) — so the test activates it
+// first; untelemetered runs never pay the O(P) slice.
 func TestVolumeByDest(t *testing.T) {
 	g := gen.Path(8)
 	d := distgraph.NewBlockDist(g, 2)
@@ -235,6 +238,7 @@ func TestVolumeByDest(t *testing.T) {
 			if !ok {
 				t.Fatalf("%T does not expose VolumeByDest", tr)
 			}
+			v.VolumeByDest() // activate the lazy ledger before sending
 			tr.Send(peer, 1, x, y)
 			tr.Send(peer, 1, x, y)
 			vol := v.VolumeByDest()
