@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: tier1 tier2 perturb build test vet race bench bench-smoke bench-graph bench-p2p bench-ranks bench-telemetry scale-smoke clean
+.PHONY: tier1 tier2 perturb build test vet race bench bench-smoke bench-graph bench-p2p bench-ranks bench-dense bench-telemetry scale-smoke clean
 
 # tier1 is the gate every change must keep green: full build + vet +
 # full test suite.
@@ -76,6 +76,12 @@ bench-ranks:
 scale-smoke:
 	$(GO) test -run 'TestLargeWorldSmoke' -v -timeout 10m ./internal/mpi/
 	$(GO) run ./cmd/matchbench -exp ranks -ranks 4096 -json ranks_records.json
+
+# bench-dense reproduces the process-graph density sweep recorded in
+# BENCH_p2p.json: the NCL vs NCLC (message-combining neighborhood
+# collectives) crossover on ring-banded block graphs.
+bench-dense:
+	$(GO) run ./cmd/matchbench -exp ext-density -scale 0.5 -json density_records.json
 
 # bench-telemetry reproduces the round-telemetry observer-cost numbers
 # recorded in BENCH_telemetry.json.

@@ -43,7 +43,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		p        = fs.Int("p", 32, "ranks")
 		ranks    = fs.Int("ranks", 0, "alias of -p (takes precedence when set)")
 		app      = fs.String("app", "matching", "matching | bfs | both")
-		model    = fs.String("model", "nsr", "matching model: nsr | rma | ncl | mbp | ncli | nsra")
+		model    = fs.String("model", "nsr", "matching model: nsr | rma | ncl | mbp | ncli | nsra | nclc")
 		bytes    = fs.Bool("bytes", false, "report byte volumes instead of message counts")
 		csv      = fs.Bool("csv", false, "emit the raw matrix as CSV instead of a density plot")
 		timeline = fs.Bool("timeline", false, "also print per-rank wait timelines ('#' = blocked)")

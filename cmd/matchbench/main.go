@@ -56,7 +56,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		list     = fs.Bool("list", false, "list experiments and exit")
 		verbose  = fs.Bool("v", false, "log progress")
 		timeout  = fs.Duration("timeout", 10*time.Minute, "per-run deadline")
-		models   = fs.String("models", "", "comma-separated model filter (nsr,rma,ncl,mbp,ncli,nsra); empty = experiment defaults")
+		models   = fs.String("models", "", "comma-separated model filter (nsr,rma,ncl,mbp,ncli,nsra,nclc); empty = experiment defaults")
 		trace    = fs.String("trace", "", "write every run as a Chrome trace_event JSON file (chrome://tracing, Perfetto)")
 		traceCap = fs.Int("trace-events", 1<<16, "per-rank event ring capacity when tracing")
 		profile  = fs.Bool("profile", false, "append a per-experiment phase-profile table (compute/pack/exchange/unpack/wait)")

@@ -4,7 +4,8 @@
 // matching (Figs 2 and 11): BFS is level-synchronous with bulk frontier
 // expansion, whereas matching generates dynamic, unpredictable
 // point-to-point traffic. This package regenerates the BFS side of those
-// communication matrices.
+// communication matrices, and — like matching and coloring — runs its
+// frontier exchange over any of the transport communication models.
 package bfs
 
 import (
@@ -16,7 +17,14 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/sched"
 	"repro/internal/telemetry"
+	"repro/internal/transport"
 )
+
+// maxVisitsPerCrossArc sizes the round backends' buffers: the driver
+// quiesces every level (no rank expands level L+1 until all level-L
+// visit records are delivered, enforced by the in-flight reduction), so
+// each cross arc carries at most one visit record per exchange round.
+const maxVisitsPerCrossArc = 1
 
 // Options configures a distributed BFS run.
 type Options struct {
@@ -30,10 +38,15 @@ type Options struct {
 	// TraceEvents, when > 0, enables structured event tracing with a
 	// per-rank ring of this capacity (Report.Events, WriteChromeTrace).
 	TraceEvents int
-	// UseNeighborhood switches the per-level frontier exchange from
-	// per-edge point-to-point sends to aggregated neighborhood
-	// collectives over the distributed graph topology — the approach
-	// Kandalla et al. study for BFS (the paper's ref [22]).
+	// Model selects the communication model carrying cross-edge frontier
+	// expansions. The zero value is ModelNSR: per-edge nonblocking sends,
+	// as in the Graph500 reference MPI implementation the paper profiles.
+	// Neighborhood models batch per neighbor over the distributed graph
+	// topology — the approach Kandalla et al. study for BFS (the paper's
+	// ref [22]).
+	Model transport.Model
+	// UseNeighborhood is the deprecated spelling of Model =
+	// transport.ModelNCL, honored when Model is the zero value.
 	UseNeighborhood bool
 	// RoundLog, when > 0, enables per-level telemetry with a per-rank
 	// log of this capacity (Result.Telemetry).
@@ -64,19 +77,27 @@ type Result struct {
 	Telemetry *telemetry.Series
 }
 
-const tagVisit = 1
-
 // Run executes a level-synchronous distributed BFS from root. Cross-edge
-// frontier expansions travel as individual nonblocking sends (as in the
-// Graph500 reference MPI implementation the paper profiles), with a
-// per-level count exchange bounding receives and an allreduce deciding
-// termination.
+// frontier expansions travel as transport records {level, child, parent}
+// over the selected communication model; a global reduction over
+// [next-frontier size, records in flight] both decides termination and
+// fences each level, so levels are exact under every model — including
+// the pipelined and combining collectives, whose records may arrive an
+// exchange late or routed through intermediate ranks. The child's level
+// rides in the record's ctx slot (it doubles as the message tag on the
+// point-to-point paths), and expansion reads each vertex's stored level
+// rather than a loop counter, so a late-delivered visit still assigns
+// and propagates the exact distance.
 func Run(g *graph.CSR, root int, opt Options) (*Result, error) {
 	if opt.Procs < 1 {
 		return nil, fmt.Errorf("bfs: Procs = %d", opt.Procs)
 	}
 	if root < 0 || root >= g.NumVertices() {
 		return nil, fmt.Errorf("bfs: root %d out of range", root)
+	}
+	model := opt.Model
+	if model == transport.ModelNSR && opt.UseNeighborhood {
+		model = transport.ModelNCL
 	}
 	d := distgraph.NewBlockDist(g, opt.Procs)
 	parentGlobal := make([]int64, g.NumVertices())
@@ -107,43 +128,60 @@ func Run(g *graph.CSR, root int, opt Options) (*Result, error) {
 	}
 	rep, err := mpi.Run(opt.Procs, func(c *mpi.Comm) error {
 		l := d.BuildLocal(c.Rank())
-		var topo *mpi.Topo
-		if opt.UseNeighborhood {
-			topo = c.CreateGraphTopo(l.NeighborRanks)
+		bk, err := transport.New(model, transport.Deps{
+			Comm:      c,
+			Local:     l,
+			MaxPerArc: maxVisitsPerCrossArc,
+		})
+		if err != nil {
+			return fmt.Errorf("bfs: %w", err)
 		}
 		nOwned := l.NumOwned()
 		parent := make([]int64, nOwned)
 		level := make([]int64, nOwned)
+		queued := make([]bool, nOwned)
 		for i := range parent {
 			parent[i] = -1
 			level[i] = -1
 		}
-		c.AccountAlloc(int64(nOwned) * 16)
+		c.AccountAlloc(int64(nOwned) * 17)
 
-		// Per-level telemetry: BFS has no transport backend, so it keeps
-		// its own per-destination volume ledger (16 bytes per {u, from}
-		// visit record) and counts cross-edge sends in the request slot.
+		// Per-level telemetry reads the transport's live volume ledger
+		// (O(P) memory: only when telemetry actually records) and counts
+		// cross-edge visit records in the request slot.
 		var log *telemetry.RoundLog
 		var vol []int64
-		var sent, visited int64
+		var sent, recvd, visited int64
 		if logs != nil {
 			log = telemetry.NewRoundLog(opt.RoundLog, opt.Procs)
 			log.SetTotal(int64(nOwned))
 			logs[c.Rank()] = log
-			vol = make([]int64, opt.Procs)
+			if v, ok := bk.(transport.Volumer); ok {
+				vol = v.VolumeByDest()
+			}
 		}
 
 		frontier := make([]int32, 0, nOwned)
 		next := make([]int32, 0, nOwned)
 		visit := func(v, from, lvl int64) {
 			vi := int(v) - l.Lo
-			if parent[vi] != -1 {
+			if parent[vi] != -1 && level[vi] <= lvl {
 				return
+			}
+			if parent[vi] == -1 {
+				visited++
 			}
 			parent[vi] = from
 			level[vi] = lvl
-			visited++
-			next = append(next, int32(vi))
+			if !queued[vi] {
+				queued[vi] = true
+				next = append(next, int32(vi))
+			}
+		}
+		handler := func(ctx, x, y int64) {
+			recvd++
+			c.Compute(1)
+			visit(x, y, ctx)
 		}
 		if l.Owns(root) {
 			visit(int64(root), int64(root), 0)
@@ -153,68 +191,63 @@ func Run(g *graph.CSR, root int, opt Options) (*Result, error) {
 			log.Append(c.Now(), int64(len(frontier)), visited, sent, 0, 0, c.QueuedBytes(), vol)
 		}
 
-		sendCounts := make([]int64, opt.Procs)
-		nbrBufs := make([][]int64, len(l.NeighborRanks))
-		for lvl := int64(0); ; lvl++ {
+		async, isAsync := bk.(transport.Async)
+		round, _ := bk.(transport.Round)
+		// pump moves records once: one exchange round, or (async) a batch
+		// flush — safe mid-protocol, P2P's Finish is a no-op and P2PAgg's
+		// is exactly flushAll — plus a nonblocking drain. Block is never
+		// used: a rank with nothing arriving may owe nothing while others
+		// still exchange, and the in-flight reduction below is the fence
+		// that keeps everyone pumping until delivery completes.
+		pump := func() {
+			if isAsync {
+				bk.Finish()
+				async.Drain(handler)
+				return
+			}
+			round.Exchange(handler)
+		}
+		for {
 			// Expand the frontier: local visits immediately, cross edges
-			// as one message each (point-to-point mode) or batched per
-			// neighbor (neighborhood-collective mode).
-			for i := range sendCounts {
-				sendCounts[i] = 0
-			}
-			for i := range nbrBufs {
-				nbrBufs[i] = nbrBufs[i][:0]
-			}
+			// as one record each, at the stored level of the expanding
+			// vertex.
 			for _, vi := range frontier {
+				queued[vi] = false
+				childLvl := level[vi] + 1
 				v := int64(int(vi) + l.Lo)
 				for _, a := range g.Neighbors(int(vi) + l.Lo) {
 					c.Compute(1)
 					u := int64(a)
 					if l.Owns(int(u)) {
-						visit(u, v, lvl+1)
+						visit(u, v, childLvl)
 						continue
 					}
-					dst := l.Owner(int(u))
 					sent++
-					if vol != nil {
-						vol[dst] += 16
-					}
-					if opt.UseNeighborhood {
-						i := l.NeighborIndex(dst)
-						nbrBufs[i] = append(nbrBufs[i], u, v)
-						continue
-					}
-					c.Isend(dst, tagVisit, []int64{u, v})
-					sendCounts[dst]++
+					bk.Send(l.Owner(int(u)), childLvl, u, v)
 				}
 			}
-			if opt.UseNeighborhood {
-				for _, data := range topo.NeighborAlltoallvInt64(nbrBufs) {
-					for k := 0; k+2 <= len(data); k += 2 {
-						c.Compute(1)
-						visit(data[k], data[k+1], lvl+1)
-					}
-				}
-			} else {
-				// Everyone learns how many visit messages to expect.
-				expect := c.AlltoallInt64(sendCounts, 1)
-				for src := 0; src < opt.Procs; src++ {
-					for k := int64(0); k < expect[src]; k++ {
-						data, _ := c.Recv(src, tagVisit)
-						c.Compute(1)
-						visit(data[0], data[1], lvl+1)
-					}
+			// Fence the level: pump until no visit record is in flight
+			// anywhere (parked in a batch, staged for an exchange, or
+			// pipelined into the next round), then advance together.
+			var nextTotal int64
+			for {
+				pump()
+				st := c.AllreduceInt64(mpi.OpSum, []int64{int64(len(next)), sent - recvd})
+				if st[1] == 0 {
+					nextTotal = st[0]
+					break
 				}
 			}
 			frontier, next = next, frontier[:0]
-			total := c.AllreduceInt64(mpi.OpSum, []int64{int64(len(frontier))})[0]
 			if log != nil {
 				log.Append(c.Now(), int64(len(frontier)), visited, sent, 0, 0, c.QueuedBytes(), vol)
 			}
-			if total == 0 {
+			if nextTotal == 0 {
 				break
 			}
 		}
+		bk.Finish()
+		transport.Release(bk)
 		copy(parentGlobal[l.Lo:l.Hi], parent)
 		copy(levelGlobal[l.Lo:l.Hi], level)
 		return nil

@@ -288,20 +288,24 @@ func Run(g *graph.CSR, opt Options) (*ParallelResult, error) {
 			log.SetTotal(int64(l.NumOwned()))
 			logs[c.Rank()] = log
 		}
-		var e *jpEngine
-		switch opt.Model {
-		case matching.NSR, matching.MBP, matching.NSRA:
-			var t transport.Async = transport.NewP2P(c, opt.Model == matching.MBP)
-			if opt.Model == matching.NSRA {
-				t = transport.NewP2PAgg(c, 64)
-			}
-			var vol []int64
-			if log != nil {
-				vol = volumeOf(t) // O(P) ledger: only when telemetry records
-			}
-			e = newJPEngine(c, l, t)
-			e.start()
-			e.record(log, vol)
+		bk, err := transport.New(opt.Model, transport.Deps{
+			Comm:      c,
+			Local:     l,
+			MaxPerArc: maxMessagesPerCrossArc,
+		})
+		if err != nil {
+			return fmt.Errorf("coloring: %w", err)
+		}
+		var vol []int64
+		if log != nil {
+			vol = volumeOf(bk) // O(P) ledger: only when telemetry records
+		}
+		e := newJPEngine(c, l, bk)
+		e.start()
+		e.record(log, vol)
+		switch opt.Model.Flavor() {
+		case transport.FlavorAsync:
+			t := bk.(transport.Async)
 			// A rank is done when all owned vertices are colored and all
 			// expected announcements have been consumed (it owes nothing
 			// after its own announcements, sent eagerly at coloring time).
@@ -318,24 +322,8 @@ func Run(g *graph.CSR, opt Options) (*ParallelResult, error) {
 				e.rounds++
 			}
 			t.Finish()
-		case matching.NCL, matching.RMA, matching.NCLI:
-			topo := c.CreateGraphTopo(l.NeighborRanks)
-			var t transport.Round
-			switch opt.Model {
-			case matching.NCL:
-				t = transport.NewNCL(c, topo, l, maxMessagesPerCrossArc)
-			case matching.RMA:
-				t = transport.NewRMA(c, topo, l, maxMessagesPerCrossArc)
-			default:
-				t = transport.NewNCLI(c, topo, l, maxMessagesPerCrossArc)
-			}
-			var vol []int64
-			if log != nil {
-				vol = volumeOf(t) // O(P) ledger: only when telemetry records
-			}
-			e = newJPEngine(c, l, t)
-			e.start()
-			e.record(log, vol)
+		default:
+			t := bk.(transport.Round)
 			for {
 				t.Exchange(e.handleMessage)
 				e.drainWork()
@@ -347,12 +335,8 @@ func Run(g *graph.CSR, opt Options) (*ParallelResult, error) {
 					break
 				}
 			}
-			if r, ok := t.(*transport.RMA); ok {
-				r.Free()
-			}
-		default:
-			return fmt.Errorf("coloring: unknown model %v", opt.Model)
 		}
+		transport.Release(bk)
 		for vi, col := range e.color {
 			colors[e.lo+vi] = int64(col)
 		}

@@ -29,6 +29,7 @@ const (
 	MBP  = matching.MBP  // MatchBox-P-style synchronous Send-Recv
 	NCLI = matching.NCLI // extension: nonblocking (pipelined) neighborhood collectives
 	NSRA = matching.NSRA // extension: Send-Recv with sender-side aggregation
+	NCLC = matching.NCLC // extension: message-combining neighborhood collectives
 )
 
 // Models lists every communication model in presentation order.

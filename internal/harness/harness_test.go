@@ -16,7 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig2", "fig4a", "fig4b", "fig4c", "tab2", "tab3", "fig5", "fig6", "tab4",
 		"fig7", "tab5", "tab6", "fig8", "fig9", "tab7", "fig10", "tab8", "fig11",
-		"ext-ncli", "ext-coloring", "ranks",
+		"ext-ncli", "ext-coloring", "ext-density", "ranks",
 	}
 	for _, id := range want {
 		e := Find(id)

@@ -246,7 +246,7 @@ func TestRoundBasedModelsDeterministicTime(t *testing.T) {
 	// The round-based transports are fully deterministic: two runs must
 	// agree on modeled time, rounds, and message count bit-for-bit.
 	g := gen.SBP(600, 10, 8, 0.5, 21)
-	for _, m := range []Model{NCL, RMA, NCLI} {
+	for _, m := range []Model{NCL, RMA, NCLI, NCLC} {
 		a, err := Run(g, opts(6, m))
 		if err != nil {
 			t.Fatal(err)

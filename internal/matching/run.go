@@ -18,7 +18,7 @@ import (
 // working.
 type Model = transport.Model
 
-// The paper's communication models plus the two extensions (§V-A).
+// The paper's communication models plus the extensions (§V-A).
 const (
 	NSR  = transport.ModelNSR
 	RMA  = transport.ModelRMA
@@ -26,6 +26,7 @@ const (
 	MBP  = transport.ModelMBP
 	NCLI = transport.ModelNCLI
 	NSRA = transport.ModelNSRA
+	NCLC = transport.ModelNCLC
 )
 
 // Models lists all communication models in presentation order.
@@ -136,35 +137,23 @@ func Run(g *graph.CSR, opt Options) (*ParallelResult, error) {
 			log.SetTotal(int64(l.NumOwned()))
 			logs[c.Rank()] = log
 		}
-		var e *engine
-		switch opt.Model {
-		case NSR, MBP:
-			t := transport.NewP2P(c, opt.Model == MBP)
-			e = newEngine(c, l, t, opt.EagerReject, order)
-			runAsync(e, t, log)
-		case NSRA:
-			t := transport.NewP2PAgg(c, aggBatchRecords)
-			e = newEngine(c, l, t, opt.EagerReject, order)
-			runAsync(e, t, log)
-		case NCL:
-			topo := c.CreateGraphTopo(l.NeighborRanks)
-			t := transport.NewNCL(c, topo, l, MaxMessagesPerCrossEdge)
-			e = newEngine(c, l, t, opt.EagerReject, order)
-			runRounds(e, t, log)
-		case RMA:
-			topo := c.CreateGraphTopo(l.NeighborRanks)
-			t := transport.NewRMA(c, topo, l, MaxMessagesPerCrossEdge)
-			e = newEngine(c, l, t, opt.EagerReject, order)
-			runRounds(e, t, log)
-			t.Free()
-		case NCLI:
-			topo := c.CreateGraphTopo(l.NeighborRanks)
-			t := transport.NewNCLI(c, topo, l, MaxMessagesPerCrossEdge)
-			e = newEngine(c, l, t, opt.EagerReject, order)
-			runRounds(e, t, log)
-		default:
-			return fmt.Errorf("matching: unknown model %v", opt.Model)
+		t, err := transport.New(opt.Model, transport.Deps{
+			Comm:      c,
+			Local:     l,
+			MaxPerArc: MaxMessagesPerCrossEdge,
+			AggBatch:  aggBatchRecords,
+		})
+		if err != nil {
+			return fmt.Errorf("matching: %w", err)
 		}
+		e := newEngine(c, l, t, opt.EagerReject, order)
+		switch opt.Model.Flavor() {
+		case transport.FlavorAsync:
+			runAsync(e, t.(transport.Async), log)
+		default:
+			runRounds(e, t.(transport.Round), log)
+		}
+		transport.Release(t)
 		e.writeMates(mates)
 		rounds[c.Rank()] = e.rounds
 		sent[c.Rank()] = e.sent

@@ -59,8 +59,8 @@ func runAsync(e *engine, t transport.Async, log *telemetry.RoundLog) {
 	t.Finish()
 }
 
-// runRounds is the driver shared by the RMA, NCL and NCLI variants:
-// rounds of (exchange, process, local work) with a global reduction on
+// runRounds is the driver shared by the FlavorRound models (RMA, NCL,
+// NCLI, NCLC): rounds of (exchange, process, local work) with a global reduction on
 // the unresolved ghost counts deciding termination — the extra
 // collective the paper identifies as the cost of uncoordinated exits
 // (§V-D). Row 0 of the round log is the state after the initial pointing

@@ -75,19 +75,8 @@ func CheckGoroutines(baseline int) error {
 // that the send/receive ledgers balance, folding any violation into the
 // returned error. Tests should prefer it over Run.
 func RunChecked(procs int, body func(c *Comm) error, opts ...Option) (*Report, error) {
-	cfg := Config{Procs: procs}
-	for _, o := range opts {
-		o(&cfg)
-	}
-	return RunCheckedConfig(cfg, body)
-}
-
-// RunCheckedConfig is RunChecked taking a fully populated Config value.
-//
-// Deprecated: use RunChecked with functional options.
-func RunCheckedConfig(cfg Config, body func(c *Comm) error) (*Report, error) {
 	baseline := runtime.NumGoroutine()
-	rep, err := runConfig(cfg, body)
+	rep, err := Run(procs, body, opts...)
 	if err != nil {
 		return rep, err
 	}

@@ -37,6 +37,12 @@ type CostModel struct {
 	AlphaNbrCall float64
 	AlphaNbr     float64
 	BetaNbr      float64
+	// AlphaNbrStart replaces AlphaNbrCall for each Start of a persistent
+	// neighborhood collective (Topo.NeighborAlltoallvInit, MPI-4 style):
+	// the argument checking, schedule derivation and buffer-layout math
+	// AlphaNbrCall folds in were paid once at init time, so starting a
+	// prepared round costs only the doorbell.
+	AlphaNbrStart float64
 
 	// Per-record pack/unpack CPU cost for aggregated transports (filling
 	// and parsing coalesced buffers); point-to-point paths pay their own
@@ -90,6 +96,8 @@ func DefaultCostModel() *CostModel {
 		AlphaNbr:     1.2e-5,
 		BetaNbr:      1.2e-10, // aggregated transfers stream at near link rate
 
+		AlphaNbrStart: 2.0e-6, // persistent start: schedule work prepaid at init
+
 		PackOverhead: 3.0e-8,
 
 		AlphaPut:       1.0e-7,
@@ -114,7 +122,7 @@ func (m *CostModel) Validate() error {
 		{"SendOverhead", m.SendOverhead}, {"RecvOverhead", m.RecvOverhead},
 		{"ProbeOverhead", m.ProbeOverhead}, {"SyncSendRTT", m.SyncSendRTT},
 		{"AlphaColl", m.AlphaColl}, {"BetaColl", m.BetaColl},
-		{"AlphaNbrCall", m.AlphaNbrCall},
+		{"AlphaNbrCall", m.AlphaNbrCall}, {"AlphaNbrStart", m.AlphaNbrStart},
 		{"AlphaNbr", m.AlphaNbr}, {"BetaNbr", m.BetaNbr},
 		{"PackOverhead", m.PackOverhead},
 		{"AlphaPut", m.AlphaPut}, {"BetaPut", m.BetaPut},
@@ -144,6 +152,7 @@ func (m *CostModel) Scale(f float64) *CostModel {
 	out.AlphaColl *= f
 	out.BetaColl *= f
 	out.AlphaNbrCall *= f
+	out.AlphaNbrStart *= f
 	out.AlphaNbr *= f
 	out.BetaNbr *= f
 	out.PackOverhead *= f

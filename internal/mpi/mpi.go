@@ -247,14 +247,6 @@ func Run(procs int, body func(c *Comm) error, opts ...Option) (*Report, error) {
 	return runConfig(cfg, body)
 }
 
-// RunConfig is Run taking a fully populated Config value.
-//
-// Deprecated: use Run with functional options; RunConfig remains as a
-// shim for code that builds Config structs programmatically.
-func RunConfig(cfg Config, body func(c *Comm) error) (*Report, error) {
-	return runConfig(cfg, body)
-}
-
 // worldState is the reusable skeleton of a run: every per-rank object
 // whose lifetime ends with Run and whose contents do not escape into the
 // Report. Benchmark and experiment loops call Run thousands of times

@@ -8,8 +8,7 @@ import (
 
 // Option configures a run. Options are applied in order to a zero
 // Config whose Procs is set by Run, so later options win. The
-// functional-options form is the primary run API; RunConfig remains for
-// code that already holds a Config value.
+// functional-options form is the run API: Run(procs, body, opts...).
 type Option func(*Config)
 
 // WithCost selects the virtual-time cost model (nil keeps the default).

@@ -1,0 +1,102 @@
+package mpi
+
+import "fmt"
+
+// PersistentNbr is a persistent neighborhood all-to-all-v schedule, the
+// analogue of MPI-4's MPI_Neighbor_alltoallv_init: the exchange plan —
+// peer set, tag layout, per-neighbor cost structure — is derived once
+// from the topology when the operation is initialized, and every
+// subsequent Start/WaitInto round reuses it. Rounds in this repository's
+// drivers are isomorphic by construction (the same neighbors exchange
+// every round, only volumes vary), which is exactly the case persistent
+// collectives exist for: a Start pays only the reduced AlphaNbrStart
+// doorbell instead of the full AlphaNbrCall schedule setup.
+//
+// Usage mirrors MPI persistent requests: Init once, then any number of
+// Start/WaitInto pairs. Start while a round is in flight, or WaitInto
+// without a Start, panic — the same misuse MPI defines as erroneous.
+// Like the nonblocking form, receive buffers are sized from the arriving
+// messages, modeling preposted maximum-size buffers (valid whenever the
+// application can bound per-neighbor volume).
+type PersistentNbr struct {
+	t        *Topo
+	seq      int64 // topo sequence of the in-flight round
+	inflight bool
+}
+
+// NeighborAlltoallvInit prepares a persistent neighborhood all-to-all-v
+// over the topology. The call is collective over the topology's members
+// (every member must create the operation in the same order relative to
+// other collectives on the same topo) and charges the one-time schedule
+// setup; each Start then pays only AlphaNbrStart.
+func (t *Topo) NeighborAlltoallvInit() *PersistentNbr {
+	// The schedule derivation — the work AlphaNbrCall models per call —
+	// is paid here, once.
+	t.c.chargeComm(t.c.w.cost.AlphaNbrCall)
+	return &PersistentNbr{t: t}
+}
+
+// Start begins one round of the persistent exchange: send[i] is
+// delivered to neighbor i. The injection cost is charged at start;
+// transit overlaps with whatever the caller does before WaitInto. The
+// runtime copies payloads, so the caller may reuse send buffers
+// immediately after Start returns.
+func (p *PersistentNbr) Start(send [][]int64) {
+	if p.inflight {
+		panic("mpi: PersistentNbr.Start while a round is in flight")
+	}
+	t := p.t
+	if len(send) != len(t.neighbors) {
+		panic(fmt.Sprintf("mpi: PersistentNbr.Start: len(send)=%d, want degree %d", len(send), len(t.neighbors)))
+	}
+	c := t.c
+	cost := c.w.cost
+	p.seq = t.seq
+	t.seq++
+	p.inflight = true
+	start := c.ps.now
+	c.ps.rs.NbrCollCount++
+	c.chargeComm(cost.AlphaNbrStart)
+	var sent int64
+	for i, nb := range t.neighbors {
+		bytes := int64(8 * len(send[i]))
+		sent += bytes
+		c.chargeComm(cost.AlphaNbr + cost.BetaNbr*float64(bytes))
+		c.internalSend(nb, t.itag(p.seq), send[i], cost.AlphaNbr, cost.BetaNbr, (*RankStats).noteNbrChunk)
+	}
+	c.event(EvNbrStart, -1, int(p.seq), sent, start)
+}
+
+// Wait completes the in-flight round, returning the neighbors'
+// contributions in neighbor order.
+func (p *PersistentNbr) Wait() [][]int64 {
+	return p.WaitInto(nil)
+}
+
+// WaitInto completes the in-flight round, receiving into a
+// caller-supplied slice of per-neighbor buffers (allocated when nil).
+// Each recv[i] is reset to length zero and appended to, reusing its
+// capacity; the possibly-regrown recv is returned. Unlike a nonblocking
+// request, the operation stays valid: the next Start reuses the same
+// schedule.
+func (p *PersistentNbr) WaitInto(recv [][]int64) [][]int64 {
+	if !p.inflight {
+		panic("mpi: PersistentNbr.Wait without a started round")
+	}
+	p.inflight = false
+	t := p.t
+	c := t.c
+	if recv == nil {
+		recv = make([][]int64, len(t.neighbors))
+	} else if len(recv) != len(t.neighbors) {
+		panic(fmt.Sprintf("mpi: PersistentNbr.WaitInto: len(recv)=%d, want degree %d", len(recv), len(t.neighbors)))
+	}
+	start := c.ps.now
+	var got int64
+	for i, nb := range t.neighbors {
+		recv[i] = c.internalRecvAppend(nb, t.itag(p.seq), recv[i])
+		got += int64(8 * len(recv[i]))
+	}
+	c.event(EvNbrWait, -1, int(p.seq), got, start)
+	return recv
+}

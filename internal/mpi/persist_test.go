@@ -1,0 +1,117 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPersistentNbrRoundTripAndReuse(t *testing.T) {
+	const p = 5
+	const rounds = 4
+	_, err := runChecked(p, func(c *Comm) error {
+		topo := c.CreateGraphTopo(ringNeighbors(c.Rank(), p))
+		nbrs := topo.Neighbors()
+		pn := topo.NeighborAlltoallvInit()
+		send := make([][]int64, len(nbrs))
+		var recv [][]int64
+		for r := 0; r < rounds; r++ {
+			for i, nb := range nbrs {
+				// Variable volume per round: neighbor i gets r+1 words.
+				send[i] = send[i][:0]
+				for k := 0; k <= r; k++ {
+					send[i] = append(send[i], int64(c.Rank()*1_000_000+nb*1000+r))
+				}
+			}
+			pn.Start(send)
+			recv = pn.WaitInto(recv)
+			for i, nb := range nbrs {
+				if len(recv[i]) != r+1 {
+					t.Errorf("round %d rank %d from %d: %d words, want %d", r, c.Rank(), nb, len(recv[i]), r+1)
+					continue
+				}
+				want := int64(nb*1_000_000 + c.Rank()*1000 + r)
+				for _, g := range recv[i] {
+					if g != want {
+						t.Errorf("round %d rank %d from %d: got %d want %d", r, c.Rank(), nb, g, want)
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPersistentNbrCheaperThanPerCall is the point of the API: N rounds
+// over a persistent schedule must cost less virtual time than N
+// independent NeighborAlltoallv calls, because each Start pays only the
+// AlphaNbrStart doorbell instead of the full AlphaNbrCall setup.
+func TestPersistentNbrCheaperThanPerCall(t *testing.T) {
+	const p = 4
+	const rounds = 20
+	timeOf := func(persistent bool) float64 {
+		rep, err := runChecked(p, func(c *Comm) error {
+			topo := c.CreateGraphTopo(ringNeighbors(c.Rank(), p))
+			send := make([][]int64, len(topo.Neighbors()))
+			for i := range send {
+				send[i] = []int64{int64(c.Rank())}
+			}
+			if persistent {
+				pn := topo.NeighborAlltoallvInit()
+				var recv [][]int64
+				for r := 0; r < rounds; r++ {
+					pn.Start(send)
+					recv = pn.WaitInto(recv)
+				}
+			} else {
+				for r := 0; r < rounds; r++ {
+					topo.NeighborAlltoallvInt64(send)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.MaxVirtualTime
+	}
+	if pt, ct := timeOf(true), timeOf(false); pt >= ct {
+		t.Errorf("persistent %d-round loop (%g) should beat per-call loop (%g)", rounds, pt, ct)
+	}
+}
+
+func TestPersistentNbrMisusePanics(t *testing.T) {
+	expectPanic := func(substr string, f func()) {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Errorf("no panic, want %q", substr)
+				return
+			}
+			if msg, ok := r.(string); !ok || !strings.Contains(msg, substr) {
+				t.Errorf("panic %v, want substring %q", r, substr)
+			}
+		}()
+		f()
+	}
+	_, err := runChecked(2, func(c *Comm) error {
+		topo := c.CreateGraphTopo([]int{1 - c.Rank()})
+		pn := topo.NeighborAlltoallvInit()
+		send := [][]int64{{int64(c.Rank())}}
+		if c.Rank() == 0 {
+			expectPanic("Wait without a started round", func() { pn.Wait() })
+			expectPanic("len(send)", func() { pn.Start(nil) })
+		}
+		pn.Start(send)
+		if c.Rank() == 0 {
+			expectPanic("while a round is in flight", func() { pn.Start(send) })
+		}
+		pn.Wait()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

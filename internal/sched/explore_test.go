@@ -166,7 +166,7 @@ func TestExploreMatchingAllModels(t *testing.T) {
 		t.Skip("extension-model sweep skipped in -short")
 	}
 	g := gen.SBP(120, 6, 8, 0.5, 11)
-	for _, model := range []matching.Model{matching.MBP, matching.NSRA, matching.NCLI} {
+	for _, model := range []matching.Model{matching.MBP, matching.NSRA, matching.NCLI, matching.NCLC} {
 		model := model
 		t.Run(model.String(), func(t *testing.T) {
 			if fail := sched.Explore(matchRunFunc(g, model, 4), sched.Full, 0xab, 16); fail != nil {

@@ -326,6 +326,33 @@ func Checks() []Check {
 			},
 		},
 		{
+			ID:       "ext-density-nclc-crossover",
+			Artifact: "ext-density",
+			Claim:    "message combining crosses over with process-graph density: NCLC matches plain NCL on a sparse ring band (direct fallback) and strictly beats it once the process graph is near-complete (Träff-style combined bundles amortize the per-neighbor transfers NCL pays individually)",
+			Verify: func(rec *harness.ExperimentRecord) error {
+				p, err := largestProcs(rec, "density-b1")
+				if err != nil {
+					return err
+				}
+				// Sparse end: the collective mode decision must have picked
+				// the direct fallback, so NCLC tracks NCL within noise (its
+				// only extra cost is the one mode-decision allreduce).
+				ncl, err := runTime(rec, "density-b1", "NCL", p)
+				if err != nil {
+					return err
+				}
+				nclc, err := runTime(rec, "density-b1", "NCLC", p)
+				if err != nil {
+					return err
+				}
+				if nclc > 1.15*ncl {
+					return fmt.Errorf("density-b1 p=%d: NCLC (%.3gs) more than 15%% over NCL (%.3gs) — direct fallback not engaged?", p, nclc, ncl)
+				}
+				// Dense end: combining must win outright.
+				return fasterThan(rec, "density-b8", p, "NCL", "NCLC")
+			},
+		},
+		{
 			ID:       "tab8-ncl-lowest-memory",
 			Artifact: "tab8",
 			Claim:    "NCL has the lowest high-water memory on the social input: no unexpected-message queues, no window mirrors (paper: 1.03-2.3x below NSR)",

@@ -37,10 +37,50 @@ const (
 	// for Send-Recv — the optimization the paper calls "challenging"
 	// for irregular applications (§V-D).
 	ModelNSRA
+	// ModelNCLC extends the study with message-combining neighborhood
+	// collectives (Träff et al.): records are routed and combined along
+	// O(log p) virtual directions with intermediate ranks splitting and
+	// forwarding bundles, instead of one transfer per process-graph
+	// neighbor — the fix for NCL's dense-neighborhood degradation that
+	// the paper leaves as future work. Exchange schedules persist across
+	// rounds (MPI-4 persistent collectives).
+	ModelNCLC
 )
 
 // Models lists all communication models in presentation order.
-var Models = []Model{ModelNSR, ModelRMA, ModelNCL, ModelMBP, ModelNCLI, ModelNSRA}
+var Models = []Model{ModelNSR, ModelRMA, ModelNCL, ModelMBP, ModelNCLI, ModelNSRA, ModelNCLC}
+
+// Flavor classifies a model's driver loop shape: Async models transmit
+// records immediately and the application polls for arrivals; Round
+// models accumulate records and move them in bulk-synchronous exchange
+// rounds. Drivers select their loop from Model.Flavor instead of
+// hard-coding model lists.
+type Flavor int
+
+const (
+	// FlavorAsync: point-to-point transmission with Drain/Block polling
+	// and local termination (transport.Async).
+	FlavorAsync Flavor = iota
+	// FlavorRound: bulk-synchronous Exchange rounds with a global
+	// termination reduction (transport.Round).
+	FlavorRound
+)
+
+func (f Flavor) String() string {
+	if f == FlavorRound {
+		return "round"
+	}
+	return "async"
+}
+
+// Flavor returns the model's driver loop shape.
+func (m Model) Flavor() Flavor {
+	switch m {
+	case ModelRMA, ModelNCL, ModelNCLI, ModelNCLC:
+		return FlavorRound
+	}
+	return FlavorAsync
+}
 
 func (m Model) String() string {
 	switch m {
@@ -56,6 +96,8 @@ func (m Model) String() string {
 		return "NCLI"
 	case ModelNSRA:
 		return "NSRA"
+	case ModelNCLC:
+		return "NCLC"
 	}
 	return fmt.Sprintf("Model(%d)", int(m))
 }

@@ -1,0 +1,13 @@
+//go:build !race
+
+package transport
+
+// raceEnabled reports whether the race detector is compiled in.
+// Allocation contracts skip their assertions under it: race-mode
+// sync.Pool deliberately drops a fraction of Puts (to expose reuse
+// races), so the runtime's pooled message path is not allocation-free
+// by design, and the race runtime itself allocates shadow state on
+// blocking operations. The contracts are asserted by the unraced suite
+// (tier1); the raced suite still executes the same rounds for data-race
+// coverage.
+const raceEnabled = false

@@ -1,8 +1,15 @@
-// Package transport provides the four MPI communication-model backends
+// Package transport provides the seven MPI communication-model backends
 // shared by the owner-computes graph algorithms in this repository
-// (matching, coloring): point-to-point Send-Recv (eager or synchronous),
-// blocking neighborhood collectives, one-sided RMA with precomputed
-// displacements, and pipelined nonblocking neighborhood collectives.
+// (matching, coloring, BFS): point-to-point Send-Recv (eager or
+// synchronous, optionally sender-aggregated), blocking neighborhood
+// collectives, one-sided RMA with precomputed displacements, pipelined
+// nonblocking neighborhood collectives, and message-combining
+// neighborhood collectives over persistent schedules (nclc.go).
+//
+// Construction goes through the factory (factory.go): transport.New
+// maps a Model to its Backend, and Model.Flavor tells the driver which
+// loop shape — Async polling or bulk-synchronous Rounds — the backend
+// wants.
 //
 // All backends move fixed-shape protocol records {ctx, x, y}: ctx is an
 // application-defined small positive integer (it travels as the message
@@ -515,10 +522,15 @@ func (t *P2PAgg) Send(dst int, ctx, x, y int64) {
 	}
 }
 
-// flushAll transmits every partial batch.
+// flushAll transmits every partial batch, in destination-rank order: a
+// map range here would emit the flushes in Go's randomized iteration
+// order, introducing a run-to-run send reordering that is NOT one of the
+// runtime's modeled perturbation points — it would break replayability
+// of perturbed schedules (same seed, different transcript) for a reason
+// no real MPI library has.
 func (t *P2PAgg) flushAll() {
-	for dst, buf := range t.out {
-		if len(buf) > 0 {
+	for dst := 0; dst < t.c.Size(); dst++ {
+		if buf := t.out[dst]; len(buf) > 0 {
 			t.c.Isend(dst, aggTag, buf)
 			t.out[dst] = buf[:0]
 		}

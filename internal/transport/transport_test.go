@@ -84,6 +84,57 @@ func TestP2PAggBatchingAndFlush(t *testing.T) {
 	}
 }
 
+// TestP2PAggFlushRankOrder pins the determinism of the aggregating
+// transport's batch flush: flushAll must issue the parked batches in
+// ascending destination-rank order, never Go map order. Map-order
+// flushing would reshuffle Isend issuance — and therefore the
+// perturbation engine's per-message jitter-stream draws — between two
+// runs of the SAME seed, silently breaking replayability (a reordering
+// no real MPI library exhibits, since user code issues its sends in
+// program order). The event trace records sends at issuance, so the
+// ascending-peer order of the flush is asserted directly; staging the
+// records in DESCENDING rank order proves the flush reorders them.
+func TestP2PAggFlushRankOrder(t *testing.T) {
+	const p = 5
+	rep, err := mpi.Run(p, func(c *mpi.Comm) error {
+		tr := NewP2PAgg(c, 64) // batch far above 1: nothing auto-flushes
+		for dst := p - 1; dst >= 0; dst-- {
+			if dst != c.Rank() {
+				tr.Send(dst, 1, int64(dst), int64(c.Rank()))
+			}
+		}
+		tr.Finish() // flushAll: one parked batch per destination
+		var recvd int64 = 0
+		sent := int64(p - 1)
+		for {
+			tr.Drain(func(ctx, x, y int64) { recvd++ })
+			if c.AllreduceScalarInt64(mpi.OpSum, sent-recvd) == 0 {
+				return nil
+			}
+		}
+	}, mpi.WithDeadline(30*time.Second), mpi.WithEventTrace(1<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < p; r++ {
+		last := -1
+		flushed := 0
+		for _, e := range rep.Events(r) {
+			if e.Kind != mpi.EvSend || e.Tag != aggTag {
+				continue
+			}
+			if e.Peer <= last {
+				t.Errorf("rank %d flushed batch to %d after %d (want ascending rank order)", r, e.Peer, last)
+			}
+			last = e.Peer
+			flushed++
+		}
+		if flushed != p-1 {
+			t.Errorf("rank %d issued %d flush batches, want %d", r, flushed, p-1)
+		}
+	}
+}
+
 func TestP2PAggFewerMessagesThanP2P(t *testing.T) {
 	const records = 200
 	run := func(agg bool) int64 {
