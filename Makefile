@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: tier1 tier2 perturb build test vet race bench bench-smoke bench-graph bench-p2p bench-ranks bench-dense bench-telemetry scale-smoke clean
+.PHONY: tier1 tier2 perturb build test vet race bench bench-smoke bench-graph bench-p2p bench-ranks bench-dense bench-telemetry bench-analysis scale-smoke analyze-smoke clean
 
 # tier1 is the gate every change must keep green: full build + vet +
 # full test suite.
@@ -87,6 +87,19 @@ bench-dense:
 # recorded in BENCH_telemetry.json.
 bench-telemetry:
 	$(GO) test -run xxx -bench Telemetry -benchmem -count 3 ./internal/matching/
+
+# bench-analysis reproduces the trace-analyzer throughput numbers
+# recorded in BENCH_analysis.json (1K-16K rank traces).
+bench-analysis:
+	$(GO) test -run xxx -bench BenchmarkAnalyze -benchmem ./internal/analysis/
+
+# analyze-smoke is the profiler CI gate: matchprof re-runs a small
+# ranks x models grid of the SBP weak-scaling experiment with the trace
+# analyzer on, writes the analyzed records as an artifact, and the
+# wait-attribution shape check must pass over freshly generated records.
+analyze-smoke:
+	$(GO) run ./cmd/matchprof -exp fig4c -scale 0.25 -models nsr,ncl,rma -json analysis_records.json
+	RUN_SHAPE_CHECKS=1 SHAPE_SCALE=0.5 $(GO) test -run 'TestPaperShapes/fig4c-wait-attribution' -v ./internal/shape/
 
 clean:
 	$(GO) clean ./...

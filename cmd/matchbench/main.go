@@ -60,6 +60,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		trace    = fs.String("trace", "", "write every run as a Chrome trace_event JSON file (chrome://tracing, Perfetto)")
 		traceCap = fs.Int("trace-events", 1<<16, "per-rank event ring capacity when tracing")
 		profile  = fs.Bool("profile", false, "append a per-experiment phase-profile table (compute/pack/exchange/unpack/wait)")
+		analyze  = fs.Bool("analyze", false, "run the post-mortem trace analyzer on every launch: embeds analysis in -json records and prints each run's top critical-path edges (matchprof renders the full report)")
 		jsonOut  = fs.String("json", "", "write tables and run records as schema-versioned JSON")
 		rounds   = fs.Bool("rounds", false, "print a per-round convergence table after each run")
 		roundCap = fs.Int("round-cap", 512, "per-rank round-log capacity when -json or -rounds is set")
@@ -163,6 +164,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *jsonOut != "" || *rounds {
 		cfg.Rounds = *roundCap
 	}
+	if *analyze {
+		cfg.Analyze = true
+		if cfg.TraceEvents == 0 {
+			cfg.TraceEvents = *traceCap
+		}
+	}
 
 	start := time.Now()
 	doc := harness.NewDocument("matchbench", *scale)
@@ -176,6 +183,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *rounds {
 			for i := range rec.Runs {
 				rec.Runs[i].RenderRounds(stdout)
+			}
+		}
+		if *analyze {
+			for i := range rec.Runs {
+				renderTopEdges(stdout, stderr, &rec.Runs[i])
 			}
 		}
 	}
@@ -201,6 +213,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "# completed in %v\n", time.Since(start).Round(time.Millisecond))
 	return 0
+}
+
+// renderTopEdges prints a run's top-5 critical-path edges (-analyze):
+// the cross-rank dependencies that bounded the run's virtual time. The
+// full analyzer report is matchprof's job.
+func renderTopEdges(stdout, stderr io.Writer, r *harness.RunRecord) {
+	if r.Analysis == nil {
+		return
+	}
+	if r.EventsTruncated {
+		fmt.Fprintf(stderr, "matchbench: WARNING: %s dropped %d events — analysis is a prefix view (raise -trace-events)\n",
+			r.Label, r.Analysis.DroppedEvents)
+	}
+	cp := &r.Analysis.CriticalPath
+	fmt.Fprintf(stdout, "# %s critical path: %.3gs over %d hops; top edges:\n", r.Label, cp.LengthSec, cp.Hops)
+	edges := cp.TopEdges
+	if len(edges) > 5 {
+		edges = edges[:5]
+	}
+	for _, e := range edges {
+		fmt.Fprintf(stdout, "#   r%d<-r%d %s wait %.3gs transfer %.3gs\n",
+			e.Rank, e.Peer, e.Class, e.WaitSec, e.TransferSec)
+	}
 }
 
 // writeArtifact creates path and streams emit's output into it. Create,

@@ -221,3 +221,38 @@ func TestTraceWriteFailureIsReported(t *testing.T) {
 		t.Errorf("stderr does not mention the trace failure: %q", errb)
 	}
 }
+
+// TestAnalyzeFlagPrintsTopEdges: -analyze embeds the post-mortem record
+// in the JSON artifact and prints each run's top critical-path edges.
+func TestAnalyzeFlagPrintsTopEdges(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	code, out, errb := runCLI(t, "-exp", "fig4a", "-scale", "0.2", "-models", "nsr", "-analyze", "-json", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	if !strings.Contains(out, "critical path:") || !strings.Contains(out, "top edges:") {
+		t.Errorf("stdout missing critical-path summary:\n%s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc harness.Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range doc.Experiments {
+		for _, r := range e.Runs {
+			if r.Analysis == nil {
+				t.Fatalf("%s: no embedded analysis despite -analyze", r.Label)
+			}
+			if r.Analysis.CriticalPath.LengthSec != r.TimeSec {
+				t.Errorf("%s: path length %v != run time %v",
+					r.Label, r.Analysis.CriticalPath.LengthSec, r.TimeSec)
+			}
+			if len(r.Analysis.WaitStates) == 0 {
+				t.Errorf("%s: no wait states", r.Label)
+			}
+		}
+	}
+}

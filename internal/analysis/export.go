@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/mpi"
+)
+
+// Enriched Chrome trace_event export. The base exporter in internal/mpi
+// renders one slice per traced primitive; this one layers the analyzer's
+// products on top so Perfetto shows not just what each rank did but what
+// the run as a whole was limited by:
+//
+//   - two counter tracks: "outstanding msgs" (sends injected minus
+//     receives completed, the in-flight user-message population) and
+//     "wait depth" (how many ranks are blocked at once);
+//   - a "critical path" track after the rank tracks, carrying the
+//     bounding dependency edges as slices at the moment they held the
+//     run back.
+//
+// Counter tracks are decimated to maxCounterPoints samples so a 16K-rank
+// trace stays loadable.
+
+// maxCounterPoints bounds each counter track's sample count.
+const maxCounterPoints = 4096
+
+// WriteChromeTrace writes the run with its analysis overlay as one
+// Chrome trace_event JSON document.
+func WriteChromeTrace(w io.Writer, label string, rep *mpi.Report, rec *Record) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"traceEvents\":[")
+	first := true
+	emit := func(s string) {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		bw.WriteByte('\n')
+		bw.WriteString(s)
+	}
+	if label == "" {
+		label = Label(rec.Model, rec.Procs)
+	}
+	emit(`{"ph":"M","pid":0,"name":"process_name","args":{"name":` + strconv.Quote(label) + `}}`)
+
+	var msgDeltas, waitDeltas []counterDelta
+	for rank := 0; rank < rep.Procs; rank++ {
+		name := "rank " + strconv.Itoa(rank)
+		if d := rep.EventDrops(rank); d > 0 {
+			name += " (dropped " + strconv.FormatInt(d, 10) + ")"
+		}
+		emit(`{"ph":"M","pid":0,"tid":` + strconv.Itoa(rank) + `,"name":"thread_name","args":{"name":` + strconv.Quote(name) + `}}`)
+		for _, e := range rep.Events(rank) {
+			emit(sliceJSON(rank, e))
+			switch e.Kind {
+			case mpi.EvSend:
+				msgDeltas = append(msgDeltas, counterDelta{e.End, 1})
+			case mpi.EvRecv:
+				msgDeltas = append(msgDeltas, counterDelta{e.End, -1})
+			case mpi.EvWait:
+				waitDeltas = append(waitDeltas,
+					counterDelta{e.Start, 1}, counterDelta{e.End, -1})
+			}
+		}
+	}
+
+	emitCounter(emit, "outstanding msgs", msgDeltas)
+	emitCounter(emit, "wait depth", waitDeltas)
+
+	// The critical-path track sits after the rank tracks.
+	cpTid := rep.Procs
+	emit(`{"ph":"M","pid":0,"tid":` + strconv.Itoa(cpTid) + `,"name":"thread_name","args":{"name":"critical path"}}`)
+	for _, e := range rec.CriticalPath.TopEdges {
+		var b strings.Builder
+		b.WriteString(`{"ph":"X","pid":0,"tid":`)
+		b.WriteString(strconv.Itoa(cpTid))
+		b.WriteString(`,"ts":`)
+		b.WriteString(usec(e.AtSec - e.WaitSec))
+		b.WriteString(`,"dur":`)
+		b.WriteString(usec(e.WaitSec))
+		b.WriteString(`,"name":`)
+		b.WriteString(strconv.Quote(e.Class))
+		b.WriteString(`,"cat":"critical_path","args":{"rank":`)
+		b.WriteString(strconv.Itoa(e.Rank))
+		b.WriteString(`,"peer":`)
+		b.WriteString(strconv.Itoa(e.Peer))
+		b.WriteString(`,"transfer_us":`)
+		b.WriteString(usec(e.TransferSec))
+		b.WriteString(`}}`)
+		emit(b.String())
+	}
+
+	bw.WriteString("\n],\"displayTimeUnit\":\"ms\"}\n")
+	return bw.Flush()
+}
+
+// sliceJSON renders one event as a complete ("X") slice, mirroring the
+// base exporter's fields (classified waits keep their dependency edge).
+func sliceJSON(rank int, e mpi.Event) string {
+	var b strings.Builder
+	b.WriteString(`{"ph":"X","pid":0,"tid":`)
+	b.WriteString(strconv.Itoa(rank))
+	b.WriteString(`,"ts":`)
+	b.WriteString(usec(e.Start))
+	b.WriteString(`,"dur":`)
+	b.WriteString(usec(e.Duration()))
+	b.WriteString(`,"name":"`)
+	b.WriteString(e.Kind.String())
+	if e.Kind == mpi.EvWait && e.Class != mpi.WaitNone {
+		b.WriteString(`","cat":"wait","args":{"peer":`)
+		b.WriteString(strconv.Itoa(e.Peer))
+		b.WriteString(`,"class":"`)
+		b.WriteString(e.Class.String())
+		b.WriteString(`","cause_t":`)
+		b.WriteString(usec(e.CauseT))
+		b.WriteString(`}}`)
+		return b.String()
+	}
+	b.WriteString(`","cat":"`)
+	b.WriteString(e.Kind.Category())
+	b.WriteString(`","args":{"peer":`)
+	b.WriteString(strconv.Itoa(e.Peer))
+	b.WriteString(`,"tag":`)
+	b.WriteString(strconv.Itoa(e.Tag))
+	b.WriteString(`,"bytes":`)
+	b.WriteString(strconv.FormatInt(e.Bytes, 10))
+	b.WriteString(`}}`)
+	return b.String()
+}
+
+// counterDelta is one +-1 step of a population counter at virtual time t.
+type counterDelta struct {
+	t float64
+	d int
+}
+
+// emitCounter folds deltas into cumulative samples and emits them as a
+// "C" counter track, decimated by stride when the sample count exceeds
+// maxCounterPoints (the final sample always survives so the track ends
+// at its true value).
+func emitCounter(emit func(string), name string, deltas []counterDelta) {
+	if len(deltas) == 0 {
+		return
+	}
+	sort.Slice(deltas, func(i, j int) bool {
+		if deltas[i].t != deltas[j].t {
+			return deltas[i].t < deltas[j].t
+		}
+		return deltas[i].d < deltas[j].d // decrements first: no phantom spike
+	})
+	stride := 1
+	if len(deltas) > maxCounterPoints {
+		stride = (len(deltas) + maxCounterPoints - 1) / maxCounterPoints
+	}
+	val := 0
+	for i, d := range deltas {
+		val += d.d
+		if i%stride != 0 && i != len(deltas)-1 {
+			continue
+		}
+		var b strings.Builder
+		b.WriteString(`{"ph":"C","pid":0,"name":`)
+		b.WriteString(strconv.Quote(name))
+		b.WriteString(`,"ts":`)
+		b.WriteString(usec(d.t))
+		b.WriteString(`,"args":{"value":`)
+		b.WriteString(strconv.Itoa(val))
+		b.WriteString(`}}`)
+		emit(b.String())
+	}
+}
+
+// usec formats virtual seconds as microseconds with nanosecond
+// resolution, matching the base exporter's timestamp style.
+func usec(sec float64) string {
+	s := strconv.FormatFloat(sec*1e6, 'f', 3, 64)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}

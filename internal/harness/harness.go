@@ -39,6 +39,11 @@ type Config struct {
 	// TraceEvents, when > 0, enables structured event tracing on every
 	// launched run with the given per-rank ring capacity.
 	TraceEvents int
+	// Analyze runs the post-mortem trace analyzer (internal/analysis)
+	// over every launched run and embeds the result in its RunRecord.
+	// Requires event tracing; RunOneRecord defaults TraceEvents to a
+	// 64K-event ring when Analyze is set without it.
+	Analyze bool
 	// Rounds, when > 0, enables round-level telemetry on every launched
 	// run with the given per-rank log capacity; the merged series lands
 	// in each RunInfo (and RunRecord.RoundSeries).
@@ -269,6 +274,9 @@ func RunOneRecord(id string, cfg Config, w io.Writer) (*ExperimentRecord, error)
 	}
 	fmt.Fprintf(w, "# %s — %s\n# paper: %s\n\n", e.ID, e.Title, e.Paper)
 	rec := &ExperimentRecord{ID: e.ID, Title: e.Title, Paper: e.Paper}
+	if cfg.Analyze && cfg.TraceEvents == 0 {
+		cfg.TraceEvents = 1 << 16
+	}
 	var prof *Table
 	if cfg.Profile {
 		prof = &Table{ID: id, Title: "phase profile (virtual seconds summed over ranks; §V-D breakdown)",
@@ -276,7 +284,7 @@ func RunOneRecord(id string, cfg Config, w io.Writer) (*ExperimentRecord, error)
 	}
 	inner := cfg.OnRun
 	cfg.OnRun = func(info RunInfo) {
-		rec.Runs = append(rec.Runs, newRunRecord(info))
+		rec.Runs = append(rec.Runs, newRunRecord(info, cfg))
 		if prof != nil {
 			p := info.Report.Profile()
 			prof.AddRow(info.Label, fsec(p.Compute), fsec(p.Pack), fsec(p.Exchange), fsec(p.Unpack), fsec(p.Wait),

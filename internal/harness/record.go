@@ -4,13 +4,19 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"repro/internal/analysis"
 )
 
 // SchemaVersion identifies the JSON layout of Document and its nested
 // records. Bump it on any field rename or semantic change so downstream
 // consumers (the shape-regression suite, plotting scripts) can refuse
 // data they do not understand.
-const SchemaVersion = 1
+//
+// v2 added RunRecord.EventsTruncated and the embedded post-mortem
+// analysis record (RunRecord.Analysis); v1 documents remain readable
+// (both additions are optional fields).
+const SchemaVersion = 2
 
 // RoundPoint is one merged round (or BFS level) of a run's telemetry
 // series. Counts are per-round deltas summed over ranks; Unresolved and
@@ -63,6 +69,13 @@ type RunRecord struct {
 	Profile        ProfileRecord `json:"profile"`
 	RoundSeries    []RoundPoint  `json:"round_series,omitempty"`
 	TelemetryDrops int64         `json:"telemetry_drops,omitempty"`
+	// EventsTruncated is set when event tracing was enabled and at least
+	// one rank's ring dropped events: any trace-derived view of this run
+	// (including Analysis) undercounts late activity.
+	EventsTruncated bool `json:"events_truncated,omitempty"`
+	// Analysis is the post-mortem wait-state / critical-path / efficiency
+	// record (Config.Analyze; requires event tracing).
+	Analysis *analysis.Record `json:"analysis,omitempty"`
 }
 
 // TableRecord serializes one rendered Table.
@@ -114,7 +127,9 @@ func (d *Document) Write(w io.Writer) error {
 }
 
 // newRunRecord converts an observed launch into its serialized form.
-func newRunRecord(info RunInfo) RunRecord {
+// With cfg.Analyze set (and event tracing on), the post-mortem analyzer
+// runs over the finished report and its record is embedded.
+func newRunRecord(info RunInfo, cfg Config) RunRecord {
 	tot := info.Report.Totals()
 	p := info.Report.Profile()
 	rr := RunRecord{
@@ -137,6 +152,23 @@ func newRunRecord(info RunInfo) RunRecord {
 		},
 	}
 	rr.MaxMemoryBytes = tot.MaxMemoryBytes
+	if info.Report.EventTracing() {
+		for r := 0; r < info.Report.Procs; r++ {
+			if info.Report.EventDrops(r) > 0 {
+				rr.EventsTruncated = true
+				break
+			}
+		}
+		if cfg.Analyze {
+			if rec, err := analysis.Analyze(info.Report, analysis.Options{
+				Model:     info.Model,
+				Cost:      cfg.Cost,
+				Telemetry: info.Telemetry,
+			}); err == nil {
+				rr.Analysis = rec
+			}
+		}
+	}
 	if s := info.Telemetry; s != nil {
 		rr.TelemetryDrops = s.Drops
 		rr.RoundSeries = make([]RoundPoint, len(s.Points))

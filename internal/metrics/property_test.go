@@ -1,0 +1,230 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+// Property tests over randomized inputs pin the structural invariants of
+// the Table VIII energy model and the Fig 10 performance profiles —
+// the facts every consumer (harness tables, shape checks) relies on but
+// no example-based test states explicitly.
+
+// randTimes builds a random scheme->times matrix. Every time is
+// positive; failRate of entries are flipped to -1 (failure).
+func randTimes(rng *rand.Rand, schemes, problems int, failRate float64) map[string][]float64 {
+	times := make(map[string][]float64, schemes)
+	for s := 0; s < schemes; s++ {
+		name := string(rune('A' + s))
+		ts := make([]float64, problems)
+		for i := range ts {
+			ts[i] = 0.1 + rng.Float64()*10
+			if rng.Float64() < failRate {
+				ts[i] = -1
+			}
+		}
+		times[name] = ts
+	}
+	return times
+}
+
+func TestProfilesProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		schemes := 2 + rng.Intn(4)
+		problems := 1 + rng.Intn(12)
+		times := randTimes(rng, schemes, problems, 0.1)
+		curves, err := Profiles(times)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(curves) != schemes {
+			t.Fatalf("trial %d: %d curves for %d schemes", trial, len(curves), schemes)
+		}
+		solvedAtOne := 0.0
+		for _, c := range curves {
+			// Tau sorted ascending, every ratio >= 1 (nothing beats the
+			// per-problem best), Frac nondecreasing in (0, 1].
+			for i := range c.Tau {
+				if c.Tau[i] < 1 {
+					t.Fatalf("trial %d %s: ratio %g < 1", trial, c.Name, c.Tau[i])
+				}
+				if i > 0 && (c.Tau[i] < c.Tau[i-1] || c.Frac[i] < c.Frac[i-1]) {
+					t.Fatalf("trial %d %s: non-monotone profile", trial, c.Name)
+				}
+				if c.Frac[i] <= 0 || c.Frac[i] > 1 {
+					t.Fatalf("trial %d %s: frac %g out of (0,1]", trial, c.Name, c.Frac[i])
+				}
+			}
+			// FracWithin is monotone in tau and consistent with the curve.
+			if a, b := c.FracWithin(2), c.FracWithin(8); a > b {
+				t.Fatalf("trial %d %s: FracWithin not monotone (%g > %g)", trial, c.Name, a, b)
+			}
+			// At any finite tau, failures (infinite ratio) never count as
+			// solved; everything else eventually does.
+			fails := 0
+			for _, ts := range times[c.Name] {
+				if ts <= 0 {
+					fails++
+				}
+			}
+			want := float64(problems-fails) / float64(problems)
+			if f := c.FracWithin(math.MaxFloat64); math.Abs(f-want) > 1e-12 && !(fails == problems && f == 0) {
+				t.Fatalf("trial %d %s: FracWithin(max) = %g, want %g", trial, c.Name, f, want)
+			}
+			// AreaScore is a normalized integral of Frac: within [0, 1].
+			if s := c.AreaScore(8); s < 0 || s > 1+1e-12 {
+				t.Fatalf("trial %d %s: AreaScore %g out of [0,1]", trial, c.Name, s)
+			}
+			solvedAtOne += c.FracWithin(1)
+		}
+		// On every problem where anyone finished, someone is best: the
+		// tau=1 fractions sum to at least solvable/problems.
+		solvable := 0
+		for i := 0; i < problems; i++ {
+			for _, ts := range times {
+				if ts[i] > 0 {
+					solvable++
+					break
+				}
+			}
+		}
+		if solvedAtOne < float64(solvable)/float64(problems)-1e-12 {
+			t.Fatalf("trial %d: best-scheme coverage %g < %g", trial, solvedAtOne, float64(solvable)/float64(problems))
+		}
+	}
+}
+
+// TestProfilesScaleInvariant: per-problem rescaling (all schemes on one
+// problem multiplied by the same constant) leaves every curve unchanged
+// — profiles are about ratios, not absolute times.
+func TestProfilesScaleInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	times := randTimes(rng, 4, 9, 0)
+	scaled := make(map[string][]float64, len(times))
+	factors := make([]float64, 9)
+	for i := range factors {
+		factors[i] = 0.5 + rng.Float64()*100
+	}
+	for name, ts := range times {
+		cp := make([]float64, len(ts))
+		for i, v := range ts {
+			cp[i] = v * factors[i]
+		}
+		scaled[name] = cp
+	}
+	a, err := Profiles(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Profiles(scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatalf("curve order changed: %s vs %s", a[i].Name, b[i].Name)
+		}
+		for j := range a[i].Tau {
+			if math.Abs(a[i].Tau[j]-b[i].Tau[j]) > 1e-9*a[i].Tau[j] {
+				t.Fatalf("%s: ratio %d changed %g -> %g", a[i].Name, j, a[i].Tau[j], b[i].Tau[j])
+			}
+			if a[i].Frac[j] != b[i].Frac[j] {
+				t.Fatalf("%s: frac %d changed", a[i].Name, j)
+			}
+		}
+	}
+}
+
+// synthReport builds a deterministic multi-rank report without running
+// the scheduler, so energy properties can range over regimes (idle,
+// saturated, message-heavy) that real runs reach only incidentally.
+func synthReport(rng *rand.Rand, procs int) *mpi.Report {
+	rep := &mpi.Report{Procs: procs, MaxVirtualTime: 0.1 + rng.Float64()*10}
+	for r := 0; r < procs; r++ {
+		rs := &mpi.RankStats{Rank: r}
+		rs.CompTime = rng.Float64() * rep.MaxVirtualTime
+		rs.CommTime = rng.Float64() * (rep.MaxVirtualTime - rs.CompTime)
+		rs.SendCount = int64(rng.Intn(1000))
+		rs.AllocHighWater = int64(rng.Intn(1 << 20))
+		rep.Stats = append(rep.Stats, rs)
+	}
+	return rep
+}
+
+func TestEnergyModelProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := DefaultEnergyModel()
+	for trial := 0; trial < 200; trial++ {
+		procs := 1 + rng.Intn(100)
+		rep := synthReport(rng, procs)
+		r := m.Evaluate(rep, nil)
+
+		if want := (procs + m.CoresPerNode - 1) / m.CoresPerNode; r.Nodes != want {
+			t.Fatalf("trial %d: %d ranks -> %d nodes, want %d", trial, procs, r.Nodes, want)
+		}
+		// EDP = energy x delay, and power is energy over time, by
+		// definition — the report must be internally consistent.
+		if got, want := r.EDP, r.EnergyKJ*1e3*r.TimeSec; math.Abs(got-want) > 1e-9*want {
+			t.Fatalf("trial %d: EDP %g != E*t %g", trial, got, want)
+		}
+		if got, want := r.AvgPowerKW, r.EnergyKJ/r.TimeSec; math.Abs(got-want) > 1e-9*want {
+			t.Fatalf("trial %d: P %g != E/t %g", trial, got, want)
+		}
+		if math.Abs(r.CompPct+r.MPIPct-100) > 1e-6 {
+			t.Fatalf("trial %d: comp+mpi = %g%%", trial, r.CompPct+r.MPIPct)
+		}
+		// Power is bounded by the all-idle and all-active envelopes plus
+		// the per-message term.
+		nodes := float64(r.Nodes)
+		msgJ := float64(rep.Totals().Msgs) * m.JoulesPerMessage / r.TimeSec
+		lo := nodes*m.IdleWattsPerNode + msgJ
+		hi := nodes*(m.IdleWattsPerNode+m.ActiveWattsPerNode) + msgJ
+		if p := r.AvgPowerKW * 1e3; p < lo-1e-6 || p > hi+1e-6 {
+			t.Fatalf("trial %d: power %gW outside [%g, %g]", trial, p, lo, hi)
+		}
+		// More messages at equal time and activity -> strictly more energy.
+		rep.Stats[0].SendCount += 10000
+		if r2 := m.Evaluate(rep, nil); r2.EnergyKJ <= r.EnergyKJ {
+			t.Fatalf("trial %d: +10k msgs did not raise energy (%g -> %g)", trial, r.EnergyKJ, r2.EnergyKJ)
+		}
+	}
+}
+
+// TestEvaluateZeroAlloc pins the hot-path contract: Evaluate is called
+// per run inside harness sweeps and must not allocate.
+func TestEvaluateZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rep := synthReport(rng, 64)
+	extra := make([]int64, 64)
+	for i := range extra {
+		extra[i] = 1 << 16
+	}
+	m := DefaultEnergyModel()
+	var sink Report
+	if allocs := testing.AllocsPerRun(100, func() { sink = m.Evaluate(rep, extra) }); allocs != 0 {
+		t.Errorf("Evaluate allocates %v times per call, want 0", allocs)
+	}
+	if sink.EnergyKJ <= 0 {
+		t.Error("sink unset")
+	}
+}
+
+// TestCurveQueriesZeroAlloc: FracWithin and AreaScore are called in
+// rendering loops over every (curve, tau) pair and must not allocate.
+func TestCurveQueriesZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	curves, err := Profiles(randTimes(rng, 3, 50, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := curves[0]
+	var sink float64
+	if allocs := testing.AllocsPerRun(100, func() { sink = c.FracWithin(2) + c.AreaScore(8) }); allocs != 0 {
+		t.Errorf("curve queries allocate %v times per call, want 0", allocs)
+	}
+	_ = sink
+}

@@ -102,6 +102,11 @@ type collShard struct {
 	count  int     // arrivals this round
 	size   int     // ranks mapped to this shard
 	maxNow float64 // running max of deposited clocks this round
+	// maxRank is the comm rank that deposited maxNow (-1 before the
+	// first arrival). Ties go to the lowest rank so the fold is
+	// independent of arrival order — the argmax must be deterministic
+	// because it is recorded in wait events.
+	maxRank int32
 	// waiters collects every arrived task this round (capacity size, so
 	// steady state never allocates); the releaser unparks them.
 	waiters []*task
@@ -145,7 +150,11 @@ type collHub struct {
 	gen      atomic.Int64
 	poisoned atomic.Bool
 	roundMax float64 // max deposited clock of the released round
-	relbuf   []*task // releaser scratch (capacity n)
+	// roundMaxRank is the comm rank that deposited roundMax — the last
+	// entrant whose arrival releases the collective, i.e. the causing
+	// rank of every other member's collective wait.
+	roundMaxRank int32
+	relbuf       []*task // releaser scratch (capacity n)
 
 	// Deposit slots, one per member rank, written by plain stores before
 	// the deposit barrier and read between the barriers.
@@ -172,6 +181,7 @@ func newCollHub(n int) *collHub {
 			size = 1 << hubShardShift
 		}
 		h.shards[i].size = size
+		h.shards[i].maxRank = -1
 		h.shards[i].waiters = make([]*task, 0, size)
 	}
 	h.pendingShards.Store(int32(nshard))
@@ -208,9 +218,11 @@ func (h *collHub) waitGen(t *task, gen int64) {
 }
 
 // await is a reusable full barrier over the communicator that also folds
-// now across all ranks: every caller returns max(now_r). Task t must be
+// now across all ranks: every caller returns max(now_r) plus the comm
+// rank that deposited it (the round's last entrant; ties break to the
+// lowest rank so the result is schedule-independent). Task t must be
 // the goroutine's own task and rank its rank within this hub.
-func (h *collHub) await(t *task, rank int, now float64) float64 {
+func (h *collHub) await(t *task, rank int, now float64) (float64, int32) {
 	sh := &h.shards[rank>>hubShardShift]
 	sh.mu.Lock()
 	if h.poisoned.Load() {
@@ -218,8 +230,9 @@ func (h *collHub) await(t *task, rank int, now float64) float64 {
 		panic(collAbort)
 	}
 	gen := h.gen.Load()
-	if now > sh.maxNow {
+	if sh.maxRank < 0 || now > sh.maxNow || (now == sh.maxNow && int32(rank) < sh.maxRank) {
 		sh.maxNow = now
+		sh.maxRank = int32(rank)
 	}
 	sh.count++
 	last := sh.count == sh.size
@@ -227,25 +240,29 @@ func (h *collHub) await(t *task, rank int, now float64) float64 {
 	sh.mu.Unlock()
 	if !last || h.pendingShards.Add(-1) > 0 {
 		h.waitGen(t, gen)
-		return h.roundMax
+		return h.roundMax, h.roundMaxRank
 	}
 	// This rank completed the last pending shard: release the round.
 	maxNow := 0.0
+	maxRank := int32(-1)
 	buf := h.relbuf[:0]
 	for i := range h.shards {
 		s := &h.shards[i]
 		s.mu.Lock()
-		if s.maxNow > maxNow {
+		if s.maxRank >= 0 && (maxRank < 0 || s.maxNow > maxNow || (s.maxNow == maxNow && s.maxRank < maxRank)) {
 			maxNow = s.maxNow
+			maxRank = s.maxRank
 		}
 		buf = append(buf, s.waiters...)
 		clear(s.waiters)
 		s.waiters = s.waiters[:0]
 		s.count = 0
 		s.maxNow = 0
+		s.maxRank = -1
 		s.mu.Unlock()
 	}
 	h.roundMax = maxNow
+	h.roundMaxRank = maxRank
 	h.pendingShards.Store(int32(len(h.shards)))
 	h.gen.Add(1) // publishes roundMax + resets; waiters may now proceed
 	for _, wt := range buf {
@@ -253,27 +270,35 @@ func (h *collHub) await(t *task, rank int, now float64) float64 {
 			wt.unpark()
 		}
 	}
-	return maxNow
+	return maxNow, maxRank
 }
 
 // enterColl deposits this rank's payload (dep performs plain writes to
 // the rank's own slots; no lock needed, the barrier orders them) and
-// runs the deposit barrier. It returns the synchronized clock: the
-// maximum virtual time across all ranks at entry.
-func (c *Comm) enterColl(dep func(h *collHub)) (*collHub, float64) {
+// runs the deposit barrier. It returns the synchronized clock — the
+// maximum virtual time across all ranks at entry — and the comm rank
+// that brought it (the last entrant).
+func (c *Comm) enterColl(dep func(h *collHub)) (*collHub, float64, int) {
 	c.ps.collStart = c.ps.now
 	h := c.hub
 	if dep != nil {
 		dep(h)
 	}
-	return h, h.await(c.ps.task, c.rank, c.ps.now)
+	tmax, lastRank := h.await(c.ps.task, c.rank, c.ps.now)
+	return h, tmax, int(lastRank)
 }
 
 // exitColl runs the release barrier and applies the synchronized clock.
-func (c *Comm) exitColl(h *collHub, tmax float64, bytes int64) {
+// last is the comm rank of the round's last entrant: the rank every
+// other member's collective wait is attributed to.
+func (c *Comm) exitColl(h *collHub, tmax float64, last int, bytes int64) {
 	h.await(c.ps.task, c.rank, 0)
 	end := tmax + c.w.cost.collCost(c.size(), bytes)
-	c.waitUntil(end)
+	cause := -1
+	if last >= 0 {
+		cause = c.worldRank(last)
+	}
+	c.waitFor(end, WaitCollective, cause, tmax)
 	c.ps.rs.CollCount++
 	c.ps.rs.CollBytes += bytes
 	c.event(EvColl, -1, -1, bytes, c.ps.collStart)
@@ -281,15 +306,15 @@ func (c *Comm) exitColl(h *collHub, tmax float64, bytes int64) {
 
 // Barrier blocks until all ranks have entered it.
 func (c *Comm) Barrier() {
-	h, tmax := c.enterColl(nil)
-	c.exitColl(h, tmax, 8)
+	h, tmax, last := c.enterColl(nil)
+	c.exitColl(h, tmax, last, 8)
 }
 
 // AllreduceInt64 combines in element-wise across all ranks with op and
 // returns the combined vector on every rank. All ranks must pass vectors
 // of the same length.
 func (c *Comm) AllreduceInt64(op ReduceOp, in []int64) []int64 {
-	h, tmax := c.enterColl(func(h *collHub) {
+	h, tmax, last := c.enterColl(func(h *collHub) {
 		h.ideps[c.rank] = in
 	})
 	if len(h.ideps[0]) != len(in) {
@@ -301,7 +326,7 @@ func (c *Comm) AllreduceInt64(op ReduceOp, in []int64) []int64 {
 			out[i] = op.foldInt64(out[i], v)
 		}
 	}
-	c.exitColl(h, tmax, int64(8*len(in)))
+	c.exitColl(h, tmax, last, int64(8*len(in)))
 	return out
 }
 
@@ -314,14 +339,14 @@ func (c *Comm) AllreduceInt64(op ReduceOp, in []int64) []int64 {
 // path.
 func (c *Comm) AllreduceScalarInt64(op ReduceOp, v int64) int64 {
 	c.ps.collScratch[0] = v
-	h, tmax := c.enterColl(func(h *collHub) {
+	h, tmax, last := c.enterColl(func(h *collHub) {
 		h.ideps[c.rank] = c.ps.collScratch[:]
 	})
 	out := h.ideps[0][0]
 	for r := 1; r < c.size(); r++ {
 		out = op.foldInt64(out, h.ideps[r][0])
 	}
-	c.exitColl(h, tmax, 8)
+	c.exitColl(h, tmax, last, 8)
 	return out
 }
 
@@ -329,7 +354,7 @@ func (c *Comm) AllreduceScalarInt64(op ReduceOp, v int64) int64 {
 // performed in rank order on every rank, so the result is deterministic
 // and identical everywhere.
 func (c *Comm) AllreduceFloat64(op ReduceOp, in []float64) []float64 {
-	h, tmax := c.enterColl(func(h *collHub) {
+	h, tmax, last := c.enterColl(func(h *collHub) {
 		h.fdeps[c.rank] = in
 	})
 	out := append([]float64(nil), h.fdeps[0]...)
@@ -338,7 +363,7 @@ func (c *Comm) AllreduceFloat64(op ReduceOp, in []float64) []float64 {
 			out[i] = op.foldFloat64(out[i], v)
 		}
 	}
-	c.exitColl(h, tmax, int64(8*len(in)))
+	c.exitColl(h, tmax, last, int64(8*len(in)))
 	return out
 }
 
@@ -349,14 +374,14 @@ func (c *Comm) AlltoallInt64(send []int64, chunk int) []int64 {
 	if len(send) != c.size()*chunk {
 		panic(fmt.Sprintf("mpi: AlltoallInt64: len(send)=%d, want %d*%d", len(send), c.size(), chunk))
 	}
-	h, tmax := c.enterColl(func(h *collHub) {
+	h, tmax, last := c.enterColl(func(h *collHub) {
 		h.ideps[c.rank] = send
 	})
 	out := make([]int64, c.size()*chunk)
 	for r := 0; r < c.size(); r++ {
 		copy(out[r*chunk:(r+1)*chunk], h.ideps[r][c.rank*chunk:(c.rank+1)*chunk])
 	}
-	c.exitColl(h, tmax, int64(8*len(send)))
+	c.exitColl(h, tmax, last, int64(8*len(send)))
 	return out
 }
 
@@ -367,7 +392,7 @@ func (c *Comm) AlltoallvInt64(send [][]int64) [][]int64 {
 	if len(send) != c.size() {
 		panic(fmt.Sprintf("mpi: AlltoallvInt64: len(send)=%d, want %d", len(send), c.size()))
 	}
-	h, tmax := c.enterColl(func(h *collHub) {
+	h, tmax, last := c.enterColl(func(h *collHub) {
 		h.vdeps[c.rank] = send
 	})
 	out := make([][]int64, c.size())
@@ -376,7 +401,7 @@ func (c *Comm) AlltoallvInt64(send [][]int64) [][]int64 {
 		out[r] = append([]int64(nil), h.vdeps[r][c.rank]...)
 		bytes += int64(8 * len(send[r]))
 	}
-	c.exitColl(h, tmax, bytes)
+	c.exitColl(h, tmax, last, bytes)
 	return out
 }
 
@@ -384,14 +409,14 @@ func (c *Comm) AlltoallvInt64(send [][]int64) [][]int64 {
 // rank r's contribution. Contributions may differ in length (MPI's
 // Allgatherv generality).
 func (c *Comm) AllgatherInt64(mine []int64) [][]int64 {
-	h, tmax := c.enterColl(func(h *collHub) {
+	h, tmax, last := c.enterColl(func(h *collHub) {
 		h.ideps[c.rank] = mine
 	})
 	out := make([][]int64, c.size())
 	for r := 0; r < c.size(); r++ {
 		out[r] = append([]int64(nil), h.ideps[r]...)
 	}
-	c.exitColl(h, tmax, int64(8*len(mine)))
+	c.exitColl(h, tmax, last, int64(8*len(mine)))
 	return out
 }
 
@@ -399,13 +424,13 @@ func (c *Comm) AllgatherInt64(mine []int64) [][]int64 {
 // private copy. Non-root ranks' data argument is ignored (may be nil).
 func (c *Comm) BcastInt64(root int, data []int64) []int64 {
 	c.checkRank(root, "bcast")
-	h, tmax := c.enterColl(func(h *collHub) {
+	h, tmax, last := c.enterColl(func(h *collHub) {
 		if c.rank == root {
 			h.ideps[root] = data
 		}
 	})
 	out := append([]int64(nil), h.ideps[root]...)
-	c.exitColl(h, tmax, int64(8*len(out)))
+	c.exitColl(h, tmax, last, int64(8*len(out)))
 	return out
 }
 
@@ -413,7 +438,7 @@ func (c *Comm) BcastInt64(root int, data []int64) []int64 {
 // receives the result; other ranks return nil.
 func (c *Comm) ReduceInt64(root int, op ReduceOp, in []int64) []int64 {
 	c.checkRank(root, "reduce")
-	h, tmax := c.enterColl(func(h *collHub) {
+	h, tmax, last := c.enterColl(func(h *collHub) {
 		h.ideps[c.rank] = in
 	})
 	var out []int64
@@ -425,7 +450,7 @@ func (c *Comm) ReduceInt64(root int, op ReduceOp, in []int64) []int64 {
 			}
 		}
 	}
-	c.exitColl(h, tmax, int64(8*len(in)))
+	c.exitColl(h, tmax, last, int64(8*len(in)))
 	return out
 }
 
@@ -433,7 +458,7 @@ func (c *Comm) ReduceInt64(root int, op ReduceOp, in []int64) []int64 {
 // rank r's contribution, other ranks return nil.
 func (c *Comm) GatherInt64(root int, mine []int64) [][]int64 {
 	c.checkRank(root, "gather")
-	h, tmax := c.enterColl(func(h *collHub) {
+	h, tmax, last := c.enterColl(func(h *collHub) {
 		h.ideps[c.rank] = mine
 	})
 	var out [][]int64
@@ -443,6 +468,6 @@ func (c *Comm) GatherInt64(root int, mine []int64) [][]int64 {
 			out[r] = append([]int64(nil), h.ideps[r]...)
 		}
 	}
-	c.exitColl(h, tmax, int64(8*len(mine)))
+	c.exitColl(h, tmax, last, int64(8*len(mine)))
 	return out
 }

@@ -95,12 +95,56 @@ func (k EventKind) Category() string {
 	return "other"
 }
 
+// WaitClass classifies what an EvWait event was blocked on. It is the
+// runtime-level half of the wait-state taxonomy: the post-mortem
+// analyzer (internal/analysis) refines it with derived states
+// (probe-spin from EvProbe misses, late-receiver from send/recv
+// matching) that need no runtime support.
+type WaitClass uint8
+
+const (
+	// WaitNone marks an unclassified wait (no known enabling peer).
+	WaitNone WaitClass = iota
+	// WaitLateSender is a receive or blocking probe stalled on a user
+	// message still in flight: the Scalasca "late sender" state. The
+	// event's Peer is the sending world rank and CauseT the sender's
+	// clock at injection.
+	WaitLateSender
+	// WaitNbrExchange is a stall on runtime-internal neighborhood
+	// traffic: a neighborhood-collective chunk or topology handshake
+	// still in flight from the Peer rank.
+	WaitNbrExchange
+	// WaitCollective is synchronization delay inside a global
+	// collective: the Peer rank was the last to enter, at clock CauseT.
+	WaitCollective
+
+	numWaitClasses
+)
+
+var waitClassNames = [numWaitClasses]string{
+	WaitNone:        "none",
+	WaitLateSender:  "late_sender",
+	WaitNbrExchange: "nbr_exchange",
+	WaitCollective:  "collective",
+}
+
+func (w WaitClass) String() string {
+	if int(w) < len(waitClassNames) {
+		return waitClassNames[w]
+	}
+	return fmt.Sprintf("WaitClass(%d)", int(w))
+}
+
 // Event is one traced primitive on a rank's virtual timeline.
 type Event struct {
 	Kind EventKind
+	// Class refines EvWait events with what the rank was blocked on;
+	// WaitNone for every other kind.
+	Class WaitClass
 	// Peer is the world rank of the remote party (destination of a send
-	// or put, source of a receive or probe hit), or -1 when there is no
-	// single peer (collectives, waits, probe misses, flushes).
+	// or put, source of a receive or probe hit, causing rank of a
+	// classified wait), or -1 when there is no single peer
+	// (unclassified waits, probe misses, flushes).
 	Peer int
 	// Tag is the user tag for point-to-point events, the call sequence
 	// number for neighborhood events, the target count for flushes, and
@@ -113,6 +157,13 @@ type Event struct {
 	// seconds. End is the clock when the primitive completed; events are
 	// recorded at completion, so rings are sorted by End.
 	Start, End float64
+	// CauseT is the causing rank's local clock when it enabled this
+	// rank's progress — the injection time of the message a classified
+	// wait blocked on, or the last entrant's clock for a collective
+	// wait. Zero for non-wait events. It is the dependency edge the
+	// critical-path walk follows: the waiting rank's timeline continues
+	// on Peer's timeline at CauseT.
+	CauseT float64
 }
 
 // Duration returns the event's virtual-time extent in seconds.
@@ -158,6 +209,10 @@ func (r *Report) Events(rank int) []Event {
 	ring := r.events[rank]
 	return ring.buf[:ring.n]
 }
+
+// EventTracing reports whether the run recorded structured events at
+// all (Config.TraceEvents > 0).
+func (r *Report) EventTracing() bool { return r.events != nil }
 
 // EventDrops returns how many events rank r's ring discarded after
 // filling (0 when tracing was off or the ring sufficed).

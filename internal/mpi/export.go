@@ -67,6 +67,14 @@ func (t *ChromeTrace) Write(w io.Writer) error {
 					pid, rank, rank)
 			}
 			for _, e := range rep.Events(rank) {
+				if e.Kind == EvWait && e.Class != WaitNone {
+					// Classified waits carry their dependency edge: the
+					// causing rank and its clock when it enabled progress.
+					emit(`{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"name":"%s","cat":"wait","args":{"peer":%d,"bytes":0,"class":"%s","cause_t":%s}}`,
+						pid, rank, usec(e.Start), usec(e.Duration()),
+						e.Kind.String(), e.Peer, e.Class.String(), usec(e.CauseT))
+					continue
+				}
 				emit(`{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"name":"%s","cat":"%s","args":{"peer":%d,"tag":%d,"bytes":%d}}`,
 					pid, rank, usec(e.Start), usec(e.Duration()),
 					e.Kind.String(), e.Kind.Category(), e.Peer, e.Tag, e.Bytes)

@@ -85,6 +85,11 @@ type message struct {
 	data   []int64
 	bytes  int64
 	arrive float64 // virtual arrival time at the receiver
+	// sent is the sender's virtual clock at injection (arrive minus the
+	// in-flight latency). Classified waits record it as the cause
+	// timestamp, linking the receiver's blocked interval back to the
+	// point on the sender's timeline that bounds it.
+	sent   float64
 	inline [inlineWords]int64
 	spill  []int64 // reusable storage for payloads > inlineWords
 }

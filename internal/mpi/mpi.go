@@ -207,6 +207,10 @@ type Report struct {
 	MaxVirtualTime float64
 	// TotalVirtualTime is the sum of final clocks (useful for averages).
 	TotalVirtualTime float64
+	// FinalTimes holds every rank's final virtual clock, indexed by
+	// world rank. MaxVirtualTime is its maximum; the post-mortem
+	// critical-path walk starts from its argmax.
+	FinalTimes []float64
 	// Wall is the real elapsed time of the run.
 	Wall time.Duration
 	// Stats holds the per-rank statistics ledgers. Prefer the accessor
@@ -478,7 +482,9 @@ func runConfig(cfg Config, body func(c *Comm) error) (*Report, error) {
 		w.stats[i].UnreceivedMsgs = int64(mb.pendingUser())
 	}
 	rep := &Report{Procs: cfg.Procs, Wall: time.Since(start), Stats: w.stats, waits: waits, events: events}
-	for _, c := range comms {
+	rep.FinalTimes = make([]float64, cfg.Procs)
+	for i, c := range comms {
+		rep.FinalTimes[i] = c.ps.now
 		rep.MaxVirtualTime = math.Max(rep.MaxVirtualTime, c.ps.now)
 		rep.TotalVirtualTime += c.ps.now
 	}
@@ -593,18 +599,33 @@ func (c *Comm) perturbLatency(base float64) float64 {
 	return base
 }
 
-// waitUntil advances the clock to at least t, booking the idle gap as
-// communication (wait) time.
-func (c *Comm) waitUntil(t float64) {
+// waitFor advances the clock to at least t, booking the idle gap as
+// communication (wait) time. class says what the rank was blocked on,
+// cause the world rank that enables progress at time t, and causeT that
+// rank's local clock when it did so (message injection, collective
+// entry) — together they form the cross-rank dependency edge the
+// post-mortem critical-path analysis walks. The traced-off cost is
+// unchanged: one nil check inside event.
+func (c *Comm) waitFor(t float64, class WaitClass, cause int, causeT float64) {
 	if t > c.ps.now {
 		from := c.ps.now
 		c.ps.rs.CommTime += t - from
 		c.ps.rs.WaitTime += t - from
 		c.noteWait(from, t)
 		c.ps.now = t
-		c.event(EvWait, -1, -1, 0, from)
+		if r := c.ps.ev; r != nil {
+			if r.n == len(r.buf) {
+				r.dropped++
+			} else {
+				r.buf[r.n] = Event{Kind: EvWait, Class: class, Peer: cause, Tag: -1, Start: from, End: t, CauseT: causeT}
+				r.n++
+			}
+		}
 	}
 }
+
+// waitUntil is waitFor without a known cause (no dependency edge).
+func (c *Comm) waitUntil(t float64) { c.waitFor(t, WaitNone, -1, 0) }
 
 func (c *Comm) mbox() *mailbox { return c.w.mailboxes[c.wrank] }
 

@@ -83,6 +83,7 @@ func (c *Comm) send(dst, tag int, data []int64, sync bool) {
 		c.chargeComm(cost.SyncSendRTT)
 		c.ps.rs.SyncSends++
 	}
+	m.sent = c.ps.now
 	m.arrive = c.ps.now + c.perturbLatency(cost.AlphaP2P+cost.BetaP2P*float64(m.bytes))
 	c.ps.rs.noteSend(c.worldRank(dst), m.bytes)
 	c.event(EvSend, c.worldRank(dst), tag, m.bytes, start)
@@ -227,7 +228,9 @@ func (c *Comm) Probe(src, tag int) Status {
 	}
 	mb.mu.Unlock()
 	c.ps.rs.ProbeHits++
-	c.waitUntil(m.arrive)
+	// A blocking probe stalled on an in-flight message is a late-sender
+	// wait just like the receive that will follow it.
+	c.waitFor(m.arrive, WaitLateSender, c.worldRank(m.src), m.sent)
 	if c.ps.ev != nil {
 		c.event(EvProbe, c.worldRank(m.src), m.tag, m.bytes, start)
 	}
@@ -244,7 +247,7 @@ func (c *Comm) completeRecv(m *message) {
 			rs.MaxRecvWaitSrc = m.src
 		}
 	}
-	c.waitUntil(m.arrive)
+	c.waitFor(m.arrive, WaitLateSender, c.worldRank(m.src), m.sent)
 	c.chargeComm(c.w.cost.RecvOverhead)
 	rs.RecvCount++
 	rs.RecvBytes += m.bytes
@@ -255,6 +258,7 @@ func (c *Comm) completeRecv(m *message) {
 // select the cost category; note attributes the traffic in the ledger.
 func (c *Comm) internalSend(dst int, itag int64, data []int64, alpha, beta float64, note func(rs *RankStats, dst int, bytes int64)) {
 	m := newMessage(c.rank, 0, itag, 0, data)
+	m.sent = c.ps.now
 	m.arrive = c.ps.now + c.perturbLatency(alpha+beta*float64(m.bytes))
 	if note != nil {
 		note(c.ps.rs, c.worldRank(dst), m.bytes)
@@ -280,7 +284,7 @@ func (c *Comm) internalRecvMsg(src int, itag int64) *message {
 		mb.parkLocked(c.ps.task)
 	}
 	mb.mu.Unlock()
-	c.waitUntil(m.arrive)
+	c.waitFor(m.arrive, WaitNbrExchange, c.worldRank(m.src), m.sent)
 	return m
 }
 

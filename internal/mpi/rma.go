@@ -60,7 +60,7 @@ func (c *Comm) WinCreate(localSize int) WinHandle {
 	c.AccountAlloc(int64(8 * localSize))
 
 	// Share buffer references through the hub.
-	h, tmax := c.enterColl(func(h *collHub) {
+	h, tmax, last := c.enterColl(func(h *collHub) {
 		h.adeps[c.rank] = buf
 	})
 	var win *Win
@@ -76,11 +76,11 @@ func (c *Comm) WinCreate(localSize int) WinHandle {
 		// rendezvous's reads.
 		h.adeps[0] = win
 	}
-	c.exitColl(h, tmax, 8)
+	c.exitColl(h, tmax, last, 8)
 	// Second rendezvous so non-root ranks can pick up the Win object.
-	h, tmax = c.enterColl(nil)
+	h, tmax, last = c.enterColl(nil)
 	win = h.adeps[0].(*Win)
-	c.exitColl(h, tmax, 8)
+	c.exitColl(h, tmax, last, 8)
 
 	return &winView{win: win, c: c, pendingTargets: make(map[int]struct{})}
 }

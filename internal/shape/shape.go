@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strconv"
 
+	"repro/internal/analysis"
 	"repro/internal/harness"
 	"repro/internal/metrics"
 )
@@ -353,6 +354,76 @@ func Checks() []Check {
 			},
 		},
 		{
+			ID:       "fig4c-wait-attribution",
+			Artifact: "fig4c",
+			Claim:    "the trace analyzer attributes each model's blocked time to its §V-D mechanism on SBP: NSR waits are >=50% late-sender with named causing ranks, the neighborhood models eliminate late-sender waiting entirely (their blocked time sits at the exchange and the round-termination collective), the fence class appears only under RMA, and every critical path tiles the run exactly",
+			Verify: func(rec *harness.ExperimentRecord) error {
+				p, err := largestProcs(rec, "sbp-weak")
+				if err != nil {
+					return err
+				}
+				nsr, err := findRun(rec, "sbp-weak", "NSR", p)
+				if err != nil {
+					return err
+				}
+				ncl, err := findRun(rec, "sbp-weak", "NCL", p)
+				if err != nil {
+					return err
+				}
+				rma, err := findRun(rec, "sbp-weak", "RMA", p)
+				if err != nil {
+					return err
+				}
+				for _, r := range []*harness.RunRecord{nsr, ncl, rma} {
+					if r.Analysis == nil {
+						return fmt.Errorf("%s: no embedded analysis (was Config.Analyze on?)", r.Label)
+					}
+					if r.Analysis.CriticalPath.LengthSec != r.TimeSec {
+						return fmt.Errorf("%s: critical path %.6gs does not tile the run's %.6gs",
+							r.Label, r.Analysis.CriticalPath.LengthSec, r.TimeSec)
+					}
+				}
+				// NSR: the async Send-Recv driver blocks on user messages
+				// still in flight.
+				ls := nsr.Analysis.WaitState(analysis.ClassLateSender)
+				if ls == nil || ls.Share < 0.5 {
+					return fmt.Errorf("NSR p=%d: late_sender share %v, want >= 0.5", p, shareOf(ls))
+				}
+				if len(ls.TopCauses) == 0 {
+					return fmt.Errorf("NSR p=%d: late_sender has no named causing ranks", p)
+				}
+				// NCL: no user p2p at all, so late-sender waiting vanishes;
+				// the blocked time is neighborhood-exchange chunks plus the
+				// per-round exit reduction.
+				if s := ncl.Analysis.WaitState(analysis.ClassLateSender); s != nil && s.Share > 0.01 {
+					return fmt.Errorf("NCL p=%d: late_sender share %v, want ~0 (no user p2p)", p, s.Share)
+				}
+				ex := ncl.Analysis.WaitState(analysis.ClassExchange)
+				coll := ncl.Analysis.WaitState(analysis.ClassCollective)
+				if ex == nil || ex.Seconds <= 0 {
+					return fmt.Errorf("NCL p=%d: no wait_at_exchange time", p)
+				}
+				if shareOf(ex)+shareOf(coll) < 0.95 {
+					return fmt.Errorf("NCL p=%d: exchange+collective share %.3f, want >= 0.95",
+						p, shareOf(ex)+shareOf(coll))
+				}
+				// RMA: the same exchange wait is the fence analogue and must
+				// be relabeled — the class exists only under RMA.
+				if rma.Analysis.WaitState(analysis.ClassExchange) != nil {
+					return fmt.Errorf("RMA p=%d: still reports wait_at_exchange (fence relabel missing)", p)
+				}
+				fence := rma.Analysis.WaitState(analysis.ClassFence)
+				if fence == nil || fence.Seconds <= 0 {
+					return fmt.Errorf("RMA p=%d: no wait_at_fence time", p)
+				}
+				if nclFence := ncl.Analysis.WaitState(analysis.ClassFence); nclFence != nil {
+					return fmt.Errorf("NCL p=%d: reports wait_at_fence (%v s) — class must be RMA-only",
+						p, nclFence.Seconds)
+				}
+				return nil
+			},
+		},
+		{
 			ID:       "tab8-ncl-lowest-memory",
 			Artifact: "tab8",
 			Claim:    "NCL has the lowest high-water memory on the social input: no unexpected-message queues, no window mirrors (paper: 1.03-2.3x below NSR)",
@@ -435,6 +506,15 @@ func speedupOverNSR(rec *harness.ExperimentRecord, input, model string, procs in
 		return 0, fmt.Errorf("%s %s p=%d: non-positive time %v", input, model, procs, t)
 	}
 	return nsr / t, nil
+}
+
+// shareOf reads a wait state's share of the blocked total, treating an
+// absent class as zero so ordering assertions stay total.
+func shareOf(ws *analysis.WaitState) float64 {
+	if ws == nil {
+		return 0
+	}
+	return ws.Share
 }
 
 // fasterThan asserts every challenger model strictly beats the baseline

@@ -96,6 +96,11 @@ func TestPaperShapes(t *testing.T) {
 	cfg := harness.DefaultConfig()
 	cfg.Scale = scale
 	cfg.Rounds = 4096
+	// The wait-attribution check reads embedded trace analysis; tracing
+	// perturbs no virtual time, so turning it on for every artifact keeps
+	// the cache single-keyed.
+	cfg.TraceEvents = 1 << 16
+	cfg.Analyze = true
 	if testing.Verbose() {
 		cfg.Out = os.Stderr
 	}

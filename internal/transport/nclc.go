@@ -34,8 +34,8 @@ var nclcCombineFactor = 1.5
 // one from (rank - 2^j) mod p, over a dedicated 1- or 2-neighbor
 // topology driven by a persistent schedule.
 type nclcPhase struct {
-	step   int       // 2^j
-	fwdIdx int       // position of the forward peer in the phase topo
+	step   int // 2^j
+	fwdIdx int // position of the forward peer in the phase topo
 	pn     *mpi.PersistentNbr
 	sendv  [][]int64 // per-peer send views; only fwdIdx ever carries data
 	recv   [][]int64 // per-peer receive scratch, reused across rounds
