@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: tier1 tier2 perturb build test vet race bench bench-smoke bench-graph bench-p2p bench-ranks bench-dense bench-telemetry bench-analysis scale-smoke analyze-smoke clean
+.PHONY: tier1 tier2 perturb build test vet race bench bench-smoke bench-graph bench-p2p bench-ranks bench-dense bench-telemetry bench-analysis scale-smoke analyze-smoke async-smoke clean
 
 # tier1 is the gate every change must keep green: full build + vet +
 # full test suite.
@@ -100,6 +100,16 @@ bench-analysis:
 analyze-smoke:
 	$(GO) run ./cmd/matchprof -exp fig4c -scale 0.25 -models nsr,ncl,rma -json analysis_records.json
 	RUN_SHAPE_CHECKS=1 SHAPE_SCALE=0.5 $(GO) test -run 'TestPaperShapes/fig4c-wait-attribution' -v ./internal/shape/
+
+# async-smoke is the asynchronous-engine CI gate: the maximal-matching
+# engine (Safra termination detection) vs its round-fenced baseline,
+# every matching verified maximal, records written as an artifact, plus
+# the explorer sweep over the engine and the detector at a reduced seed
+# budget and the ext-async shape check over freshly generated records.
+async-smoke:
+	$(GO) run ./cmd/matchbench -exp ext-async -scale 0.5 -json async_records.json
+	$(GO) test -run 'TestExploreAsyncMaximal|TestExploreQuiesceDetector' -short -v ./internal/sched/
+	RUN_SHAPE_CHECKS=1 SHAPE_SCALE=0.5 $(GO) test -run 'TestPaperShapes/ext-async-beats-rounds' -v ./internal/shape/
 
 clean:
 	$(GO) clean ./...

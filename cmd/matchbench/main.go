@@ -7,6 +7,7 @@
 //	matchbench -list                          # show the experiment index
 //	matchbench -exp fig8 -scale 0.5           # smaller, faster workloads
 //	matchbench -exp fig4c -models nsr,ncl     # restrict the model set
+//	matchbench -exp fig4a -engine maximal     # asynchronous maximal engine (DESIGN §4f)
 //	matchbench -exp fig4c -trace fig4c.json   # Chrome trace of every run
 //	matchbench -exp tab8 -profile             # phase-profile table (§V-D)
 //	matchbench -exp fig4a -json out.json      # machine-readable run records
@@ -35,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/matching"
 	"repro/internal/mpi"
 	"repro/internal/sched"
 	"repro/internal/transport"
@@ -57,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		verbose  = fs.Bool("v", false, "log progress")
 		timeout  = fs.Duration("timeout", 10*time.Minute, "per-run deadline")
 		models   = fs.String("models", "", "comma-separated model filter (nsr,rma,ncl,mbp,ncli,nsra,nclc); empty = experiment defaults")
+		engine   = fs.String("engine", "", "matching protocol family: halfapprox (default) or maximal (asynchronous engine; DESIGN §4f)")
 		trace    = fs.String("trace", "", "write every run as a Chrome trace_event JSON file (chrome://tracing, Perfetto)")
 		traceCap = fs.Int("trace-events", 1<<16, "per-rank event ring capacity when tracing")
 		profile  = fs.Bool("profile", false, "append a per-experiment phase-profile table (compute/pack/exchange/unpack/wait)")
@@ -145,6 +148,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		cfg.Models = ms
+	}
+	if *engine != "" {
+		e, err := matching.ParseEngine(*engine)
+		if err != nil {
+			fmt.Fprintln(stderr, "matchbench:", err)
+			return 2
+		}
+		cfg.Engine = e
 	}
 	if *perturb != "" {
 		p, err := sched.ParseProfile(*perturb)

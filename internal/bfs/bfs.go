@@ -45,9 +45,6 @@ type Options struct {
 	// topology — the approach Kandalla et al. study for BFS (the paper's
 	// ref [22]).
 	Model transport.Model
-	// UseNeighborhood is the deprecated spelling of Model =
-	// transport.ModelNCL, honored when Model is the zero value.
-	UseNeighborhood bool
 	// RoundLog, when > 0, enables per-level telemetry with a per-rank
 	// log of this capacity (Result.Telemetry).
 	RoundLog int
@@ -96,9 +93,6 @@ func Run(g *graph.CSR, root int, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("bfs: root %d out of range", root)
 	}
 	model := opt.Model
-	if model == transport.ModelNSR && opt.UseNeighborhood {
-		model = transport.ModelNCL
-	}
 	d := distgraph.NewBlockDist(g, opt.Procs)
 	parentGlobal := make([]int64, g.NumVertices())
 	levelGlobal := make([]int64, g.NumVertices())

@@ -9,6 +9,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mpi"
 	"repro/internal/order"
+	"repro/internal/transport"
 )
 
 func opts(p int) Options {
@@ -144,7 +145,7 @@ func TestBFSNeighborhoodModeMatchesSerial(t *testing.T) {
 	for _, g := range graphs {
 		for _, p := range []int{1, 4, 8} {
 			o := opts(p)
-			o.UseNeighborhood = true
+			o.Model = transport.ModelNCL
 			res, err := Run(g, 0, o)
 			if err != nil {
 				t.Fatal(err)
@@ -167,7 +168,7 @@ func TestBFSModesAgree(t *testing.T) {
 		t.Fatal(err)
 	}
 	o := opts(6)
-	o.UseNeighborhood = true
+	o.Model = transport.ModelNCL
 	b, err := Run(g, 0, o)
 	if err != nil {
 		t.Fatal(err)

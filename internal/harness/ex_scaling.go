@@ -16,6 +16,7 @@ func (c Config) match(input string, g *graph.CSR, p int, m matching.Model, track
 	res, err := matching.Run(g, matching.Options{
 		Procs:         p,
 		Model:         m,
+		Engine:        c.Engine,
 		Cost:          c.Cost,
 		Deadline:      c.Deadline,
 		TrackMatrices: trackMatrices,

@@ -36,6 +36,12 @@ type Config struct {
 	// filter preserves the experiment's ordering; an empty intersection
 	// falls back to the defaults so fixed-column experiments stay valid.
 	Models []matching.Model
+	// Engine selects the matching protocol family every matching launch
+	// uses (matchbench -engine). The zero value is the paper's
+	// half-approximate locally-dominant protocol; EngineMaximal swaps in
+	// the asynchronous maximal-matching engine (DESIGN §4f). The
+	// ext-async experiment ignores it — it compares engines explicitly.
+	Engine matching.Engine
 	// TraceEvents, when > 0, enables structured event tracing on every
 	// launched run with the given per-rank ring capacity.
 	TraceEvents int

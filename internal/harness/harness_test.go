@@ -16,7 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig2", "fig4a", "fig4b", "fig4c", "tab2", "tab3", "fig5", "fig6", "tab4",
 		"fig7", "tab5", "tab6", "fig8", "fig9", "tab7", "fig10", "tab8", "fig11",
-		"ext-ncli", "ext-coloring", "ext-density", "ranks",
+		"ext-ncli", "ext-coloring", "ext-density", "ext-async", "ranks",
 	}
 	for _, id := range want {
 		e := Find(id)
@@ -270,6 +270,34 @@ func TestExtNCLIRuns(t *testing.T) {
 	}
 	if len(tables[0].Rows) == 0 {
 		t.Error("no rows")
+	}
+}
+
+// TestExtAsyncRuns exercises the asynchronous-engine comparison at test
+// scale: three inputs, each row's matchings verified maximal inside the
+// experiment (a detector false termination fails the run itself), and
+// the async/fenced pair distinguishable in the emitted run records by
+// the "-rounds" model suffix.
+func TestExtAsyncRuns(t *testing.T) {
+	cfg := testConfig()
+	models := map[string]int{}
+	cfg.OnRun = func(info RunInfo) { models[info.Model]++ }
+	tables, err := Find("ext-async").Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) != 3 {
+		t.Errorf("got %d rows, want 3 inputs", len(tables[0].Rows))
+	}
+	for _, row := range tables[0].Rows {
+		if row[len(row)-1] != "ok" {
+			t.Errorf("input %s missing its verified-maximal stamp: %v", row[0], row)
+		}
+	}
+	for _, m := range []string{"NSR", "NSRA", "NSR-rounds"} {
+		if models[m] != 3 {
+			t.Errorf("model %s observed %d times, want 3", m, models[m])
+		}
 	}
 }
 

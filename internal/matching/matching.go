@@ -91,6 +91,28 @@ func Verify(g *graph.CSR, r *Result) error {
 	return nil
 }
 
+// VerifyMaximal checks that r is a valid matching of g with no
+// augmentable edge: every edge has at least one matched endpoint. This
+// is the correctness contract of the asynchronous maximal engine —
+// *which* maximal matching emerges is schedule-dependent, but
+// maximality never is.
+func VerifyMaximal(g *graph.CSR, r *Result) error {
+	if err := Verify(g, r); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if r.Mate[v] >= 0 {
+			continue
+		}
+		for _, a := range g.Neighbors(v) {
+			if int(a) != v && r.Mate[a] < 0 {
+				return fmt.Errorf("matching: edge {%d,%d} has both endpoints free — not maximal", v, a)
+			}
+		}
+	}
+	return nil
+}
+
 // VerifyLocallyDominant checks the property that makes a matching
 // half-approximate: every edge of the graph is dominated — at least one
 // endpoint is matched to an edge of greater-or-equal total-order key.

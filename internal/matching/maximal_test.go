@@ -1,0 +1,202 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/sched"
+)
+
+func mxOpts(p int, m Model) Options {
+	return Options{Procs: p, Model: m, Engine: EngineMaximal, Deadline: 60 * time.Second}
+}
+
+// assertMaximal runs the maximal engine on g and requires a valid
+// maximal matching. Unlike the half-approx oracle there is no unique
+// expected edge set — maximality and validity are the whole contract.
+func assertMaximal(t *testing.T, g *graph.CSR, o Options) *ParallelResult {
+	t.Helper()
+	got, err := Run(g, o)
+	if err != nil {
+		t.Fatalf("%v maximal p=%d: %v", o.Model, o.Procs, err)
+	}
+	if err := VerifyMaximal(g, got.Result); err != nil {
+		t.Fatalf("%v maximal p=%d: %v", o.Model, o.Procs, err)
+	}
+	return got
+}
+
+func TestMaximalTinyGraphs(t *testing.T) {
+	tiny := []*graph.CSR{
+		graph.FromEdges(2, []graph.Edge{{U: 0, V: 1, W: 1}}),
+		graph.FromEdges(3, []graph.Edge{{U: 0, V: 1, W: 5}, {U: 1, V: 2, W: 3}, {U: 0, V: 2, W: 1}}),
+		gen.Path(7),
+		graph.NewBuilder(4).Build(), // no edges at all
+	}
+	for _, g := range tiny {
+		for _, m := range Models {
+			for _, p := range []int{1, 2, 3} {
+				assertMaximal(t, g, mxOpts(p, m))
+			}
+		}
+	}
+}
+
+// TestMaximalAllModelsAllFamilies is the acceptance sweep: a valid
+// maximal matching on every graph family, on every communication model
+// — async-flavor models through the barrier-free detector path,
+// round-flavor models through the counting fence.
+func TestMaximalAllModelsAllFamilies(t *testing.T) {
+	families := map[string]*graph.CSR{
+		"rgg":    gen.RGG(1200, gen.RGGRadiusForDegree(1200, 6), 1),
+		"rmat":   gen.Graph500(9, 2),
+		"sbp":    gen.SBP(800, 12, 10, 0.5, 3),
+		"kmer":   gen.KMerGrids(10, 3, 8, 4),
+		"social": gen.Social(900, 8, 5),
+		"banded": gen.BandedMesh(1000, 12, 2, 0.01, 6),
+	}
+	for name, g := range families {
+		for _, m := range Models {
+			t.Run(name+"/"+m.String(), func(t *testing.T) {
+				assertMaximal(t, g, mxOpts(8, m))
+			})
+		}
+	}
+}
+
+// TestMaximalForcedRounds pins the async-flavor models to the
+// round-structured baseline driver (flush + barrier + counting
+// allreduce): same protocol, same transport, opposite termination
+// style. Round-flavor models must be unaffected by the flag.
+func TestMaximalForcedRounds(t *testing.T) {
+	g := gen.SBP(600, 10, 8, 0.5, 21)
+	for _, m := range Models {
+		o := mxOpts(6, m)
+		o.ForceRounds = true
+		got := assertMaximal(t, g, o)
+		if got.Rounds < 1 {
+			t.Errorf("%v forced rounds reported %d rounds", m, got.Rounds)
+		}
+	}
+}
+
+func TestMaximalManyRanks(t *testing.T) {
+	g := gen.Social(2000, 8, 7)
+	for _, m := range []Model{NSR, NSRA, NCL} {
+		assertMaximal(t, g, mxOpts(32, m))
+	}
+}
+
+func TestMaximalMoreRanksThanVertices(t *testing.T) {
+	g := gen.Path(5)
+	for _, m := range Models {
+		assertMaximal(t, g, mxOpts(9, m))
+	}
+}
+
+// TestMaximalCardinalityFloor: a maximal matching is a 2-approximation
+// of the maximum matching in cardinality, so it must reach at least
+// half the serial greedy's card (itself maximal). A cheap sanity bound
+// that catches protocols quietly dropping most of the graph.
+func TestMaximalCardinalityFloor(t *testing.T) {
+	g := gen.Social(1500, 10, 11)
+	want := Serial(g).Cardinality // locally dominant => maximal
+	for _, m := range []Model{NSR, MBP, NSRA} {
+		got := assertMaximal(t, g, mxOpts(8, m))
+		if 2*got.Cardinality < want {
+			t.Errorf("%v maximal cardinality %d, below half of serial %d", m, got.Cardinality, want)
+		}
+	}
+}
+
+// TestMaximalPerturbedStillMaximal drives the async engine + detector
+// through every perturbation class under pinned seeds: the matching
+// stays valid and maximal under any legal reordering, and the detector
+// never concludes early (a false termination would strand a pending
+// vertex and break maximality, or trip the engine's unsettled panic).
+func TestMaximalPerturbedStillMaximal(t *testing.T) {
+	profiles := []sched.Profile{
+		{Ties: true},
+		{Jitter: 1.0},
+		{Slowdown: 0.5},
+		{ProbeMiss: 0.5},
+		sched.Full,
+	}
+	seeds := []uint64{0x5eed, 0xdead, 0x1, 0x2a, 0xbadc0de}
+	g := gen.SBP(500, 8, 8, 0.5, 9)
+	for _, m := range []Model{NSR, MBP, NSRA} {
+		for _, p := range profiles {
+			for _, seed := range seeds {
+				o := mxOpts(6, m)
+				o.Perturb = p
+				o.PerturbSeed = seed
+				assertMaximal(t, g, o)
+			}
+		}
+	}
+}
+
+// TestMaximalTelemetry: the epoch log must be populated with the
+// protocol's counters under the shared round-log schema.
+func TestMaximalTelemetry(t *testing.T) {
+	g := gen.SBP(600, 8, 8, 0.5, 13)
+	o := mxOpts(4, NSR)
+	o.RoundLog = 256
+	got := assertMaximal(t, g, o)
+	if got.Telemetry == nil {
+		t.Fatal("RoundLog set but no telemetry returned")
+	}
+	if got.Messages == 0 {
+		t.Error("no protocol messages recorded on a multi-rank run")
+	}
+	if got.Rounds < 1 {
+		t.Error("no epochs recorded")
+	}
+}
+
+// TestMaximalAsyncBeatsForcedRounds is the tentpole's performance
+// claim at unit scale: on a skewed input where one straggler rank
+// dominates, the barrier-free engine's virtual time beats the same
+// protocol on the same transport with a barrier + allreduce per round.
+func TestMaximalAsyncBeatsForcedRounds(t *testing.T) {
+	g := skewedBlockGraph(2400, 8, 48, 6, 19)
+	base := mxOpts(8, NSR)
+	async := assertMaximal(t, g, base)
+	forced := base
+	forced.ForceRounds = true
+	rounds := assertMaximal(t, g, forced)
+	ta, tr := async.Report.MaxVirtualTime, rounds.Report.MaxVirtualTime
+	if ta >= tr {
+		t.Errorf("async %.6fs not faster than round-structured %.6fs on skewed input", ta, tr)
+	}
+}
+
+// skewedBlockGraph builds a block-partitioned graph where block 0 is
+// far denser than the rest: under a block distribution one rank carries
+// most of the edges, the straggler regime where round barriers hurt.
+func skewedBlockGraph(n, p, denseDeg, sparseDeg int, seed int64) *graph.CSR {
+	r := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	blk := n / p // n is a multiple of p, matching NewBlockDist's partition
+	addWithin := func(lo, hi, deg int) {
+		for v := lo; v < hi; v++ {
+			for k := 0; k < deg; k++ {
+				u := lo + r.Intn(hi-lo)
+				if u != v {
+					b.AddEdge(v, u, 1+r.Float64())
+				}
+			}
+		}
+	}
+	addWithin(0, blk, denseDeg)
+	addWithin(blk, n, sparseDeg)
+	// A sparse ring of cross-block edges keeps the graph connected so
+	// every rank participates in the protocol.
+	for v := 0; v+blk < n; v += blk / 2 {
+		b.AddEdge(v, v+blk, 1)
+	}
+	return b.Build()
+}

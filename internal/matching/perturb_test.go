@@ -90,11 +90,15 @@ func TestNCLUnpackOrderPerturbed(t *testing.T) {
 	}
 }
 
-// TestEagerRejectPerturbedStillValid documents the one mode that is
-// legitimately schedule-dependent: EagerReject (the paper's literal
-// Algorithm 6) may produce different matchings under different
-// schedules, but every one of them must still be a valid matching. It
-// is for this reason excluded from the equivalence sweeps.
+// TestEagerRejectPerturbedStillValid pins the half-approx family's one
+// legitimately schedule-dependent mode: EagerReject (the paper's
+// literal Algorithm 6) may produce different matchings under different
+// schedules, but every one of them must still be a valid matching. The
+// exclusion from fingerprint equivalence is now formal — the explorer
+// sweeps it under sched.Outcome.ValidOnly (see
+// internal/sched/explore_async_test.go, TestExploreEagerRejectExcluded),
+// so a divergent-but-valid matching can never be a false positive. The
+// asynchronous maximal engine shares the same contract.
 func TestEagerRejectPerturbedStillValid(t *testing.T) {
 	g := gen.SBP(200, 8, 10, 0.5, 5)
 	for _, seed := range pinnedSeeds {

@@ -32,12 +32,57 @@ const (
 // Models lists all communication models in presentation order.
 var Models = transport.Models
 
+// Engine selects the matching protocol family.
+type Engine int
+
+const (
+	// EngineHalfApprox is the paper's half-approximate locally-dominant
+	// protocol (the default): round- or poll-structured, with per-arc
+	// termination counting and a schedule-invariant result.
+	EngineHalfApprox Engine = iota
+	// EngineMaximal is the asynchronous Skipper-style maximal-matching
+	// protocol: a single pass over local edges with proposal/accept/
+	// decline messages and detected (not counted) termination. The
+	// result is a valid maximal matching whose edge set is legitimately
+	// schedule-dependent; see DESIGN.md §4f.
+	EngineMaximal
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineHalfApprox:
+		return "halfapprox"
+	case EngineMaximal:
+		return "maximal"
+	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+// ParseEngine maps a CLI spelling to an Engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "halfapprox", "half", "dominant", "":
+		return EngineHalfApprox, nil
+	case "maximal", "max", "async":
+		return EngineMaximal, nil
+	}
+	return 0, fmt.Errorf("matching: unknown engine %q (want halfapprox or maximal)", s)
+}
+
 // Options configures a distributed matching run.
 type Options struct {
 	// Procs is the number of simulated MPI ranks. Must be >= 1.
 	Procs int
 	// Model selects the communication model.
 	Model Model
+	// Engine selects the protocol family (default EngineHalfApprox).
+	Engine Engine
+	// ForceRounds pins an async-flavor model to the round-structured
+	// driver (flush, barrier, counting allreduce per round) instead of
+	// the barrier-free detector path. Only meaningful for EngineMaximal
+	// on NSR/MBP/NSRA: it is the controlled baseline the asynchronous
+	// engine is measured against. Ignored elsewhere.
+	ForceRounds bool
 	// Cost overrides the virtual-time cost model (nil = defaults).
 	Cost *mpi.CostModel
 	// TrackMatrices enables per-pair communication matrices (Fig 2/9/11).
@@ -107,13 +152,18 @@ type ParallelResult struct {
 	Telemetry *telemetry.Series
 }
 
-// Run executes distributed half-approximate matching on g under the
-// given options and returns the matching together with performance
-// ledgers. The matching is identical to Serial(g) for all models unless
-// EagerReject is set (in which case it is still a valid matching).
+// Run executes distributed matching on g under the given options and
+// returns the matching together with performance ledgers. The default
+// engine is the half-approximate locally-dominant protocol, whose
+// matching is identical to Serial(g) for all models unless EagerReject
+// is set (in which case it is still a valid matching); EngineMaximal
+// dispatches to the asynchronous maximal-matching engine instead.
 func Run(g *graph.CSR, opt Options) (*ParallelResult, error) {
 	if opt.Procs < 1 {
 		return nil, fmt.Errorf("matching: Procs = %d", opt.Procs)
+	}
+	if opt.Engine == EngineMaximal {
+		return runMaximal(g, opt)
 	}
 	d := distgraph.NewBlockDist(g, opt.Procs)
 	// The sorted-adjacency arena is a pure function of the graph; build

@@ -1,0 +1,119 @@
+package mpi
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDeadlineAsyncNoLeak is the async-path teardown bug hunt: an
+// asynchronous engine has no round fence, so a rank can be parked
+// indefinitely in a blocking AnySource receive or in the quiescence
+// detector's Block/Quiesce waits with nothing on the way. Deadline
+// poison must unwind every such park without leaking the rank
+// goroutine or its mailbox.
+func TestDeadlineAsyncNoLeak(t *testing.T) {
+	cases := map[string]func(c *Comm){
+		// Blocking wildcard receive with no round fence and no sender.
+		"anysource-recv": func(c *Comm) {
+			if c.Rank() == 0 {
+				c.Recv(AnySource, AnyTag)
+			}
+		},
+		// Engine-style detector park. A phantom unmatched send keeps the
+		// deficit nonzero forever, so the ring can never conclude; rank 0
+		// ends up parked in Block with no app or detector traffic due.
+		"quiesce-block": func(c *Comm) {
+			q := NewQuiesce(c)
+			if c.Rank() == 0 {
+				q.NoteSend(1) // never actually sent: permanent deficit
+				for !q.Idle() {
+					q.Block()
+				}
+			}
+		},
+		// Blocking detector drive where the ring is broken: every other
+		// rank exits without relaying, so rank 0 blocks in the detector's
+		// internal receive.
+		"quiesce-ring-broken": func(c *Comm) {
+			q := NewQuiesce(c)
+			if c.Rank() == 0 {
+				q.Quiesce()
+			}
+		},
+	}
+	for _, mode := range []SchedMode{SchedDirect, SchedWorkers} {
+		for name, blocked := range cases {
+			t.Run(name+"/"+mode.String(), func(t *testing.T) {
+				baseline := runtime.NumGoroutine()
+				start := time.Now()
+				_, err := Run(4, func(c *Comm) error {
+					blocked(c) // other ranks exit immediately
+					return nil
+				}, WithScheduler(mode), WithDeadline(200*time.Millisecond))
+				if err == nil {
+					t.Fatal("expected a deadline error")
+				}
+				if !strings.Contains(err.Error(), "deadline") {
+					t.Fatalf("error %q does not report the deadline", err)
+				}
+				if el := time.Since(start); el > 10*time.Second {
+					t.Errorf("teardown took %v, want prompt unwind", el)
+				}
+				if cerr := CheckGoroutines(baseline); cerr != nil {
+					t.Fatalf("deadline teardown leaked the parked rank: %v", cerr)
+				}
+			})
+		}
+	}
+}
+
+// TestPeerErrorAsyncNoLeak covers the second poison source: a peer
+// returning an error from its body while this rank is parked in an
+// async wait. The parked ranks must observe the peer failure and
+// unwind; the run reports the original error.
+func TestPeerErrorAsyncNoLeak(t *testing.T) {
+	boom := errors.New("boom: application failure on rank 1")
+	cases := map[string]func(c *Comm) error{
+		"anysource-recv": func(c *Comm) error {
+			if c.Rank() == 1 {
+				return boom
+			}
+			if c.Rank() != 2 {
+				c.Recv(AnySource, AnyTag) // parked; only poison can free it
+			}
+			return nil
+		},
+		"quiesce-block": func(c *Comm) error {
+			q := NewQuiesce(c) // collective: every rank joins before the failure
+			if c.Rank() == 1 {
+				return boom
+			}
+			if c.Rank() == 2 {
+				return nil
+			}
+			q.NoteSend(1) // permanent deficit: Block is the only exit
+			for !q.Idle() {
+				q.Block()
+			}
+			return nil
+		},
+	}
+	for name, body := range cases {
+		t.Run(name, func(t *testing.T) {
+			baseline := runtime.NumGoroutine()
+			_, err := Run(4, body, WithDeadline(30*time.Second))
+			if err == nil {
+				t.Fatal("expected the peer's error")
+			}
+			if !strings.Contains(err.Error(), "boom") {
+				t.Fatalf("error %q does not carry the failing rank's error", err)
+			}
+			if cerr := CheckGoroutines(baseline); cerr != nil {
+				t.Fatalf("peer-error teardown leaked a parked rank: %v", cerr)
+			}
+		})
+	}
+}

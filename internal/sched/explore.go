@@ -11,9 +11,20 @@ import (
 // one run: a fingerprint that must be identical across every legal
 // schedule (for matching: the result weight bits folded with validity),
 // plus a human-readable description for mismatch reports.
+//
+// Protocols whose result is *legitimately* schedule-dependent — the
+// EagerReject ablation, the asynchronous maximal engine — set ValidOnly
+// instead: the explorer then enforces only the RunFunc's own invariant
+// checks (validity, balance, drained mailboxes, no leaks) and formally
+// excludes the fingerprint from equivalence, so a divergent-but-valid
+// matching is never reported as a false positive.
 type Outcome struct {
 	Fingerprint uint64
 	Desc        string
+	// ValidOnly excludes this protocol from fingerprint equivalence:
+	// every perturbed run must still pass its invariants, but outcomes
+	// are allowed to differ across schedules.
+	ValidOnly bool
 }
 
 // RunFunc executes the protocol under test once with the given
@@ -94,10 +105,16 @@ func Replay(run RunFunc, p Profile, seed uint64) *Failure {
 }
 
 // trySeed runs one perturbed schedule and compares it to the baseline.
+// Fingerprint equivalence is skipped when either side declares
+// ValidOnly — the run's own invariant checks are the whole contract for
+// schedule-dependent-by-design protocols.
 func trySeed(run RunFunc, base Outcome, seed uint64, p Profile) *Failure {
 	got, err := run(seed, p)
 	if err != nil {
 		return &Failure{Seed: seed, Profile: p, Err: err, Baseline: base, Got: got}
+	}
+	if base.ValidOnly || got.ValidOnly {
+		return nil
 	}
 	if got.Fingerprint != base.Fingerprint {
 		return &Failure{

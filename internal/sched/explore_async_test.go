@@ -1,0 +1,270 @@
+// Explorer coverage for the asynchronous engine family (DESIGN §4f):
+// the maximal-matching engine and the Safra quiescence detector run
+// under hundreds of perturbed schedules per configuration. Their
+// results are legitimately schedule-dependent — which maximal matching
+// emerges depends on arrival order — so the outcomes carry ValidOnly
+// and the explorer enforces invariants only: valid maximal matching,
+// balanced ledgers, drained mailboxes, no goroutine leaks, and no
+// false termination. The same mechanism formally excludes the
+// EagerReject ablation from fingerprint equivalence (the known
+// schedule-dependence documented in internal/matching/perturb_test.go).
+package sched_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/mpi"
+	"repro/internal/sched"
+)
+
+// asyncClasses is the sweep axis: each single jitter class in
+// isolation, then everything at once. With seedsPerClass seeds each,
+// one configuration sees 5*seedsPerClass perturbed schedules.
+var asyncClasses = []struct {
+	name string
+	p    sched.Profile
+}{
+	{"ties", sched.Profile{Ties: true}},
+	{"jitter", sched.Profile{Jitter: 1.0}},
+	{"slowdown", sched.Profile{Slowdown: 0.5}},
+	{"probemiss", sched.Profile{ProbeMiss: 0.5}},
+	{"full", sched.Full},
+}
+
+const seedsPerClass = 50 // 5 classes x 50 = 250 seeds per configuration
+
+// maximalRunFunc builds the RunFunc for the asynchronous maximal
+// engine: run, check every runtime invariant, verify maximality, and
+// return a ValidOnly outcome (the matching's identity may differ per
+// schedule; its validity may not). A false termination by the detector
+// surfaces here as a non-maximal matching, an unsettled-vertex panic,
+// or an undrained mailbox.
+func maximalRunFunc(g *graph.CSR, model matching.Model, procs int) sched.RunFunc {
+	return func(seed uint64, p sched.Profile) (sched.Outcome, error) {
+		baseline := runtime.NumGoroutine()
+		res, err := matching.Run(g, matching.Options{
+			Procs:       procs,
+			Model:       model,
+			Engine:      matching.EngineMaximal,
+			Deadline:    time.Minute,
+			Perturb:     p,
+			PerturbSeed: seed,
+		})
+		if err != nil {
+			return sched.Outcome{}, err
+		}
+		if err := mpi.CheckGoroutines(baseline); err != nil {
+			return sched.Outcome{}, err
+		}
+		if err := mpi.CheckBalanced(res.Report); err != nil {
+			return sched.Outcome{}, err
+		}
+		// Unlike the half-approx protocol, the maximal protocol answers
+		// every proposal, so quiescence implies every mailbox is empty.
+		if err := mpi.CheckDrained(res.Report); err != nil {
+			return sched.Outcome{}, err
+		}
+		if err := matching.VerifyMaximal(g, res.Result); err != nil {
+			return sched.Outcome{}, err
+		}
+		return sched.Outcome{
+			ValidOnly: true,
+			Desc:      fmt.Sprintf("maximal card=%d", res.Cardinality),
+		}, nil
+	}
+}
+
+// TestExploreAsyncMaximal is the bug-hunt sweep from the issue: >= 200
+// seeds across all four jitter classes (plus the combined profile) over
+// the async engine on both FlavorAsync transports and both graph
+// families. Any failure shrinks to a minimal profile and prints a
+// PERTURB_SEED repro line for pinning.
+func TestExploreAsyncMaximal(t *testing.T) {
+	n := seedsPerClass
+	if testing.Short() {
+		n = 4
+	}
+	const procs = 4
+	configs := []struct {
+		model matching.Model
+		graph string
+	}{
+		{matching.NSR, "rgg"},
+		{matching.NSR, "sbp"},
+		{matching.NSRA, "sbp"},
+		{matching.MBP, "rgg"},
+	}
+	graphs := exploreGraphs()
+	for _, cfg := range configs {
+		g := graphs[cfg.graph]
+		run := maximalRunFunc(g, cfg.model, procs)
+		for _, cl := range asyncClasses {
+			label := fmt.Sprintf("%v/%s/%s", cfg.model, cfg.graph, cl.name)
+			t.Run(label, func(t *testing.T) {
+				if fail := sched.Explore(run, cl.p, 0xa51c, n); fail != nil {
+					writeArtifact(t, label, fail)
+					t.Fatalf("async engine invariant violated: %v (replay: %s)", fail.Err, fail.Repro())
+				}
+			})
+		}
+	}
+}
+
+// quiesceRunFunc exercises the termination detector directly under an
+// engine-style drive: a pseudo-random relay where every hop is a
+// sender idling with its message still in flight. The invariants are
+// the detector's safety contract — at the moment termination is
+// observed, every record sent was received and no mailbox holds
+// anything.
+func quiesceRunFunc(procs, hops int) sched.RunFunc {
+	return func(seed uint64, p sched.Profile) (sched.Outcome, error) {
+		baseline := runtime.NumGoroutine()
+		rep, err := mpi.RunChecked(procs, func(c *mpi.Comm) error {
+			q := mpi.NewQuiesce(c)
+			sent, recvd := 0, 0
+			buf := make([]int64, 1)
+			if c.Rank() == 0 {
+				q.NoteSend(1)
+				sent++
+				c.Isend(1%c.Size(), 0, []int64{int64(hops)})
+			}
+			for {
+				progressed := false
+				for {
+					ok, st := c.Iprobe(mpi.AnySource, mpi.AnyTag)
+					if !ok {
+						break
+					}
+					c.RecvInto(st.Source, st.Tag, buf)
+					q.NoteRecv(1)
+					recvd++
+					progressed = true
+					if ttl := buf[0]; ttl > 0 {
+						dst := (c.Rank() + 1 + int(ttl*2654435761)%(c.Size()-1)) % c.Size()
+						q.NoteSend(1)
+						sent++
+						c.Isend(dst, 0, []int64{ttl - 1})
+					}
+				}
+				if progressed {
+					continue
+				}
+				if q.Idle() {
+					break
+				}
+				q.Block()
+			}
+			if ok, st := c.Iprobe(mpi.AnySource, mpi.AnyTag); ok {
+				return fmt.Errorf("rank %d: message from %d still queued after termination", c.Rank(), st.Source)
+			}
+			tot := c.AllreduceInt64(mpi.OpSum, []int64{int64(sent), int64(recvd)})
+			if tot[0] != tot[1] {
+				return fmt.Errorf("sent %d != received %d at termination", tot[0], tot[1])
+			}
+			return nil
+		}, mpi.WithPerturb(seed, p), mpi.WithDeadline(time.Minute))
+		if err != nil {
+			return sched.Outcome{}, err
+		}
+		if err := mpi.CheckDrained(rep); err != nil {
+			return sched.Outcome{}, err
+		}
+		if err := mpi.CheckGoroutines(baseline); err != nil {
+			return sched.Outcome{}, err
+		}
+		return sched.Outcome{ValidOnly: true, Desc: "quiescent"}, nil
+	}
+}
+
+// TestExploreQuiesceDetector sweeps the detector itself with the same
+// seed budget as the engine sweep.
+func TestExploreQuiesceDetector(t *testing.T) {
+	n := seedsPerClass
+	if testing.Short() {
+		n = 4
+	}
+	run := quiesceRunFunc(5, 64)
+	for _, cl := range asyncClasses {
+		t.Run(cl.name, func(t *testing.T) {
+			if fail := sched.Explore(run, cl.p, 0x70ce, n); fail != nil {
+				writeArtifact(t, "quiesce/"+cl.name, fail)
+				t.Fatalf("detector safety violated: %v (replay: %s)", fail.Err, fail.Repro())
+			}
+		})
+	}
+}
+
+// eagerRunFunc is the EagerReject ablation under ValidOnly: its
+// matched-edge set is legitimately schedule-dependent (see
+// internal/matching/perturb_test.go), so it is formally excluded from
+// fingerprint equivalence and swept for validity invariants only.
+func eagerRunFunc(g *graph.CSR, model matching.Model, procs int) sched.RunFunc {
+	return func(seed uint64, p sched.Profile) (sched.Outcome, error) {
+		res, err := matching.Run(g, matching.Options{
+			Procs:       procs,
+			Model:       model,
+			EagerReject: true,
+			Deadline:    time.Minute,
+			Perturb:     p,
+			PerturbSeed: seed,
+		})
+		if err != nil {
+			return sched.Outcome{}, err
+		}
+		if err := mpi.CheckBalanced(res.Report); err != nil {
+			return sched.Outcome{}, err
+		}
+		if err := matching.Verify(g, res.Result); err != nil {
+			return sched.Outcome{}, err
+		}
+		return sched.Outcome{
+			ValidOnly: true,
+			Desc:      fmt.Sprintf("eager card=%d", res.Cardinality),
+		}, nil
+	}
+}
+
+// TestExploreEagerRejectExcluded resolves the documented EagerReject
+// schedule-dependence: the ablation now participates in explorer sweeps
+// under the ValidOnly contract — every schedule must yield a valid
+// matching, divergent edge sets are by-design and never a false
+// positive.
+func TestExploreEagerRejectExcluded(t *testing.T) {
+	n := 16
+	if testing.Short() {
+		n = 4
+	}
+	g := gen.SBP(120, 6, 8, 0.5, 11)
+	for _, model := range []matching.Model{matching.NSR, matching.NCL} {
+		t.Run(model.String(), func(t *testing.T) {
+			if fail := sched.Explore(eagerRunFunc(g, model, 4), sched.Full, 0xea6e, n); fail != nil {
+				writeArtifact(t, "eager/"+model.String(), fail)
+				t.Fatalf("eager-reject invariant violated: %v (replay: %s)", fail.Err, fail.Repro())
+			}
+		})
+	}
+}
+
+// TestValidOnlySkipsFingerprint pins the exclusion mechanism itself: a
+// protocol that returns different fingerprints per schedule but marks
+// ValidOnly must pass, and the same protocol without ValidOnly must be
+// caught.
+func TestValidOnlySkipsFingerprint(t *testing.T) {
+	varying := func(validOnly bool) sched.RunFunc {
+		return func(seed uint64, p sched.Profile) (sched.Outcome, error) {
+			return sched.Outcome{Fingerprint: seed, ValidOnly: validOnly, Desc: "varies"}, nil
+		}
+	}
+	if fail := sched.Explore(varying(true), sched.Full, 1, 8); fail != nil {
+		t.Fatalf("ValidOnly outcome still compared by fingerprint: %v", fail.Err)
+	}
+	if fail := sched.Explore(varying(false), sched.Full, 1, 8); fail == nil {
+		t.Fatal("non-ValidOnly divergence went uncaught")
+	}
+}
