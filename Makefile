@@ -65,16 +65,18 @@ bench-p2p:
 
 # bench-ranks reproduces the ranks-scaling curve recorded in
 # BENCH_p2p.json: the 4-round ring + allreduce world at 1K..RANKS ranks
-# under both scheduler modes, plus the pooled world-setup cost.
-RANKS ?= 65536
+# under both scheduler modes, plus the pooled world-setup cost and the
+# steady-state per-rank memory footprint.
+RANKS ?= 131072
 bench-ranks:
-	BENCH_RANKS=$(RANKS) $(GO) test -run xxx -bench 'RanksRing|WorldSetup' -benchmem -timeout 60m ./internal/mpi/
+	BENCH_RANKS=$(RANKS) $(GO) test -run xxx -bench 'RanksRing|WorldSetup|WorldFootprint' -benchmem -timeout 60m ./internal/mpi/
 
 # scale-smoke is the large-world CI gate: a 16K-rank world (ring
-# exchange + collectives) and the rank-count scaling experiment capped
-# at 4K ranks must complete within CI budgets.
+# exchange + collectives) must complete within CI budgets and hold the
+# per-rank steady-state memory ceiling (footprint_test.go), and the
+# rank-count scaling experiment capped at 4K ranks must pass.
 scale-smoke:
-	$(GO) test -run 'TestLargeWorldSmoke' -v -timeout 10m ./internal/mpi/
+	$(GO) test -run 'TestLargeWorldSmoke|TestWorldFootprintCeiling16K' -v -timeout 10m ./internal/mpi/
 	$(GO) run ./cmd/matchbench -exp ranks -ranks 4096 -json ranks_records.json
 
 # bench-dense reproduces the process-graph density sweep recorded in

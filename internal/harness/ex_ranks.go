@@ -30,9 +30,9 @@ import (
 // time is the modeled result as everywhere else.
 
 // ranksLadder is the world-size sweep; Config.Ranks caps it.
-var ranksLadder = []int{1024, 4096, 16384, 65536}
+var ranksLadder = []int{1024, 4096, 16384, 65536, 131072}
 
-// ranksDefaultCap keeps the default sweep CI-sized; -ranks 65536 (or
+// ranksDefaultCap keeps the default sweep CI-sized; -ranks 131072 (or
 // Config.Ranks) unlocks the full curve.
 const ranksDefaultCap = 16384
 
@@ -66,7 +66,7 @@ func init() {
 	register(&Experiment{
 		ID:    "ranks",
 		Title: "Rank-count scaling of the simulated runtime (worker-pool scheduler)",
-		Paper: "harness artifact, not a paper figure: the paper's evaluation spans 512-16K MPI ranks; the sharded scheduler sustains those world sizes in simulation (64K with -ranks 65536)",
+		Paper: "harness artifact, not a paper figure: the paper's evaluation spans 512-16K MPI ranks; the sharded scheduler sustains those world sizes in simulation (131K with -ranks 131072)",
 		Run: func(cfg Config) ([]*Table, error) {
 			rcap := cfg.Ranks
 			if rcap == 0 {
@@ -127,7 +127,7 @@ func init() {
 			}
 			t.Notes = append(t.Notes,
 				"expected shape: ring wall-clock grows near-linearly in ranks under the worker pool (flat per-rank cost)",
-				fmt.Sprintf("ladder capped at %d ranks (matchbench -ranks 65536 for the full curve)", rcap))
+				fmt.Sprintf("ladder capped at %d ranks (matchbench -ranks 131072 for the full curve)", rcap))
 			return []*Table{t}, nil
 		},
 	})

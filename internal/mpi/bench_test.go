@@ -176,7 +176,7 @@ func BenchmarkWorldSetup(b *testing.B) {
 
 // benchRanksLadder returns the world sizes for the ranks-scaling curve.
 // The BENCH_RANKS environment variable caps the ladder (default 16384;
-// `make bench-ranks` raises it to 65536).
+// `make bench-ranks` raises it to 131072).
 func benchRanksLadder() []int {
 	cap := 16384
 	if s := os.Getenv("BENCH_RANKS"); s != "" {
@@ -185,7 +185,7 @@ func benchRanksLadder() []int {
 		}
 	}
 	var out []int
-	for _, p := range []int{1024, 4096, 16384, 65536} {
+	for _, p := range []int{1024, 4096, 16384, 65536, 131072} {
 		if p <= cap {
 			out = append(out, p)
 		}
@@ -195,7 +195,7 @@ func benchRanksLadder() []int {
 
 // BenchmarkRanksRing is the ranks-scaling curve recorded in
 // BENCH_p2p.json: one world per op running a 4-round neighbor ring
-// exchange plus a scalar allreduce, at 1K-64K ranks under both
+// exchange plus a scalar allreduce, at 1K-131K ranks under both
 // scheduler modes. Wall-clock per op is the headline number; direct
 // mode's slope shows the runnable-set bottleneck the worker pool
 // removes.

@@ -92,9 +92,20 @@ const collAbort = "mpi: collective aborted: a peer rank failed"
 // hubShardShift sets the collective hub's shard width: ranks are mapped
 // to shards in contiguous blocks of 1<<hubShardShift, so a barrier
 // arrival touches one shard-local lock and the per-rank virtual clocks
-// are folded into one running maximum per shard. Only the single
-// last-to-arrive rank walks all shards.
+// (and int64 reduction contributions) are folded into one running
+// accumulator per shard. Only the single last-to-arrive rank walks all
+// shards.
 const hubShardShift = 6
+
+// foldKind says what, besides its clock, a rank deposits into its shard
+// on arrival.
+type foldKind uint8
+
+const (
+	foldNone   foldKind = iota
+	foldScalar          // one int64, folded with the round's ReduceOp
+	foldVec             // an []int64, folded element-wise
+)
 
 // collShard is one block of ranks' arrival state within a collHub.
 type collShard struct {
@@ -107,6 +118,18 @@ type collShard struct {
 	// independent of arrival order — the argmax must be deterministic
 	// because it is recorded in wait events.
 	maxRank int32
+	// acc/accN fold scalar reduction deposits this round; vacc/vaccN
+	// fold vector deposits element-wise (vacc's capacity is retained, so
+	// steady-state reductions never allocate). Every supported int64 op
+	// is associative and commutative (sum/prod wrap mod 2^64), so
+	// folding in arrival order within the shard and then across shards
+	// in shard order is bit-identical to the old rank-ordered fold —
+	// which is what lets a collective advance all resident clocks with
+	// one shard-local deposit instead of every rank reading every slot.
+	acc   int64
+	accN  int
+	vacc  []int64
+	vaccN int
 	// waiters collects every arrived task this round (capacity size, so
 	// steady state never allocates); the releaser unparks them.
 	waiters []*task
@@ -115,21 +138,32 @@ type collShard struct {
 
 // collHub is the rendezvous point for a communicator's collectives. All
 // member ranks must invoke the same sequence of collective operations
-// (the standard MPI contract); each operation performs a deposit
-// barrier, a read phase, and a release barrier, so the hub's scratch
-// space can be reused immediately.
+// (the standard MPI contract); each operation is one deposit barrier
+// followed by a race-free read phase — there is no release barrier.
 //
-// The barrier is sharded: a rank folds its virtual clock into its own
-// shard under that shard's lock — never a hub-global one — and parks.
-// The shard's last arrival decrements pendingShards; whoever drives it
-// to zero becomes the releaser: it folds the per-shard clock maxima
-// into roundMax, resets every shard for the next round, advances gen
-// and unparks all collected waiters. Waiters observe the new gen (an
-// acquire load ordered after the releaser's roundMax write and shard
-// resets) and read roundMax and the deposit slots race-free.
+// The barrier is sharded: a rank folds its virtual clock (and, for the
+// int64 reductions, its contribution) into its own shard under that
+// shard's lock — never a hub-global one — and parks. The shard's last
+// arrival decrements pendingShards; whoever drives it to zero becomes
+// the releaser: it folds the per-shard clock maxima and reduction
+// partials into the round outputs, resets every shard for the next
+// round, advances gen and unparks all collected waiters in one batch.
+// Waiters observe the new gen (an acquire load ordered after the
+// releaser's output writes and shard resets) and read the round outputs
+// and deposit slots race-free.
 //
-// A subtle ordering keeps this correct: the shard-last rank appends
-// itself to its shard's waiter list under the shard lock BEFORE
+// Removing the release barrier halves the synchronization rounds per
+// collective; what it used to protect — reuse of the deposit slots by
+// the next collective while a slow reader still reads the previous
+// round's — is instead handled by parity double-buffering: round r uses
+// slot set r&1. Round r+2 reuses round r's set, and by then every rank
+// has deposited round r+1, which it can only do after finishing its
+// round-r reads, so the overwrite cannot race them. Clock arithmetic is
+// unchanged: the old release barrier deposited now=0 everywhere and
+// contributed nothing to virtual time.
+//
+// A subtle ordering keeps the election correct: the shard-last rank
+// appends itself to its shard's waiter list under the shard lock BEFORE
 // decrementing pendingShards. Decrementing first would let a
 // concurrent releaser reset the shard in between, and the late
 // self-append would land in the next round's waiter list — a rank
@@ -145,8 +179,9 @@ type collHub struct {
 	// pendingShards counts shards that have not yet filled this round;
 	// the decrement to zero elects the releaser.
 	pendingShards atomic.Int32
-	// gen is the round number; advancing it (after roundMax and the
-	// shard resets are written) is the release signal waiters poll.
+	// gen is the round number; advancing it (after the round outputs and
+	// the shard resets are written) is the release signal waiters poll.
+	// gen&1 selects the round's parity slot set.
 	gen      atomic.Int64
 	poisoned atomic.Bool
 	roundMax float64 // max deposited clock of the released round
@@ -156,12 +191,36 @@ type collHub struct {
 	roundMaxRank int32
 	relbuf       []*task // releaser scratch (capacity n)
 
-	// Deposit slots, one per member rank, written by plain stores before
-	// the deposit barrier and read between the barriers.
-	ideps [][]int64
-	fdeps [][]float64
-	vdeps [][][]int64
-	adeps []any
+	// redOut/vredOut are the published int64 reduction results, indexed
+	// by round parity (vredOut capacity is retained across rounds).
+	redOut  [2]int64
+	vredOut [2][]int64
+
+	// Deposit slots, one per member rank per parity, written by plain
+	// stores before the deposit barrier and read after it. They serve
+	// the data-movement collectives (alltoall, gather, bcast, float
+	// reductions) — the hot int64 reductions travel through the shard
+	// fold above and never touch them — so they are allocated lazily on
+	// first use (the sync.Once runs on every member before its deposit,
+	// and the deposit barrier publishes the arrays to pure readers).
+	ideps     [2][][]int64
+	fdeps     [2][][]float64
+	vdeps     [2][][][]int64
+	idepsOnce sync.Once
+	fdepsOnce sync.Once
+	vdepsOnce sync.Once
+
+	// adeps is the untyped publication slot set used by WinCreate and
+	// Split. It is deliberately single-buffered: unlike the typed slots,
+	// its writers are mid-phase republishes into the writer's own slot
+	// (see WinCreate), which must remain visible across the next
+	// barrier regardless of parity. That is safe because no two
+	// adjacent rounds both touch adeps — every adeps rendezvous is
+	// preceded by an id-allocation collective that doesn't — so a
+	// deposit can never race the previous round's reads. Keep that
+	// invariant when adding adeps users.
+	adeps     []any
+	adepsOnce sync.Once
 }
 
 func newCollHub(n int) *collHub {
@@ -170,10 +229,6 @@ func newCollHub(n int) *collHub {
 		shards: make([]collShard, nshard),
 		n:      n,
 		relbuf: make([]*task, 0, n),
-		ideps:  make([][]int64, n),
-		fdeps:  make([][]float64, n),
-		vdeps:  make([][][]int64, n),
-		adeps:  make([]any, n),
 	}
 	for i := range h.shards {
 		size := n - i<<hubShardShift
@@ -188,6 +243,33 @@ func newCollHub(n int) *collHub {
 	return h
 }
 
+func (h *collHub) ensureIdeps() {
+	h.idepsOnce.Do(func() {
+		h.ideps[0] = make([][]int64, h.n)
+		h.ideps[1] = make([][]int64, h.n)
+	})
+}
+
+func (h *collHub) ensureFdeps() {
+	h.fdepsOnce.Do(func() {
+		h.fdeps[0] = make([][]float64, h.n)
+		h.fdeps[1] = make([][]float64, h.n)
+	})
+}
+
+func (h *collHub) ensureVdeps() {
+	h.vdepsOnce.Do(func() {
+		h.vdeps[0] = make([][][]int64, h.n)
+		h.vdeps[1] = make([][][]int64, h.n)
+	})
+}
+
+func (h *collHub) ensureAdeps() {
+	h.adepsOnce.Do(func() {
+		h.adeps = make([]any, h.n)
+	})
+}
+
 // poison marks the hub failed. It only raises the flag; World.poison
 // performs the one unpark sweep over all tasks afterwards, which covers
 // ranks parked here (flag first, then wake, so a rank cannot re-park
@@ -199,9 +281,12 @@ func (h *collHub) poison() {
 // clearDeps drops deposit-slot references so a pooled hub does not pin
 // caller buffers across runs.
 func (h *collHub) clearDeps() {
-	clear(h.ideps)
-	clear(h.fdeps)
-	clear(h.vdeps)
+	for p := 0; p < 2; p++ {
+		clear(h.ideps[p])
+		clear(h.fdeps[p])
+		clear(h.vdeps[p])
+		h.vredOut[p] = h.vredOut[p][:0]
+	}
 	clear(h.adeps)
 }
 
@@ -223,6 +308,18 @@ func (h *collHub) waitGen(t *task, gen int64) {
 // lowest rank so the result is schedule-independent). Task t must be
 // the goroutine's own task and rank its rank within this hub.
 func (h *collHub) await(t *task, rank int, now float64) (float64, int32) {
+	return h.awaitFold(t, rank, now, foldNone, OpSum, 0, nil)
+}
+
+// awaitFold is await plus a shard-local int64 reduction: each arrival
+// folds v (foldScalar) or vec (foldVec) into its shard's accumulator
+// under the shard lock it already holds, and the releaser folds the
+// O(n/64) shard partials and publishes the result in redOut/vredOut at
+// the round's parity. This replaces the old per-rank read of all n
+// deposit slots — O(n^2) total work per collective, the superlinear
+// wall in the ranks-scaling curve — with O(n) total. All members of a
+// round must pass the same kind and op (the MPI collective contract).
+func (h *collHub) awaitFold(t *task, rank int, now float64, kind foldKind, op ReduceOp, v int64, vec []int64) (float64, int32) {
 	sh := &h.shards[rank>>hubShardShift]
 	sh.mu.Lock()
 	if h.poisoned.Load() {
@@ -234,6 +331,28 @@ func (h *collHub) await(t *task, rank int, now float64) (float64, int32) {
 		sh.maxNow = now
 		sh.maxRank = int32(rank)
 	}
+	switch kind {
+	case foldScalar:
+		if sh.accN == 0 {
+			sh.acc = v
+		} else {
+			sh.acc = op.foldInt64(sh.acc, v)
+		}
+		sh.accN++
+	case foldVec:
+		if sh.vaccN == 0 {
+			sh.vacc = append(sh.vacc[:0], vec...)
+		} else {
+			if len(vec) != len(sh.vacc) {
+				sh.mu.Unlock()
+				panic(fmt.Sprintf("mpi: AllreduceInt64 length mismatch: rank %d has %d, peers have %d", rank, len(vec), len(sh.vacc)))
+			}
+			for i, x := range vec {
+				sh.vacc[i] = op.foldInt64(sh.vacc[i], x)
+			}
+		}
+		sh.vaccN++
+	}
 	sh.count++
 	last := sh.count == sh.size
 	sh.waiters = append(sh.waiters, t) // self-append BEFORE the decrement below
@@ -243,8 +362,13 @@ func (h *collHub) await(t *task, rank int, now float64) (float64, int32) {
 		return h.roundMax, h.roundMaxRank
 	}
 	// This rank completed the last pending shard: release the round.
+	p := gen & 1
 	maxNow := 0.0
 	maxRank := int32(-1)
+	var racc int64
+	raccN := 0
+	rvec := h.vredOut[p][:0]
+	rvecN := 0
 	buf := h.relbuf[:0]
 	for i := range h.shards {
 		s := &h.shards[i]
@@ -252,6 +376,30 @@ func (h *collHub) await(t *task, rank int, now float64) (float64, int32) {
 		if s.maxRank >= 0 && (maxRank < 0 || s.maxNow > maxNow || (s.maxNow == maxNow && s.maxRank < maxRank)) {
 			maxNow = s.maxNow
 			maxRank = s.maxRank
+		}
+		if s.accN > 0 {
+			if raccN == 0 {
+				racc = s.acc
+			} else {
+				racc = op.foldInt64(racc, s.acc)
+			}
+			raccN += s.accN
+			s.accN = 0
+		}
+		if s.vaccN > 0 {
+			if rvecN == 0 {
+				rvec = append(rvec, s.vacc...)
+			} else {
+				if len(s.vacc) != len(rvec) {
+					s.mu.Unlock()
+					panic(fmt.Sprintf("mpi: AllreduceInt64 length mismatch across shards: %d vs %d", len(s.vacc), len(rvec)))
+				}
+				for j, x := range s.vacc {
+					rvec[j] = op.foldInt64(rvec[j], x)
+				}
+			}
+			rvecN += s.vaccN
+			s.vaccN = 0
 		}
 		buf = append(buf, s.waiters...)
 		clear(s.waiters)
@@ -261,38 +409,51 @@ func (h *collHub) await(t *task, rank int, now float64) (float64, int32) {
 		s.maxRank = -1
 		s.mu.Unlock()
 	}
+	if (raccN != 0 && raccN != h.n) || (rvecN != 0 && rvecN != h.n) {
+		panic("mpi: mismatched collective operations across ranks (MPI contract violation)")
+	}
 	h.roundMax = maxNow
 	h.roundMaxRank = maxRank
+	h.redOut[p] = racc
+	h.vredOut[p] = rvec
 	h.pendingShards.Store(int32(len(h.shards)))
-	h.gen.Add(1) // publishes roundMax + resets; waiters may now proceed
-	for _, wt := range buf {
-		if wt != t {
-			wt.unpark()
+	h.gen.Add(1) // publishes round outputs + resets; waiters may now proceed
+	if pool := t.pool; pool != nil {
+		pool.readyBatch(buf, t)
+	} else {
+		for _, wt := range buf {
+			if wt != t {
+				wt.unpark()
+			}
 		}
 	}
 	return maxNow, maxRank
 }
 
 // enterColl deposits this rank's payload (dep performs plain writes to
-// the rank's own slots; no lock needed, the barrier orders them) and
-// runs the deposit barrier. It returns the synchronized clock — the
-// maximum virtual time across all ranks at entry — and the comm rank
-// that brought it (the last entrant).
-func (c *Comm) enterColl(dep func(h *collHub)) (*collHub, float64, int) {
+// the rank's own slots at parity p; no lock needed, the barrier orders
+// them) and runs the deposit barrier. It returns the round's parity for
+// the read phase plus the synchronized clock — the maximum virtual time
+// across all ranks at entry — and the comm rank that brought it (the
+// last entrant). The parity read is stable: the hub's round cannot
+// advance before this rank itself deposits.
+func (c *Comm) enterColl(dep func(h *collHub, p int)) (*collHub, int, float64, int) {
 	c.ps.collStart = c.ps.now
 	h := c.hub
+	p := int(h.gen.Load() & 1)
 	if dep != nil {
-		dep(h)
+		dep(h, p)
 	}
 	tmax, lastRank := h.await(c.ps.task, c.rank, c.ps.now)
-	return h, tmax, int(lastRank)
+	return h, p, tmax, int(lastRank)
 }
 
-// exitColl runs the release barrier and applies the synchronized clock.
+// exitColl applies the synchronized clock and books the collective.
 // last is the comm rank of the round's last entrant: the rank every
-// other member's collective wait is attributed to.
-func (c *Comm) exitColl(h *collHub, tmax float64, last int, bytes int64) {
-	h.await(c.ps.task, c.rank, 0)
+// other member's collective wait is attributed to. There is no release
+// barrier — parity double-buffering (see collHub) makes the read phase
+// race-free without one.
+func (c *Comm) exitColl(tmax float64, last int, bytes int64) {
 	end := tmax + c.w.cost.collCost(c.size(), bytes)
 	cause := -1
 	if last >= 0 {
@@ -306,64 +467,59 @@ func (c *Comm) exitColl(h *collHub, tmax float64, last int, bytes int64) {
 
 // Barrier blocks until all ranks have entered it.
 func (c *Comm) Barrier() {
-	h, tmax, last := c.enterColl(nil)
-	c.exitColl(h, tmax, last, 8)
+	_, _, tmax, last := c.enterColl(nil)
+	c.exitColl(tmax, last, 8)
 }
 
 // AllreduceInt64 combines in element-wise across all ranks with op and
 // returns the combined vector on every rank. All ranks must pass vectors
-// of the same length.
+// of the same length. The fold happens inside the deposit barrier (see
+// awaitFold), so each rank's cost is O(len(in)), independent of the
+// communicator size.
 func (c *Comm) AllreduceInt64(op ReduceOp, in []int64) []int64 {
-	h, tmax, last := c.enterColl(func(h *collHub) {
-		h.ideps[c.rank] = in
-	})
-	if len(h.ideps[0]) != len(in) {
-		panic(fmt.Sprintf("mpi: AllreduceInt64 length mismatch: rank %d has %d, rank 0 has %d", c.rank, len(in), len(h.ideps[0])))
-	}
-	out := append([]int64(nil), h.ideps[0]...)
-	for r := 1; r < c.size(); r++ {
-		for i, v := range h.ideps[r] {
-			out[i] = op.foldInt64(out[i], v)
-		}
-	}
-	c.exitColl(h, tmax, last, int64(8*len(in)))
+	c.ps.collStart = c.ps.now
+	h := c.hub
+	p := h.gen.Load() & 1
+	tmax, last := h.awaitFold(c.ps.task, c.rank, c.ps.now, foldVec, op, 0, in)
+	out := append([]int64(nil), h.vredOut[p]...)
+	c.exitColl(tmax, int(last), int64(8*len(in)))
 	return out
 }
 
 // AllreduceScalarInt64 combines a single int64 across all ranks with op
 // and returns the combined value on every rank. It is equivalent to
-// AllreduceInt64 on a one-element vector but allocation-free: the deposit
-// travels through a per-process scratch cell and the fold happens in
-// registers. The matching and coloring drivers call this once per round
-// for termination detection, which makes it part of the steady-state hot
-// path.
+// AllreduceInt64 on a one-element vector but allocation-free: the value
+// folds into the shard accumulator on arrival and every rank reads one
+// published result. The matching and coloring drivers call this once per
+// round for termination detection, which makes it part of the
+// steady-state hot path.
 func (c *Comm) AllreduceScalarInt64(op ReduceOp, v int64) int64 {
-	c.ps.collScratch[0] = v
-	h, tmax, last := c.enterColl(func(h *collHub) {
-		h.ideps[c.rank] = c.ps.collScratch[:]
-	})
-	out := h.ideps[0][0]
-	for r := 1; r < c.size(); r++ {
-		out = op.foldInt64(out, h.ideps[r][0])
-	}
-	c.exitColl(h, tmax, last, 8)
+	c.ps.collStart = c.ps.now
+	h := c.hub
+	p := h.gen.Load() & 1
+	tmax, last := h.awaitFold(c.ps.task, c.rank, c.ps.now, foldScalar, op, v, nil)
+	out := h.redOut[p]
+	c.exitColl(tmax, int(last), 8)
 	return out
 }
 
-// AllreduceFloat64 is AllreduceInt64 for float64 vectors. The fold is
-// performed in rank order on every rank, so the result is deterministic
-// and identical everywhere.
+// AllreduceFloat64 is AllreduceInt64 for float64 vectors. Floating-point
+// folds are not associative, so this path keeps the deposit slots and
+// folds in rank order on every rank — the result is deterministic and
+// identical everywhere, at O(P) cost per rank.
 func (c *Comm) AllreduceFloat64(op ReduceOp, in []float64) []float64 {
-	h, tmax, last := c.enterColl(func(h *collHub) {
-		h.fdeps[c.rank] = in
+	h, p, tmax, last := c.enterColl(func(h *collHub, p int) {
+		h.ensureFdeps()
+		h.fdeps[p][c.rank] = in
 	})
-	out := append([]float64(nil), h.fdeps[0]...)
+	deps := h.fdeps[p]
+	out := append([]float64(nil), deps[0]...)
 	for r := 1; r < c.size(); r++ {
-		for i, v := range h.fdeps[r] {
+		for i, v := range deps[r] {
 			out[i] = op.foldFloat64(out[i], v)
 		}
 	}
-	c.exitColl(h, tmax, last, int64(8*len(in)))
+	c.exitColl(tmax, last, int64(8*len(in)))
 	return out
 }
 
@@ -374,14 +530,16 @@ func (c *Comm) AlltoallInt64(send []int64, chunk int) []int64 {
 	if len(send) != c.size()*chunk {
 		panic(fmt.Sprintf("mpi: AlltoallInt64: len(send)=%d, want %d*%d", len(send), c.size(), chunk))
 	}
-	h, tmax, last := c.enterColl(func(h *collHub) {
-		h.ideps[c.rank] = send
+	h, p, tmax, last := c.enterColl(func(h *collHub, p int) {
+		h.ensureIdeps()
+		h.ideps[p][c.rank] = send
 	})
+	deps := h.ideps[p]
 	out := make([]int64, c.size()*chunk)
 	for r := 0; r < c.size(); r++ {
-		copy(out[r*chunk:(r+1)*chunk], h.ideps[r][c.rank*chunk:(c.rank+1)*chunk])
+		copy(out[r*chunk:(r+1)*chunk], deps[r][c.rank*chunk:(c.rank+1)*chunk])
 	}
-	c.exitColl(h, tmax, last, int64(8*len(send)))
+	c.exitColl(tmax, last, int64(8*len(send)))
 	return out
 }
 
@@ -392,16 +550,18 @@ func (c *Comm) AlltoallvInt64(send [][]int64) [][]int64 {
 	if len(send) != c.size() {
 		panic(fmt.Sprintf("mpi: AlltoallvInt64: len(send)=%d, want %d", len(send), c.size()))
 	}
-	h, tmax, last := c.enterColl(func(h *collHub) {
-		h.vdeps[c.rank] = send
+	h, p, tmax, last := c.enterColl(func(h *collHub, p int) {
+		h.ensureVdeps()
+		h.vdeps[p][c.rank] = send
 	})
+	deps := h.vdeps[p]
 	out := make([][]int64, c.size())
 	var bytes int64
 	for r := 0; r < c.size(); r++ {
-		out[r] = append([]int64(nil), h.vdeps[r][c.rank]...)
+		out[r] = append([]int64(nil), deps[r][c.rank]...)
 		bytes += int64(8 * len(send[r]))
 	}
-	c.exitColl(h, tmax, last, bytes)
+	c.exitColl(tmax, last, bytes)
 	return out
 }
 
@@ -409,14 +569,16 @@ func (c *Comm) AlltoallvInt64(send [][]int64) [][]int64 {
 // rank r's contribution. Contributions may differ in length (MPI's
 // Allgatherv generality).
 func (c *Comm) AllgatherInt64(mine []int64) [][]int64 {
-	h, tmax, last := c.enterColl(func(h *collHub) {
-		h.ideps[c.rank] = mine
+	h, p, tmax, last := c.enterColl(func(h *collHub, p int) {
+		h.ensureIdeps()
+		h.ideps[p][c.rank] = mine
 	})
+	deps := h.ideps[p]
 	out := make([][]int64, c.size())
 	for r := 0; r < c.size(); r++ {
-		out[r] = append([]int64(nil), h.ideps[r]...)
+		out[r] = append([]int64(nil), deps[r]...)
 	}
-	c.exitColl(h, tmax, last, int64(8*len(mine)))
+	c.exitColl(tmax, last, int64(8*len(mine)))
 	return out
 }
 
@@ -424,13 +586,14 @@ func (c *Comm) AllgatherInt64(mine []int64) [][]int64 {
 // private copy. Non-root ranks' data argument is ignored (may be nil).
 func (c *Comm) BcastInt64(root int, data []int64) []int64 {
 	c.checkRank(root, "bcast")
-	h, tmax, last := c.enterColl(func(h *collHub) {
+	h, p, tmax, last := c.enterColl(func(h *collHub, p int) {
+		h.ensureIdeps()
 		if c.rank == root {
-			h.ideps[root] = data
+			h.ideps[p][root] = data
 		}
 	})
-	out := append([]int64(nil), h.ideps[root]...)
-	c.exitColl(h, tmax, last, int64(8*len(out)))
+	out := append([]int64(nil), h.ideps[p][root]...)
+	c.exitColl(tmax, last, int64(8*len(out)))
 	return out
 }
 
@@ -438,19 +601,21 @@ func (c *Comm) BcastInt64(root int, data []int64) []int64 {
 // receives the result; other ranks return nil.
 func (c *Comm) ReduceInt64(root int, op ReduceOp, in []int64) []int64 {
 	c.checkRank(root, "reduce")
-	h, tmax, last := c.enterColl(func(h *collHub) {
-		h.ideps[c.rank] = in
+	h, p, tmax, last := c.enterColl(func(h *collHub, p int) {
+		h.ensureIdeps()
+		h.ideps[p][c.rank] = in
 	})
 	var out []int64
 	if c.rank == root {
-		out = append([]int64(nil), h.ideps[0]...)
+		deps := h.ideps[p]
+		out = append([]int64(nil), deps[0]...)
 		for r := 1; r < c.size(); r++ {
-			for i, v := range h.ideps[r] {
+			for i, v := range deps[r] {
 				out[i] = op.foldInt64(out[i], v)
 			}
 		}
 	}
-	c.exitColl(h, tmax, last, int64(8*len(in)))
+	c.exitColl(tmax, last, int64(8*len(in)))
 	return out
 }
 
@@ -458,16 +623,18 @@ func (c *Comm) ReduceInt64(root int, op ReduceOp, in []int64) []int64 {
 // rank r's contribution, other ranks return nil.
 func (c *Comm) GatherInt64(root int, mine []int64) [][]int64 {
 	c.checkRank(root, "gather")
-	h, tmax, last := c.enterColl(func(h *collHub) {
-		h.ideps[c.rank] = mine
+	h, p, tmax, last := c.enterColl(func(h *collHub, p int) {
+		h.ensureIdeps()
+		h.ideps[p][c.rank] = mine
 	})
 	var out [][]int64
 	if c.rank == root {
+		deps := h.ideps[p]
 		out = make([][]int64, c.size())
 		for r := 0; r < c.size(); r++ {
-			out[r] = append([]int64(nil), h.ideps[r]...)
+			out[r] = append([]int64(nil), deps[r]...)
 		}
 	}
-	c.exitColl(h, tmax, last, int64(8*len(mine)))
+	c.exitColl(tmax, last, int64(8*len(mine)))
 	return out
 }

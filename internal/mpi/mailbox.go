@@ -43,14 +43,29 @@ import (
 // O(#messages) — which preserves the earliest-virtual-arrival selection
 // the timing model depends on (see the comment on matchUserLocked).
 //
-// Buckets are stored densely (an indexed array) for worlds of up to
-// denseSrcLimit ranks and sparsely (a lazily populated map keyed by
-// source) above that: a graph-topology rank hears from its process-graph
-// neighbors, not from all P peers, so dense bucket tables would cost
-// O(P) per mailbox = O(P^2) per world — about 10 GB of empty buckets at
-// 16K ranks. Either way, buckets holding live user traffic are also
-// linked into an active list of bucket pointers, so wildcard scans never
-// touch the map.
+// The per-bucket indexes are small slices of inline rings, not maps: a
+// rank hears from a handful of sources on a handful of (comm, tag)
+// keys, so a linear scan over an index of a few entries beats three Go
+// maps' hashing and — more important at scale — their per-bucket heap
+// footprint. Keys are never removed (rings are retained and reused), so
+// a bucket whose tag-key cardinality ever exceeds bucketScanLimit
+// installs a position map once and keeps O(1) lookups; below the limit
+// the map never exists. Internal (itag) keys ARE retired — itags embed
+// per-topology sequence numbers, so every collective round arrives
+// under a fresh key — by marking the slot free (itag 0) and reusing it
+// in place, which keeps the steady state allocation-free without the
+// old shared free-list of queue pointers.
+//
+// Buckets are stored as a dense pointer table (indexed by source, slots
+// nil until first traffic) for worlds of up to denseSrcLimit ranks and
+// in a lazily populated map above that: a graph-topology rank hears
+// from its process-graph neighbors, not from all P peers, so eager
+// per-source bucket structs would cost O(P) per mailbox = O(P^2) per
+// world. Either way buckets are allocated in chunks on first traffic,
+// and buckets holding live user traffic are linked into an active list,
+// so wildcard scans never touch the table. Chunk storage is
+// pointer-stable: index entries and the active list hold *srcBucket
+// safely across appends.
 //
 // Messages themselves are pooled: see message.release. Payloads of up to
 // inlineWords words (covering the 3-word protocol records that dominate
@@ -63,10 +78,33 @@ import (
 const inlineWords = 4
 
 // denseSrcLimit is the world size up to which a mailbox keeps its
-// source buckets in a dense array. Above it buckets are allocated
-// per-source on first traffic, bounding mailbox memory by the rank's
-// in-degree instead of the world size.
+// source-bucket pointers in a dense table. Above it buckets are found
+// through a map, bounding mailbox memory by the rank's in-degree
+// instead of the world size.
 const denseSrcLimit = 1024
+
+// bucketScanLimit is the per-bucket tag-key cardinality above which a
+// bucket installs a position map over its tag index. Matching protocols
+// use a handful of tags, so the map is for pathological workloads only.
+const bucketScanLimit = 16
+
+// bucketChunk is how many srcBucket structs are allocated at once when
+// a mailbox needs a new bucket. Graph topologies have small in-degrees
+// (2 for a ring, a few dozen for meshes and halos), so the chunk is kept
+// tiny: a stranded unused struct costs as much as the allocation it
+// saves.
+const bucketChunk = 2
+
+// qRetainEnts caps the ring capacity a retired or reset queue keeps for
+// reuse. Rings grow by doubling during backlog spikes (a 1K-message
+// burst grows one ring to 16 KiB); without the cap a pooled world pins
+// every spike's high-water ring forever.
+const qRetainEnts = 64
+
+// spillRetainWords caps the spill-buffer capacity a pooled message
+// keeps, for the same reason: one huge payload must not pin an 8 KiB+
+// buffer in the process-wide pool for the rest of its life.
+const spillRetainWords = 1024
 
 // message is an in-flight payload. itag != 0 marks runtime-internal
 // traffic (neighborhood collectives, RMA control) which is invisible to
@@ -125,6 +163,9 @@ func newMessage(src, tag int, itag int64, mctx int32, data []int64) *message {
 func (m *message) release() {
 	m.gen.Add(1)
 	m.data = nil
+	if cap(m.spill) > spillRetainWords {
+		m.spill = nil
+	}
 	msgPool.Put(m)
 }
 
@@ -138,9 +179,9 @@ type qent struct {
 }
 
 // msgq is a FIFO ring of messages. Capacity grows by doubling and is
-// retained for the life of the mailbox, so steady-state operation does
-// not allocate. front and pop skip entries already taken through another
-// index.
+// retained for reuse (capped at qRetainEnts on retirement/reset), so
+// steady-state operation does not allocate. front and pop skip entries
+// already taken through another index.
 type msgq struct {
 	buf  []qent
 	head int // index of the front element (valid when n > 0)
@@ -149,7 +190,7 @@ type msgq struct {
 
 func (q *msgq) push(m *message) {
 	if q.n == len(q.buf) {
-		grown := make([]qent, max(8, 2*len(q.buf)))
+		grown := make([]qent, max(4, 2*len(q.buf)))
 		for i := 0; i < q.n; i++ {
 			grown[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
 		}
@@ -182,23 +223,141 @@ func (q *msgq) popFront() {
 	q.n--
 }
 
-// tagKey indexes a user-level (communicator, tag) FIFO within a bucket.
+// trim drops an oversized ring so a pooled world sheds backlog spikes.
+// Only legal when the ring is logically empty (front/pop zero slots as
+// they retire entries, so an n==0 ring holds no message pointers).
+func (q *msgq) trim() {
+	if q.n == 0 && cap(q.buf) > qRetainEnts {
+		q.buf, q.head = nil, 0
+	}
+}
+
+// tagKey identifies a user-level (communicator, tag) FIFO within a
+// bucket; used only by the overflow position map.
 type tagKey struct {
 	mctx int32
 	tag  int
 }
 
+// userq is one per-communicator arrival FIFO: every user-level message
+// from this bucket's source in communicator mctx, in arrival order.
+type userq struct {
+	mctx int32
+	q    msgq
+}
+
+// tagq is one (communicator, tag) FIFO.
+type tagq struct {
+	mctx int32
+	tag  int
+	q    msgq
+}
+
+// intq is one internal (itag) FIFO; itag 0 marks a retired slot whose
+// ring is ready for reuse under the next fresh key.
+type intq struct {
+	itag int64
+	q    msgq
+}
+
 // srcBucket holds everything queued from one source rank. For a fixed
 // communicator a source rank maps to exactly one sending goroutine, so
-// each FIFO below has a single producer with a monotone clock.
+// each FIFO below has a single producer with a monotone clock. Index
+// entries hold their rings by value; pointers into the slices are only
+// ever used within one locked mailbox call, never across appends.
 type srcBucket struct {
-	user  map[int32]*msgq  // mctx -> user messages in arrival order
-	tags  map[tagKey]*msgq // (mctx, tag) -> user messages with that tag
-	intl  map[int64]*msgq  // itag -> internal messages
-	src   int32            // source rank this bucket indexes
-	nUser int              // live user-level messages in this bucket
-	alive int              // position in mailbox.active, or -1
-	used  bool             // touched since the last reset (dense mode)
+	user   []userq // per-communicator arrival FIFOs
+	tags   []tagq  // per (communicator, tag) FIFOs; keys never removed
+	intl   []intq  // per live-itag FIFOs; slots retire in place
+	tagIdx map[tagKey]int
+	src    int32 // source rank this bucket indexes
+	nUser  int32 // live user-level messages in this bucket
+	alive  int32 // position in mailbox.active, or -1
+}
+
+// userqFor returns the arrival FIFO for mctx, creating it if needed.
+func (b *srcBucket) userqFor(mctx int32) *msgq {
+	for i := range b.user {
+		if b.user[i].mctx == mctx {
+			return &b.user[i].q
+		}
+	}
+	b.user = append(b.user, userq{mctx: mctx})
+	return &b.user[len(b.user)-1].q
+}
+
+// userPeek returns the arrival FIFO for mctx, or nil.
+func (b *srcBucket) userPeek(mctx int32) *msgq {
+	for i := range b.user {
+		if b.user[i].mctx == mctx {
+			return &b.user[i].q
+		}
+	}
+	return nil
+}
+
+// tagqFor returns the (mctx, tag) FIFO, creating it if needed. When the
+// key cardinality outgrows a linear scan the bucket installs a position
+// map once; entries are never removed, so positions stay valid.
+func (b *srcBucket) tagqFor(mctx int32, tag int) *msgq {
+	if b.tagIdx != nil {
+		if i, ok := b.tagIdx[tagKey{mctx, tag}]; ok {
+			return &b.tags[i].q
+		}
+	} else {
+		for i := range b.tags {
+			if b.tags[i].tag == tag && b.tags[i].mctx == mctx {
+				return &b.tags[i].q
+			}
+		}
+	}
+	b.tags = append(b.tags, tagq{mctx: mctx, tag: tag})
+	i := len(b.tags) - 1
+	if b.tagIdx != nil {
+		b.tagIdx[tagKey{mctx, tag}] = i
+	} else if len(b.tags) > bucketScanLimit {
+		b.tagIdx = make(map[tagKey]int, 2*len(b.tags))
+		for j := range b.tags {
+			b.tagIdx[tagKey{b.tags[j].mctx, b.tags[j].tag}] = j
+		}
+	}
+	return &b.tags[i].q
+}
+
+// tagPeek returns the (mctx, tag) FIFO, or nil.
+func (b *srcBucket) tagPeek(mctx int32, tag int) *msgq {
+	if b.tagIdx != nil {
+		if i, ok := b.tagIdx[tagKey{mctx, tag}]; ok {
+			return &b.tags[i].q
+		}
+		return nil
+	}
+	for i := range b.tags {
+		if b.tags[i].tag == tag && b.tags[i].mctx == mctx {
+			return &b.tags[i].q
+		}
+	}
+	return nil
+}
+
+// intlqFor returns the FIFO for itag, reusing a retired slot (ring
+// included) before growing the index.
+func (b *srcBucket) intlqFor(itag int64) *msgq {
+	free := -1
+	for i := range b.intl {
+		if b.intl[i].itag == itag {
+			return &b.intl[i].q
+		}
+		if b.intl[i].itag == 0 && free < 0 {
+			free = i
+		}
+	}
+	if free >= 0 {
+		b.intl[free].itag = itag
+		return &b.intl[free].q
+	}
+	b.intl = append(b.intl, intq{itag: itag})
+	return &b.intl[len(b.intl)-1].q
 }
 
 // mailbox is one rank's receive queue. Senders push under mu; the single
@@ -208,12 +367,12 @@ type srcBucket struct {
 type mailbox struct {
 	mu       sync.Mutex
 	owner    *task
-	dense    []srcBucket          // index by src; non-nil for small worlds
+	dense    []*srcBucket         // index by src; non-nil for small worlds, slots lazily filled
 	sparse   map[int32]*srcBucket // lazily populated for large worlds
-	used     []*srcBucket         // buckets touched since the last reset
+	used     []*srcBucket         // buckets created since the mailbox was built
 	active   []*srcBucket         // buckets with nUser > 0, unordered
+	bfree    []*srcBucket         // preallocated buckets (chunk remainder)
 	nUser    int                  // live user-level messages across all buckets
-	qfree    []*msgq              // recycled internal queues (itags are sequence-numbered)
 	parked   bool                 // the owner's task is parked on this mailbox
 	queued   int64                // bytes currently queued (eager-buffer occupancy)
 	hw       int64                // high-water of queued
@@ -229,12 +388,25 @@ type mailbox struct {
 // (communicator ranks are always < the world size n).
 func newMailbox(n int) *mailbox {
 	mb := &mailbox{}
-	if n <= denseSrcLimit {
-		mb.dense = make([]srcBucket, n)
-	} else {
-		mb.sparse = make(map[int32]*srcBucket)
-	}
+	mb.init(n, nil)
 	return mb
+}
+
+// init prepares a zero mailbox for a world of n ranks. denseTab, when
+// non-nil, is a caller-provided len-n pointer table (worldState carves
+// all n tables out of one n*n backing array so a dense world costs one
+// allocation instead of n). Large worlds start with no index at all:
+// buckets are found by scanning the used list while the in-degree stays
+// below bucketScanLimit, and the sparse map is built only on spill — so
+// the common graph-topology mailbox (a handful of neighbor sources)
+// never pays for a map.
+func (mb *mailbox) init(n int, denseTab []*srcBucket) {
+	if n <= denseSrcLimit {
+		if denseTab == nil {
+			denseTab = make([]*srcBucket, n)
+		}
+		mb.dense = denseTab
+	}
 }
 
 // compatible reports whether a pooled mailbox can serve a world of n
@@ -243,22 +415,42 @@ func (mb *mailbox) compatible(n int) bool {
 	return mb.dense == nil || len(mb.dense) >= n
 }
 
+// newBucket hands out a bucket from the chunk free-list, refilling it
+// with a bucketChunk-sized allocation when empty. Chunk storage is never
+// reallocated, so the returned pointer is stable for the mailbox's life.
+func (mb *mailbox) newBucket(src int32) *srcBucket {
+	if len(mb.bfree) == 0 {
+		chunk := make([]srcBucket, bucketChunk)
+		for i := range chunk {
+			mb.bfree = append(mb.bfree, &chunk[i])
+		}
+	}
+	n := len(mb.bfree) - 1
+	b := mb.bfree[n]
+	mb.bfree[n] = nil
+	mb.bfree = mb.bfree[:n]
+	b.src, b.alive = src, -1
+	mb.used = append(mb.used, b)
+	return b
+}
+
 // bucket returns (creating if needed) the bucket for source src. Caller
 // holds mb.mu.
 func (mb *mailbox) bucket(src int32) *srcBucket {
-	if mb.dense != nil {
-		b := &mb.dense[src]
-		if !b.used {
-			b.used, b.src, b.alive = true, src, -1
-			mb.used = append(mb.used, b)
-		}
+	if b := mb.peek(src); b != nil {
 		return b
 	}
-	b := mb.sparse[src]
-	if b == nil {
-		b = &srcBucket{src: src, alive: -1, used: true}
+	b := mb.newBucket(src)
+	if mb.dense != nil {
+		mb.dense[src] = b
+	} else if mb.sparse != nil {
 		mb.sparse[src] = b
-		mb.used = append(mb.used, b)
+	} else if len(mb.used) > bucketScanLimit {
+		// In-degree outgrew the linear scan: install the map once.
+		mb.sparse = make(map[int32]*srcBucket, 2*len(mb.used))
+		for _, ub := range mb.used {
+			mb.sparse[ub.src] = ub
+		}
 	}
 	return b
 }
@@ -266,13 +458,17 @@ func (mb *mailbox) bucket(src int32) *srcBucket {
 // peek returns the bucket for src without creating one, or nil.
 func (mb *mailbox) peek(src int32) *srcBucket {
 	if mb.dense != nil {
-		b := &mb.dense[src]
-		if !b.used {
-			return nil
-		}
-		return b
+		return mb.dense[src]
 	}
-	return mb.sparse[src]
+	if mb.sparse != nil {
+		return mb.sparse[src]
+	}
+	for _, b := range mb.used {
+		if b.src == src {
+			return b
+		}
+	}
+	return nil
 }
 
 // push enqueues m, indexing it by source and tag, and unparks the owner
@@ -288,44 +484,14 @@ func (mb *mailbox) push(m *message) {
 	}
 	b := mb.bucket(int32(m.src))
 	if m.itag != 0 {
-		if b.intl == nil {
-			b.intl = make(map[int64]*msgq)
-		}
-		q := b.intl[m.itag]
-		if q == nil {
-			// Internal tags embed a per-topology sequence number, so every
-			// collective round arrives under a fresh key; recycling drained
-			// queues (rings included) keeps the steady state allocation-free.
-			if n := len(mb.qfree); n > 0 {
-				q, mb.qfree = mb.qfree[n-1], mb.qfree[:n-1]
-			} else {
-				q = new(msgq)
-			}
-			b.intl[m.itag] = q
-		}
-		q.push(m)
+		b.intlqFor(m.itag).push(m)
 	} else {
-		if b.user == nil {
-			b.user = make(map[int32]*msgq)
-			b.tags = make(map[tagKey]*msgq)
-		}
-		q := b.user[m.mctx]
-		if q == nil {
-			q = new(msgq)
-			b.user[m.mctx] = q
-		}
-		q.push(m)
-		k := tagKey{m.mctx, m.tag}
-		tq := b.tags[k]
-		if tq == nil {
-			tq = new(msgq)
-			b.tags[k] = tq
-		}
-		tq.push(m)
+		b.userqFor(m.mctx).push(m)
+		b.tagqFor(m.mctx, m.tag).push(m)
 		b.nUser++
 		mb.nUser++
 		if b.alive < 0 {
-			b.alive = len(mb.active)
+			b.alive = int32(len(mb.active))
 			mb.active = append(mb.active, b)
 		}
 	}
@@ -380,15 +546,14 @@ func (mb *mailbox) take(m *message) {
 func (b *srcBucket) userFront(tag int, mctx int32) (*message, *msgq) {
 	var q *msgq
 	if tag == AnyTag {
-		q = b.user[mctx]
+		q = b.userPeek(mctx)
 	} else {
-		q = b.tags[tagKey{mctx, tag}]
+		q = b.tagPeek(mctx, tag)
 	}
 	if q == nil {
 		return nil, nil
 	}
-	m := q.front()
-	return m, q
+	return q.front(), q
 }
 
 // matchUserLocked finds the queued user-level message matching (src, tag)
@@ -516,25 +681,32 @@ func (mb *mailbox) pickAnySourceLocked(tag int, mctx int32, now float64) (*messa
 // internal message from src with the exact itag. The caller holds mb.mu.
 func (mb *mailbox) matchInternalLocked(src int, itag int64, remove bool) *message {
 	b := mb.peek(int32(src))
-	if b == nil || b.intl == nil {
+	if b == nil {
 		return nil
 	}
-	q := b.intl[itag]
-	if q == nil {
+	var e *intq
+	for i := range b.intl {
+		if b.intl[i].itag == itag {
+			e = &b.intl[i]
+			break
+		}
+	}
+	if e == nil {
 		return nil
 	}
-	m := q.front()
+	m := e.q.front()
 	if m == nil {
 		return nil
 	}
 	if remove {
-		q.popFront()
+		e.q.popFront()
 		mb.queued -= m.bytes
 		// Internal messages are single-indexed, so n == 0 means truly
-		// empty: retire the queue for reuse under the next fresh itag.
-		if q.n == 0 {
-			delete(b.intl, itag)
-			mb.qfree = append(mb.qfree, q)
+		// empty: retire the slot in place for reuse under the next fresh
+		// itag, shedding any backlog-spike ring on the way.
+		if e.q.n == 0 {
+			e.itag = 0
+			e.q.trim()
 		}
 	}
 	return m
@@ -553,22 +725,25 @@ func drainQueue(q *msgq) {
 // reset drains and reinitializes a mailbox for reuse by the next run.
 // Live messages (protocols like the Send-Recv matcher legally finish
 // with stale traffic queued) go back to the message pool; the bucket
-// maps and index rings are retained, since communicator ids and
-// internal tags restart identically in a fresh world, so a pooled
-// mailbox's steady state carries over. Only mailboxes from clean runs
-// are reset — failed or poisoned runs discard the whole world state.
+// index entries and their rings are retained (trimmed of spike-sized
+// capacity), since communicator ids and internal tags restart
+// identically in a fresh world, so a pooled mailbox's steady state
+// carries over. Only mailboxes from clean runs are reset — failed or
+// poisoned runs discard the whole world state.
 func (mb *mailbox) reset() {
 	for _, b := range mb.used {
-		for _, q := range b.user {
-			drainQueue(q) // primary index: releases each live message
+		for i := range b.user {
+			drainQueue(&b.user[i].q) // primary index: releases each live message
+			b.user[i].q.trim()
 		}
-		for _, q := range b.tags {
-			drainQueue(q) // secondary index: all entries now dead
+		for i := range b.tags {
+			drainQueue(&b.tags[i].q) // secondary index: all entries now dead
+			b.tags[i].q.trim()
 		}
-		for itag, q := range b.intl {
-			drainQueue(q)
-			delete(b.intl, itag)
-			mb.qfree = append(mb.qfree, q)
+		for i := range b.intl {
+			drainQueue(&b.intl[i].q)
+			b.intl[i].itag = 0
+			b.intl[i].q.trim()
 		}
 		b.nUser = 0
 		b.alive = -1

@@ -330,3 +330,151 @@ func TestMailboxPoisonedPushNoOp(t *testing.T) {
 		t.Errorf("pre-poison message lost: %+v", m)
 	}
 }
+
+// TestMailboxDenseSparseCrossover pins the bucket-storage crossover at
+// denseSrcLimit: a world of exactly denseSrcLimit ranks uses the dense
+// pointer table, one rank more uses the scan/map path — and matching
+// semantics (bucket resolution for edge sources, per-source FIFO,
+// AnySource ties breaking toward the lower source) are identical on
+// both sides of the threshold.
+func TestMailboxDenseSparseCrossover(t *testing.T) {
+	for _, n := range []int{denseSrcLimit, denseSrcLimit + 1} {
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			mb := newMailbox(n)
+			wantDense := n <= denseSrcLimit
+			if gotDense := mb.dense != nil; gotDense != wantDense {
+				t.Fatalf("n=%d: dense table present=%v, want %v", n, gotDense, wantDense)
+			}
+			if wantDense && len(mb.dense) != n {
+				t.Fatalf("dense table len %d, want %d", len(mb.dense), n)
+			}
+			// Sources at both edges of the id space, plus a middle one.
+			lo, mid, hi := 0, n/2, n-1
+			pushAt(mb, hi, 7, 30, 0) // ties at arrive=30 with mid: lower src wins
+			pushAt(mb, lo, 7, 40, 1)
+			pushAt(mb, mid, 7, 30, 2)
+			pushAt(mb, lo, 7, 41, 3) // FIFO behind lo's first
+			for _, src := range []int{lo, mid, hi} {
+				if mb.peek(int32(src)) == nil {
+					t.Fatalf("n=%d: bucket for src %d did not resolve", n, src)
+				}
+			}
+			if b := mb.peek(int32(mid + 1)); b != nil {
+				t.Fatalf("n=%d: phantom bucket for silent src %d", n, mid+1)
+			}
+			got := drainAll(mb)
+			wantSrc := []int{mid, hi, lo, lo}
+			wantSeq := []int64{2, 0, 1, 3}
+			if len(got) != len(wantSrc) {
+				t.Fatalf("drained %d messages, want %d", len(got), len(wantSrc))
+			}
+			for i, m := range got {
+				if m.src != wantSrc[i] || m.data[0] != wantSeq[i] {
+					t.Errorf("n=%d match %d: (src %d, seq %d), want (src %d, seq %d)",
+						n, i, m.src, m.data[0], wantSrc[i], wantSeq[i])
+				}
+				m.release()
+			}
+		})
+	}
+}
+
+// TestMailboxSparseMapSpill drives a large-world mailbox past
+// bucketScanLimit distinct sources: below the limit buckets are found by
+// scanning the used list (no map exists), above it the map is installed
+// once and every bucket — old and new — still resolves.
+func TestMailboxSparseMapSpill(t *testing.T) {
+	n := denseSrcLimit + 100
+	mb := newMailbox(n)
+	nsrc := bucketScanLimit + 4
+	for s := 0; s < nsrc; s++ {
+		pushAt(mb, s, 3, float64(s+1), int64(s))
+		if s == bucketScanLimit-2 && mb.sparse != nil {
+			t.Fatalf("map installed at %d sources, below the scan limit %d", s+1, bucketScanLimit)
+		}
+	}
+	if mb.sparse == nil {
+		t.Fatalf("map not installed after %d sources (scan limit %d)", nsrc, bucketScanLimit)
+	}
+	if len(mb.sparse) != nsrc {
+		t.Fatalf("spilled map holds %d buckets, want %d", len(mb.sparse), nsrc)
+	}
+	for s := 0; s < nsrc; s++ {
+		mb.mu.Lock()
+		m := mb.matchUserLocked(s, 3, 0, true, 0)
+		mb.mu.Unlock()
+		if m == nil || m.data[0] != int64(s) {
+			t.Fatalf("exact-source match for src %d failed after map spill: %+v", s, m)
+		}
+		m.release()
+	}
+}
+
+// TestMailboxRingTrimOnReset pins the backlog-spike shedding (the old
+// unbounded recycled-queue list): after a burst grows a ring well past
+// qRetainEnts, reset must cap the retained capacity, while a
+// steady-state-sized ring is kept for reuse.
+func TestMailboxRingTrimOnReset(t *testing.T) {
+	mb := newMailbox(8)
+	const burst = 4 * qRetainEnts
+	for i := 0; i < burst; i++ {
+		pushAt(mb, 1, 2, float64(i+1), int64(i))
+	}
+	pushAt(mb, 2, 2, 1, 0) // steady-sized ring on another source
+	b1 := mb.peek(1)
+	if c := cap(b1.userPeek(0).buf); c < burst {
+		t.Fatalf("burst ring capacity %d, want >= %d", c, burst)
+	}
+	mb.reset() // releases the backlog and trims spike-sized rings
+	if c := cap(b1.userPeek(0).buf); c > qRetainEnts {
+		t.Errorf("user ring kept capacity %d after reset, want <= %d", c, qRetainEnts)
+	}
+	if c := cap(b1.tagPeek(0, 2).buf); c > qRetainEnts {
+		t.Errorf("tag ring kept capacity %d after reset, want <= %d", c, qRetainEnts)
+	}
+	b2 := mb.peek(2)
+	if q := b2.userPeek(0); q == nil || cap(q.buf) == 0 || cap(q.buf) > qRetainEnts {
+		t.Errorf("steady ring not retained for reuse: %+v", q)
+	}
+	if got := mb.pendingUser(); got != 0 {
+		t.Errorf("pending after reset = %d, want 0", got)
+	}
+}
+
+// TestMailboxInternalSlotRetire pins the in-place retirement of internal
+// (itag) queue slots: draining an itag frees its slot (itag 0) and the
+// next fresh itag reuses slot and ring instead of growing the index.
+func TestMailboxInternalSlotRetire(t *testing.T) {
+	mb := newMailbox(4)
+	push := func(itag int64, seq int64) {
+		m := newMessage(1, 0, itag, 0, []int64{seq})
+		m.arrive = float64(seq)
+		mb.push(m)
+	}
+	take := func(itag int64, wantSeq int64) {
+		mb.mu.Lock()
+		m := mb.matchInternalLocked(1, itag, true)
+		mb.mu.Unlock()
+		if m == nil || m.data[0] != wantSeq {
+			t.Fatalf("itag %d: got %+v, want seq %d", itag, m, wantSeq)
+		}
+		m.release()
+	}
+	for round := int64(1); round <= 5; round++ {
+		itag := round * 1000 // fresh key every round, like topology sequence numbers
+		push(itag, round)
+		push(itag, round+100)
+		take(itag, round)
+		take(itag, round+100)
+	}
+	b := mb.peek(1)
+	if len(b.intl) != 1 {
+		t.Fatalf("internal index grew to %d slots across rounds, want 1 (retire-in-place)", len(b.intl))
+	}
+	if b.intl[0].itag != 0 {
+		t.Errorf("drained slot still keyed %d, want 0 (free)", b.intl[0].itag)
+	}
+	if cap(b.intl[0].q.buf) == 0 {
+		t.Errorf("retired slot dropped its ring; want it retained for reuse")
+	}
+}

@@ -160,11 +160,6 @@ type procState struct {
 	// collStart snapshots the clock at enterColl so exitColl can record
 	// the collective as one event spanning the whole synchronization.
 	collStart float64
-	// collScratch is the deposit slot for scalar collectives
-	// (AllreduceScalarInt64): reusing one heap cell per process keeps the
-	// per-round termination reduction in the matching drivers
-	// allocation-free.
-	collScratch [1]int64
 }
 
 // Comm is a rank's handle to a communicator. Exactly one goroutine (the
@@ -262,8 +257,18 @@ func Run(procs int, body func(c *Comm) error, opts ...Option) (*Report, error) {
 // Only skeletons from clean runs are recycled: a failed or poisoned
 // world may hold ranks unwinding concurrently with Run's return, so it
 // is simply dropped for the GC.
+// All per-rank fixed-size state lives in arenas — one backing array of
+// structs per kind instead of n individual heap objects — which removes
+// n-1 allocations per kind, the per-object heap headers, and most of the
+// pointer graph the GC would otherwise walk every cycle at 64K+ ranks.
+// The []*T views exist because pushers, poison sweeps and the public
+// Report API traffic in pointers; the pointers are stable for the
+// arena's life.
 type worldState struct {
 	n         int
+	mbArena   []mailbox
+	taskArena []task
+	commArena []Comm
 	mailboxes []*mailbox
 	tasks     []*task
 	comms     []*Comm
@@ -287,26 +292,49 @@ func acquireWorldState(n int) *worldState {
 	}
 	ws := &worldState{
 		n:         n,
+		mbArena:   make([]mailbox, n),
+		taskArena: make([]task, n),
+		commArena: make([]Comm, n),
 		mailboxes: make([]*mailbox, n),
 		tasks:     make([]*task, n),
 		comms:     make([]*Comm, n),
 		procs:     make([]procState, n),
 		hub:       newCollHub(n),
 	}
-	for i := range ws.mailboxes {
-		ws.mailboxes[i] = newMailbox(n)
-		ws.tasks[i] = newTask()
-		ws.comms[i] = new(Comm)
+	// Small worlds use dense per-source bucket tables; carving all n
+	// tables out of one n*n backing array costs one allocation for the
+	// whole world instead of one per mailbox.
+	var denseTabs []*srcBucket
+	if n <= denseSrcLimit {
+		denseTabs = make([]*srcBucket, n*n)
+	}
+	for i := 0; i < n; i++ {
+		mb := &ws.mbArena[i]
+		if denseTabs != nil {
+			mb.init(n, denseTabs[i*n:(i+1)*n:(i+1)*n])
+		} else {
+			mb.init(n, nil)
+		}
+		ws.mailboxes[i] = mb
+		t := &ws.taskArena[i]
+		t.initTask()
+		ws.tasks[i] = t
+		ws.comms[i] = &ws.commArena[i]
 	}
 	return ws
 }
 
 // releaseWorldState drains the skeleton and returns it to the pool.
+// procState and Comm structs are zeroed: they hold pointers into the
+// run's statistics ledgers (which escape into the Report), and a pooled
+// skeleton must not pin a dead run's O(P) ledger memory.
 func releaseWorldState(ws *worldState) {
 	for _, mb := range ws.mailboxes {
 		mb.reset()
 	}
 	ws.hub.clearDeps()
+	clear(ws.procs)
+	clear(ws.commArena)
 	worldPool.Put(ws)
 }
 
@@ -337,8 +365,12 @@ func runConfig(cfg Config, body func(c *Comm) error) (*Report, error) {
 	if w.pool != nil {
 		nworkers = len(w.pool.workers)
 	}
+	// Ledgers escape into the Report, so they are freshly allocated every
+	// run — but as one backing array, not cfg.Procs separate objects.
+	statsArena := make([]RankStats, cfg.Procs)
 	for i := range w.stats {
-		w.stats[i] = newRankStats(i, cfg.Procs, cfg.TrackMatrices)
+		statsArena[i].init(i, cfg.Procs, cfg.TrackMatrices)
+		w.stats[i] = &statsArena[i]
 	}
 	// New returns nil for a disabled profile, so the hot-path hooks stay
 	// on their nil fast paths in ordinary runs.
@@ -408,7 +440,11 @@ func runConfig(cfg Config, body func(c *Comm) error) (*Report, error) {
 			defer wg.Done()
 			if w.pool != nil {
 				defer t.yieldTicket()
-				t.w = <-t.wake // wait for the initial ticket
+				// Wait for the initial ticket: the seeding loop below has
+				// enqueued this task, and the worker that grabs it publishes
+				// the ticket and resumes the benaphore.
+				t.block()
+				t.claimTicket()
 			}
 			defer func() {
 				if p := recover(); p != nil {

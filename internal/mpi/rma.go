@@ -59,8 +59,11 @@ func (c *Comm) WinCreate(localSize int) WinHandle {
 	buf := make([]int64, localSize)
 	c.AccountAlloc(int64(8 * localSize))
 
-	// Share buffer references through the hub.
-	h, tmax, last := c.enterColl(func(h *collHub) {
+	// Share buffer references through the hub. adeps is single-buffered;
+	// the preceding BcastInt64 round keeps this deposit from racing any
+	// earlier adeps reads (see the adeps invariant on collHub).
+	h, _, tmax, last := c.enterColl(func(h *collHub, _ int) {
+		h.ensureAdeps()
 		h.adeps[c.rank] = buf
 	})
 	var win *Win
@@ -71,16 +74,17 @@ func (c *Comm) WinCreate(localSize int) WinHandle {
 		for r := 0; r < c.size(); r++ {
 			win.bufs[r] = h.adeps[r].([]int64)
 		}
-		// Republish the assembled Win in rank 0's slot; the release
-		// barrier of exitColl orders this write before the second
-		// rendezvous's reads.
+		// Republish the assembled Win in rank 0's slot — an early deposit
+		// for the next rendezvous that only rank 0 writes and nobody
+		// reads this round; the second deposit barrier below orders it
+		// before the other ranks' reads.
 		h.adeps[0] = win
 	}
-	c.exitColl(h, tmax, last, 8)
+	c.exitColl(tmax, last, 8)
 	// Second rendezvous so non-root ranks can pick up the Win object.
-	h, tmax, last = c.enterColl(nil)
+	h, _, tmax, last = c.enterColl(nil)
 	win = h.adeps[0].(*Win)
-	c.exitColl(h, tmax, last, 8)
+	c.exitColl(tmax, last, 8)
 
 	return &winView{win: win, c: c, pendingTargets: make(map[int]struct{})}
 }

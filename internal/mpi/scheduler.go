@@ -192,6 +192,45 @@ func (p *workerPool) wakeIdle(prefer int) {
 	}
 }
 
+// readyBatch unparks every claimable task in ts except skip, taking each
+// scheduler shard's lock once per run of same-shard tasks instead of
+// once per task. Collective releasers call it with waiter lists that
+// are walked in hub-shard (≈ rank) order; ranks map to scheduler shards
+// in contiguous blocks, so the list is nearly sorted by shard and the
+// batch degenerates to one lock round-trip per shard in the common
+// case. Tasks that are not parked get a banked notification, exactly as
+// unpark would do.
+func (p *workerPool) readyBatch(ts []*task, skip *task) {
+	i, n := 0, len(ts)
+	for i < n {
+		t := ts[i]
+		i++
+		if t == skip || !t.claimParked() {
+			continue
+		}
+		shard := t.shard
+		sh := &p.shards[shard]
+		sh.mu.Lock()
+		sh.q.push(t)
+		for i < n {
+			t2 := ts[i]
+			if t2 == skip {
+				i++
+				continue
+			}
+			if t2.shard != shard {
+				break
+			}
+			i++
+			if t2.claimParked() {
+				sh.q.push(t2)
+			}
+		}
+		sh.mu.Unlock()
+		p.wakeIdle(int(shard))
+	}
+}
+
 // stop asks all workers to exit once their queues drain and joins them.
 // Callers must ensure no further ready() calls can occur.
 func (p *workerPool) stop() {
@@ -245,9 +284,11 @@ func (w *worker) loop() {
 			}
 			atomicAnd(&p.idleMask, ^uint64(1<<uint(w.id)))
 		}
-		// Hand the ticket to the task and wait for it back (park, yield
-		// or exit). The task may be resumed later by any worker.
-		t.wake <- w
+		// Publish the ticket, resume the task and wait for the ticket
+		// back (park, yield or exit). The task may be resumed later by
+		// any worker.
+		t.handoff = w
+		t.resume()
 		<-w.yield
 	}
 }

@@ -127,6 +127,32 @@ func clockBody(rounds int) func(c *Comm) error {
 			return fmt.Errorf("rank %d: allreduce vec = %v", r, vec)
 		}
 		c.AllreduceScalarInt64(OpSum, int64(r))
+		// Back-to-back slot collectives: consecutive rounds alternate the
+		// hub's parity-buffered deposit slots, so any cross-round slot
+		// reuse bug lands here. Each result feeds the next round's input
+		// or the local clock, so a wrong value shifts the fingerprint even
+		// if the final payloads happen to agree.
+		all := c.AllgatherInt64([]int64{int64(r*7 + 1)})
+		if got := all[prev][0]; got != int64(prev*7+1) {
+			return fmt.Errorf("rank %d: allgather[%d] = %d", r, prev, got)
+		}
+		c.Compute(float64(all[next][0] % 5))
+		root := n / 2
+		bc := c.BcastInt64(root, []int64{all[root][0] * 3})
+		if bc[0] != int64((root*7+1)*3) {
+			return fmt.Errorf("rank %d: bcast = %d", r, bc[0])
+		}
+		red := c.ReduceInt64(0, OpSum, []int64{1, int64(r)})
+		if r == 0 && (red[0] != int64(n) || red[1] != int64(n*(n-1)/2)) {
+			return fmt.Errorf("reduce at root = %v", red)
+		}
+		// Float allreduce keeps the rank-ordered fold path (float addition
+		// is not associative); route the result into the clock so a fold
+		// order change breaks determinism visibly.
+		fs := c.AllreduceFloat64(OpSum, []float64{float64(r+1) * 0.125})
+		c.AdvanceTime(fs[0] * 1e-9)
+		sc := c.AllreduceScalarInt64(OpProd, int64(2-(r&1)))
+		c.Compute(float64(sc & 7))
 		return nil
 	}
 }

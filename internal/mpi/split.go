@@ -29,8 +29,8 @@ func (c *Comm) Split(color, key int) *Comm {
 	}
 	if color < 0 {
 		// Still participate in the publication rendezvous below.
-		h, tmax, last := c.enterColl(nil)
-		c.exitColl(h, tmax, last, 8)
+		_, _, tmax, last := c.enterColl(nil)
+		c.exitColl(tmax, last, 8)
 		return nil
 	}
 
@@ -67,7 +67,8 @@ func (c *Comm) Split(color, key int) *Comm {
 		hub *collHub
 	}
 	var mine *subComm
-	h, tmax, last := c.enterColl(func(h *collHub) {
+	h, _, tmax, last := c.enterColl(func(h *collHub, _ int) {
+		h.ensureAdeps()
 		if c.rank == leader {
 			c.w.ctxMu.Lock()
 			c.w.ctxSeq++
@@ -88,7 +89,7 @@ func (c *Comm) Split(color, key int) *Comm {
 		panic(fmt.Sprintf("mpi: Split: leader %d published nothing", leader))
 	}
 	mine = v
-	c.exitColl(h, tmax, last, 8)
+	c.exitColl(tmax, last, 8)
 
 	return &Comm{
 		w:     c.w,

@@ -68,6 +68,7 @@ type RankStats struct {
 	PeerBufBytes int64
 	peerSeen     []bool
 	peerSet      map[int]struct{}
+	worldSize    int32
 
 	// RecvWaitTime totals the virtual time this rank spent blocked
 	// waiting for messages to arrive; MaxRecvWait is the largest single
@@ -88,26 +89,40 @@ type RankStats struct {
 // connections (64 KiB, the order of MPICH/Cray eager-path pools).
 const EagerBufPerPeer = 64 << 10
 
-func newRankStats(rank, n int, matrices bool) *RankStats {
-	rs := &RankStats{Rank: rank}
-	if n <= denseSrcLimit {
-		rs.peerSeen = make([]bool, n)
-	}
+// init prepares a zeroed ledger for a world of n ranks. Ledgers are laid
+// out in one per-run backing array (they outlive the run inside the
+// Report, so they are never pooled); peer tracking state is allocated on
+// first use so a rank that never sends costs nothing beyond the struct.
+func (rs *RankStats) init(rank, n int, matrices bool) {
+	rs.Rank = rank
+	rs.worldSize = int32(n)
 	if matrices {
 		rs.MsgRow = make([]int64, n)
 		rs.ByteRow = make([]int64, n)
 	}
+}
+
+func newRankStats(rank, n int, matrices bool) *RankStats {
+	rs := new(RankStats)
+	rs.init(rank, n, matrices)
 	return rs
 }
 
 // notePeer charges the per-peer connection pool the first time dst is
-// targeted.
+// targeted. The dense bitmap (small worlds) and the sparse set (large
+// worlds) are both allocated on the rank's first send.
 func (rs *RankStats) notePeer(dst int) {
 	if rs.peerSeen != nil {
 		if !rs.peerSeen[dst] {
 			rs.peerSeen[dst] = true
 			rs.PeerBufBytes += EagerBufPerPeer
 		}
+		return
+	}
+	if int(rs.worldSize) <= denseSrcLimit {
+		rs.peerSeen = make([]bool, rs.worldSize)
+		rs.peerSeen[dst] = true
+		rs.PeerBufBytes += EagerBufPerPeer
 		return
 	}
 	if _, ok := rs.peerSet[dst]; !ok {

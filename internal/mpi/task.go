@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 )
 
@@ -19,21 +20,37 @@ import (
 // the next park consumes without blocking. Callers therefore tolerate
 // spurious wakeups by construction — every blocking site re-checks its
 // predicate under the relevant lock after park returns.
+//
+// The blocking primitive underneath is a benaphore (counting semaphore
+// built from an atomic counter plus a mutex that rests locked) instead
+// of the earlier per-task buffered channel: a channel costs ~100 heap
+// bytes per rank plus a pointer, which at 64K-131K ranks is megabytes of
+// per-world state and GC-visible pointers for a strictly 1:1
+// block/resume handoff. The benaphore is two inline words. resume() may
+// run before block() — the counter banks it, exactly like the old
+// capacity-1 channel — and the mutex is only touched when the task
+// really has to sleep.
 type task struct {
 	// status is one of taskRunning/taskNotified/taskParked (below).
 	status atomic.Int32
-	rank   int32
-	shard  int32
+	// sem is the benaphore count: 1 when a resume is banked, -1 while a
+	// blocker holds (or is acquiring) mu, 0 at rest.
+	sem   atomic.Int32
+	rank  int32
+	shard int32
 	// pool is nil in direct (legacy) scheduling mode; park/unpark then
-	// degrade to a plain channel handoff with no ticket accounting.
+	// degrade to a bare benaphore handoff with no ticket accounting.
 	pool *workerPool
-	// wake delivers the worker ticket that resumes this task. Buffered
-	// so an unparker never blocks handing the task to a worker, and so
-	// a worker can publish the ticket before the task reaches its
-	// receive. In direct mode the value is nil.
-	wake chan *worker
-	// w is the ticket currently held (pooled mode, while running).
+	// w is the ticket currently held (pooled mode, while running). Only
+	// the task's own goroutine touches it.
 	w *worker
+	// handoff is where the resuming worker publishes the ticket before
+	// resume(); the task claims it after block(). The next write cannot
+	// happen until this task parks again, so the field needs no further
+	// synchronization beyond the benaphore's.
+	handoff *worker
+	// mu rests locked; resume unlocks it only when a blocker is waiting.
+	mu sync.Mutex
 }
 
 const (
@@ -42,18 +59,40 @@ const (
 	taskParked                 // blocked in park awaiting unpark
 )
 
-func newTask() *task {
-	return &task{wake: make(chan *worker, 1)}
+// initTask locks the benaphore mutex into its rest state. Called exactly
+// once when the task's backing storage is created, never on pooled reuse.
+func (t *task) initTask() {
+	t.mu.Lock()
 }
 
-// reset prepares a pooled task for a new run.
+// block waits for one resume, consuming a banked one without sleeping.
+// Rest state: sem == 0 and mu locked. A first-mover blocker drives sem
+// to -1 and sleeps in mu.Lock(); the matching resume drives sem back to
+// 0 and unlocks, so the blocker's Lock succeeds and mu rests locked
+// again.
+func (t *task) block() {
+	if t.sem.Add(-1) < 0 {
+		t.mu.Lock()
+	}
+}
+
+// resume delivers one block's worth of progress: it wakes a sleeping
+// blocker, or banks the wakeup for the next block. Strictly paired 1:1
+// with block by the park/unpark protocol.
+func (t *task) resume() {
+	if t.sem.Add(1) <= 0 {
+		t.mu.Unlock()
+	}
+}
+
+// reset prepares a pooled task for a new run. Only tasks from clean runs
+// are reset, so sem is 0 and mu rests locked; the stores are defensive.
 func (t *task) reset(rank, shard int32, pool *workerPool) {
 	t.rank, t.shard, t.pool = rank, shard, pool
 	t.status.Store(taskRunning)
-	select { // drop any ticket stranded by an abandoned run
-	case <-t.wake:
-	default:
-	}
+	t.sem.Store(0)
+	t.w = nil
+	t.handoff = nil
 }
 
 // park blocks the calling task until unpark, consuming a banked
@@ -70,36 +109,56 @@ func (t *task) park() {
 	}
 	if t.pool != nil {
 		t.yieldTicket()
+		t.block()
+		t.claimTicket()
+		return
 	}
-	t.w = <-t.wake
+	t.block()
+}
+
+// claimTicket takes ownership of the worker ticket published by the
+// resuming worker.
+func (t *task) claimTicket() {
+	t.w = t.handoff
+	t.handoff = nil
+}
+
+// claimParked attempts the parked->running transition. True means the
+// caller now owns making the task runnable (enqueue or resume); false
+// means the task was running and a notification has been banked instead.
+func (t *task) claimParked() bool {
+	for {
+		s := t.status.Load()
+		if s == taskParked {
+			if t.status.CompareAndSwap(taskParked, taskRunning) {
+				return true
+			}
+			continue
+		}
+		// Running or already notified: bank (or keep) the token.
+		if t.status.CompareAndSwap(s, taskNotified) {
+			return false
+		}
+	}
 }
 
 // unpark makes a parked task runnable (enqueuing it on its shard in
 // pooled mode) or banks a notification if the task is running. Safe
 // from any goroutine, idempotent, non-blocking.
 func (t *task) unpark() {
-	for {
-		switch s := t.status.Load(); s {
-		case taskParked:
-			if t.status.CompareAndSwap(taskParked, taskRunning) {
-				if p := t.pool; p != nil {
-					p.ready(t)
-				} else {
-					t.wake <- nil
-				}
-				return
-			}
-		default: // running or already notified: bank (or keep) the token
-			if t.status.CompareAndSwap(s, taskNotified) {
-				return
-			}
-		}
+	if !t.claimParked() {
+		return
+	}
+	if p := t.pool; p != nil {
+		p.ready(t)
+	} else {
+		t.resume()
 	}
 }
 
 // yieldTicket returns the held worker ticket to its worker loop. The
 // worker resumes scheduling other tasks; this task must next block on
-// t.wake (or exit).
+// the benaphore (or exit).
 func (t *task) yieldTicket() {
 	w := t.w
 	t.w = nil
@@ -116,7 +175,8 @@ func (t *task) yieldNow() {
 		runtime.Gosched()
 		return
 	}
-	p.ready(t) // requeue self; a worker will hand back a ticket on t.wake
+	p.ready(t) // requeue self; a worker will publish a fresh ticket
 	t.yieldTicket()
-	t.w = <-t.wake
+	t.block()
+	t.claimTicket()
 }
